@@ -1,0 +1,185 @@
+// Command hcservd runs the human-computation dispatch service: an HTTP
+// server that accepts tasks, leases them to workers with redundancy
+// control, scores gold probes into worker reputations, and aggregates
+// answers. State can be checkpointed to a JSON snapshot and restored on
+// restart.
+//
+//	hcservd -addr :8080 -snapshot state.json -lease-ttl 2m
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"humancomp/internal/core"
+	"humancomp/internal/dispatch"
+	"humancomp/internal/store"
+	"humancomp/internal/task"
+)
+
+// swapStore moves recovered state into the journaled system by
+// snapshotting through memory — store contents are the only state that
+// must survive (leases are ephemeral by design).
+func swapStore(dst, src *core.System) {
+	var buf bytes.Buffer
+	if err := src.Store().Snapshot(&buf); err != nil {
+		log.Fatalf("hcservd: adopting recovered state: %v", err)
+	}
+	if err := dst.Store().Restore(&buf); err != nil {
+		log.Fatalf("hcservd: adopting recovered state: %v", err)
+	}
+	if err := dst.RequeueOpen(); err != nil {
+		log.Fatalf("hcservd: requeueing recovered tasks: %v", err)
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		snapshot = flag.String("snapshot", "", "snapshot file to restore on start and write on shutdown")
+		walPath  = flag.String("wal", "", "write-ahead log file: replayed after the snapshot on start, appended to while running")
+		leaseTTL = flag.Duration("lease-ttl", 2*time.Minute, "worker lease duration")
+		expiry   = flag.Duration("expiry-interval", 10*time.Second, "how often expired leases are reclaimed")
+		apiKeys  = flag.String("api-keys", "", "comma-separated API keys; empty leaves the server open")
+		rate     = flag.Float64("rate", 0, "per-key request rate limit (req/s); 0 disables")
+		burst    = flag.Float64("burst", 20, "rate-limit burst size")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.LeaseTTL = *leaseTTL
+
+	// Recovery order: snapshot first, then the WAL tail written after it,
+	// then a fresh snapshot so the WAL can start empty.
+	var walFile *os.File
+	sys := core.New(cfg)
+	if *snapshot != "" {
+		if err := restore(sys, *snapshot); err != nil {
+			log.Fatalf("hcservd: restoring snapshot: %v", err)
+		}
+	}
+	if *walPath != "" {
+		if tail, err := os.Open(*walPath); err == nil {
+			applied, rerr := store.ReplayWAL(tail, sys.Store())
+			tail.Close()
+			if rerr != nil {
+				log.Fatalf("hcservd: replaying wal: %v", rerr)
+			}
+			if applied > 0 {
+				log.Printf("hcservd: replayed %d wal events", applied)
+				if err := sys.RequeueOpen(); err != nil {
+					log.Fatalf("hcservd: requeueing after wal replay: %v", err)
+				}
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("hcservd: opening wal: %v", err)
+		}
+		if *snapshot != "" {
+			if err := save(sys, *snapshot); err != nil {
+				log.Fatalf("hcservd: checkpointing after replay: %v", err)
+			}
+		}
+		var err error
+		walFile, err = os.Create(*walPath) // truncate: the snapshot covers history
+		if err != nil {
+			log.Fatalf("hcservd: creating wal: %v", err)
+		}
+		defer walFile.Close()
+		cfg.Journal = store.NewWAL(walFile)
+		// Rebuild the system with the journal attached, re-adopting the
+		// recovered store contents.
+		recovered := sys
+		sys = core.New(cfg)
+		swapStore(sys, recovered)
+	}
+
+	stopExpiry := make(chan struct{})
+	go func() {
+		t := time.NewTicker(*expiry)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if n := sys.ExpireLeases(); n > 0 {
+					log.Printf("hcservd: reclaimed %d expired leases", n)
+				}
+			case <-stopExpiry:
+				return
+			}
+		}
+	}()
+
+	opts := dispatch.Options{RatePerSec: *rate, Burst: *burst}
+	if *apiKeys != "" {
+		opts.APIKeys = strings.Split(*apiKeys, ",")
+	}
+	srv := &http.Server{Addr: *addr, Handler: dispatch.NewServerWith(sys, opts)}
+	go func() {
+		log.Printf("hcservd: listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("hcservd: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("hcservd: shutting down")
+	close(stopExpiry)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("hcservd: shutdown: %v", err)
+	}
+	if *snapshot != "" {
+		if err := save(sys, *snapshot); err != nil {
+			log.Fatalf("hcservd: writing snapshot: %v", err)
+		}
+		log.Printf("hcservd: snapshot written to %s", *snapshot)
+	}
+}
+
+// restore loads a snapshot and re-enqueues open tasks; a missing file is
+// a clean first start.
+func restore(sys *core.System, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sys.Store().Restore(f); err != nil {
+		return err
+	}
+	open := sys.Store().ByStatus(task.Open)
+	log.Printf("hcservd: restored %d tasks (%d open)", sys.Store().Len(), len(open))
+	return sys.RequeueOpen()
+}
+
+func save(sys *core.System, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sys.Store().Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

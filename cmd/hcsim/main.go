@@ -1,0 +1,219 @@
+// Command hcsim drives simulated crowds.
+//
+// Local mode runs a game with a virtual clock and prints GWAP metrics:
+//
+//	hcsim -game esp -players 500 -hours 24
+//
+// HTTP mode exercises a running hcservd with simulated workers: it submits
+// image-labeling tasks, has modeled humans answer them over the wire, and
+// scores the aggregated results against ground truth:
+//
+//	hcsim -mode http -url http://localhost:8080 -tasks 200 -workers 8
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"humancomp/internal/dispatch"
+	"humancomp/internal/games/esp"
+	"humancomp/internal/games/matchin"
+	"humancomp/internal/games/peekaboom"
+	"humancomp/internal/games/phetch"
+	"humancomp/internal/games/squigl"
+	"humancomp/internal/games/tagatune"
+	"humancomp/internal/games/verbosity"
+	"humancomp/internal/search"
+	"humancomp/internal/sim"
+	"humancomp/internal/task"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "local", "local (virtual-clock crowd) or http (drive a live hcservd)")
+		game    = flag.String("game", "esp", "local mode: esp, peekaboom, verbosity, tagatune, matchin, squigl, phetch")
+		players = flag.Int("players", 200, "local mode: population size")
+		hours   = flag.Float64("hours", 24, "local mode: simulated horizon")
+		url     = flag.String("url", "http://localhost:8080", "http mode: service base URL")
+		tasks   = flag.Int("tasks", 100, "http mode: labeling tasks to submit")
+		workers = flag.Int("workers", 8, "http mode: simulated workers")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "local":
+		runLocal(*game, *players, *hours, *seed)
+	case "http":
+		runHTTP(*url, *tasks, *workers, *seed)
+	default:
+		log.Fatalf("hcsim: unknown mode %q", *mode)
+	}
+}
+
+func runLocal(game string, players int, hours float64, seed uint64) {
+	corpusCfg := vocab.DefaultCorpusConfig()
+	corpusCfg.Lexicon.Seed = seed
+	corpusCfg.Seed = seed + 1
+	corpus := vocab.NewCorpus(corpusCfg)
+
+	var pair sim.PairGame
+	var solo sim.SoloGame
+	switch game {
+	case "esp":
+		cfg := esp.DefaultConfig()
+		cfg.Seed = seed + 2
+		cfg.RetireAt = 0
+		a := sim.NewESPAdapter(esp.New(corpus, cfg), seed+3)
+		pair, solo = a, a
+	case "peekaboom":
+		cfg := peekaboom.DefaultConfig()
+		cfg.Seed = seed + 2
+		pair = &sim.PeekaboomAdapter{Game: peekaboom.New(corpus, cfg)}
+	case "verbosity":
+		fbCfg := vocab.DefaultFactBaseConfig()
+		fbCfg.Seed = seed + 2
+		cfg := verbosity.DefaultConfig()
+		cfg.Seed = seed + 3
+		pair = &sim.VerbosityAdapter{Game: verbosity.New(vocab.NewFactBase(fbCfg), cfg)}
+	case "tagatune":
+		cfg := tagatune.DefaultConfig()
+		cfg.Seed = seed + 2
+		pair = &sim.TagATuneAdapter{Game: tagatune.New(corpus, cfg)}
+	case "matchin":
+		cfg := matchin.DefaultConfig()
+		cfg.Seed = seed + 2
+		pair = &sim.MatchinAdapter{Game: matchin.New(corpus, cfg)}
+	case "squigl":
+		cfg := squigl.DefaultConfig()
+		cfg.Seed = seed + 2
+		pair = &sim.SquiglAdapter{Game: squigl.New(corpus, cfg)}
+	case "phetch":
+		ix := search.NewIndex()
+		for _, img := range corpus.Images {
+			for _, obj := range img.Objects {
+				ix.Add(img.ID, corpus.Lexicon.Canonical(obj.Tag), 2)
+			}
+		}
+		cfg := phetch.DefaultConfig()
+		cfg.Seed = seed + 2
+		pair = &sim.PhetchAdapter{Game: phetch.New(corpus, ix, cfg)}
+	default:
+		log.Fatalf("hcsim: unknown game %q", game)
+	}
+
+	popCfg := worker.DefaultPopulationConfig(players)
+	popCfg.Seed = seed + 4
+	ws := worker.NewPopulation(popCfg)
+	crowdCfg := sim.DefaultCrowdConfig(ws, pair)
+	crowdCfg.Horizon = time.Duration(hours * float64(time.Hour))
+	crowdCfg.Seed = seed + 5
+	crowdCfg.Solo = solo
+
+	start := time.Now()
+	rep := sim.NewCrowd(crowdCfg, time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)).Run()
+	fmt.Printf("game=%s players=%d horizon=%.1fh (simulated) wall=%s\n",
+		game, players, hours, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  sessions:              %d\n", rep.Sessions)
+	fmt.Printf("  outputs:               %d\n", rep.Outputs)
+	fmt.Printf("  total play:            %.1f human-hours\n", rep.TotalPlayHours)
+	fmt.Printf("  throughput:            %.1f outputs/human-hour\n", rep.ThroughputPerHour)
+	fmt.Printf("  avg lifetime play:     %.1f min\n", rep.ALPMinutes)
+	fmt.Printf("  expected contribution: %.1f outputs/player\n", rep.ExpectedContribution)
+}
+
+func runHTTP(url string, nTasks, nWorkers int, seed uint64) {
+	client := dispatch.NewClient(url, nil)
+	if !client.Healthy() {
+		log.Fatalf("hcsim: no healthy service at %s (start cmd/hcservd first)", url)
+	}
+
+	corpusCfg := vocab.DefaultCorpusConfig()
+	corpusCfg.Lexicon.Seed = seed
+	corpusCfg.Seed = seed + 1
+	corpus := vocab.NewCorpus(corpusCfg)
+
+	popCfg := worker.DefaultPopulationConfig(nWorkers)
+	popCfg.Seed = seed + 2
+	ws := worker.NewPopulation(popCfg)
+	for _, w := range ws {
+		w.Profile.ThinkMean = 0 // network time replaces think time here
+	}
+
+	ids := make([]task.ID, 0, nTasks)
+	for i := 0; i < nTasks; i++ {
+		img := i % len(corpus.Images)
+		id, err := client.Submit(task.Label, task.Payload{ImageID: img}, 3, 0)
+		if err != nil {
+			log.Fatalf("hcsim: submitting task: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	log.Printf("hcsim: submitted %d labeling tasks", nTasks)
+
+	answered := 0
+	for i := 0; ; i++ {
+		w := ws[i%len(ws)]
+		t, lease, err := client.Next(w.ID)
+		if errors.Is(err, dispatch.ErrNoTask) {
+			break
+		}
+		if err != nil {
+			log.Fatalf("hcsim: leasing: %v", err)
+		}
+		img := corpus.Image(t.Payload.ImageID)
+		said := map[int]bool{}
+		var words []int
+		for k := 0; k < 3; k++ {
+			tag := w.GuessTag(corpus.Lexicon, img, nil, said)
+			if tag < 0 {
+				break
+			}
+			said[corpus.Lexicon.Canonical(tag)] = true
+			words = append(words, tag)
+		}
+		if len(words) == 0 {
+			words = []int{corpus.Lexicon.Sample()}
+		}
+		if err := client.Answer(lease, task.Answer{Words: words}); err != nil {
+			log.Fatalf("hcsim: answering: %v", err)
+		}
+		answered++
+	}
+	log.Printf("hcsim: submitted %d answers", answered)
+
+	good, total := 0, 0
+	for _, id := range ids {
+		words, err := client.Words(id)
+		if err != nil {
+			log.Fatalf("hcsim: aggregating: %v", err)
+		}
+		t, err := client.Task(id)
+		if err != nil {
+			log.Fatalf("hcsim: fetching: %v", err)
+		}
+		for _, wc := range words {
+			if wc.Count < 2 {
+				continue // accept only labels two workers agree on
+			}
+			total++
+			if corpus.IsTrueTag(t.Payload.ImageID, wc.Word) {
+				good++
+			}
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		log.Fatalf("hcsim: stats: %v", err)
+	}
+	fmt.Printf("tasks=%d answers=%d agreed-labels=%d true=%d\n", nTasks, answered, total, good)
+	if total > 0 {
+		fmt.Printf("label precision at agreement>=2: %.1f%%\n", 100*float64(good)/float64(total))
+	}
+	fmt.Printf("service stats: %+v\n", st)
+}

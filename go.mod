@@ -1,0 +1,3 @@
+module humancomp
+
+go 1.22

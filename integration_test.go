@@ -1,0 +1,295 @@
+package humancomp_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"humancomp/internal/core"
+	"humancomp/internal/dispatch"
+	"humancomp/internal/games/esp"
+	"humancomp/internal/games/phetch"
+	"humancomp/internal/rng"
+	"humancomp/internal/search"
+	"humancomp/internal/sim"
+	"humancomp/internal/store"
+	"humancomp/internal/task"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+// TestServiceLifecycleWithJournalRecovery drives the dispatch service over
+// HTTP with modeled workers, crashes it (by dropping the System without a
+// snapshot), and recovers the full state from the journal alone.
+func TestServiceLifecycleWithJournalRecovery(t *testing.T) {
+	var journal bytes.Buffer
+	cfg := core.DefaultConfig()
+	cfg.Journal = store.NewWAL(&journal)
+	sys := core.New(cfg)
+	srv := httptest.NewServer(dispatch.NewServer(sys))
+	client := dispatch.NewClient(srv.URL, srv.Client())
+
+	corpus := vocab.NewCorpus(vocab.CorpusConfig{
+		Lexicon:     vocab.LexiconConfig{Size: 300, ZipfS: 1, SynonymRate: 0.2, Seed: 1},
+		NumImages:   50,
+		MeanObjects: 4,
+		CanvasW:     640, CanvasH: 480,
+		Seed: 2,
+	})
+	src := rng.New(3)
+
+	const nTasks = 30
+	ids := make([]task.ID, 0, nTasks)
+	for i := 0; i < nTasks; i++ {
+		id, err := client.Submit(task.Label, task.Payload{ImageID: i}, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	workers := make([]*worker.Worker, 5)
+	for i := range workers {
+		p := worker.SampleProfile(worker.DefaultPopulationConfig(5), src)
+		p.ThinkMean = 0
+		workers[i] = worker.New(fmt.Sprintf("w%d", i), worker.Honest, p, src)
+	}
+	answered := 0
+	for i := 0; ; i++ {
+		w := workers[i%len(workers)]
+		tk, lease, err := client.Next(w.ID)
+		if errors.Is(err, dispatch.ErrNoTask) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := corpus.Image(tk.Payload.ImageID)
+		said := map[int]bool{}
+		var words []int
+		for k := 0; k < 3; k++ {
+			if tag := w.GuessTag(corpus.Lexicon, img, nil, said); tag >= 0 {
+				said[corpus.Lexicon.Canonical(tag)] = true
+				words = append(words, tag)
+			}
+		}
+		if len(words) == 0 {
+			words = []int{corpus.Lexicon.Sample()}
+		}
+		if err := client.Answer(lease, task.Answer{Words: words}); err != nil {
+			t.Fatal(err)
+		}
+		answered++
+	}
+	if answered != 2*nTasks {
+		t.Fatalf("answered %d, want %d", answered, 2*nTasks)
+	}
+	srv.Close() // "crash": no snapshot taken
+
+	// Recovery: a brand-new system, journal replay only.
+	recovered := core.New(core.DefaultConfig())
+	applied, err := store.ReplayWAL(bytes.NewReader(journal.Bytes()), recovered.Store())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if applied != nTasks+answered {
+		t.Fatalf("replayed %d events, want %d", applied, nTasks+answered)
+	}
+	if err := recovered.RequeueOpen(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		tk, err := recovered.Task(id)
+		if err != nil {
+			t.Fatalf("task %d lost: %v", id, err)
+		}
+		if tk.Status != task.Done || len(tk.Answers) != 2 {
+			t.Fatalf("task %d state after recovery: %+v", id, tk)
+		}
+	}
+	// The recovered system keeps serving: aggregates are intact.
+	words, err := recovered.AggregateWords(ids[0])
+	if err != nil || len(words) == 0 {
+		t.Fatalf("aggregate after recovery: %v, %v", words, err)
+	}
+}
+
+// TestEcosystemLabelsToSearchToCaptions runs the survey's ecosystem story
+// end to end: a simulated crowd plays ESP, the labels power a search
+// index, the index answers queries, and Phetch validates captions on top.
+func TestEcosystemLabelsToSearchToCaptions(t *testing.T) {
+	corpusCfg := vocab.DefaultCorpusConfig()
+	corpusCfg.NumImages = 300
+	corpus := vocab.NewCorpus(corpusCfg)
+
+	espCfg := esp.DefaultConfig()
+	espCfg.PromoteAfter = 2
+	espCfg.RetireAt = 0
+	game := esp.New(corpus, espCfg)
+	players := worker.NewPopulation(worker.DefaultPopulationConfig(150))
+	adapter := sim.NewESPAdapter(game, 7)
+	crowdCfg := sim.DefaultCrowdConfig(players, adapter)
+	crowdCfg.Horizon = 6 * time.Hour
+	rep := sim.NewCrowd(crowdCfg, time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)).Run()
+	if rep.Outputs < 1000 {
+		t.Fatalf("crowd produced only %d labels", rep.Outputs)
+	}
+
+	ix := search.NewIndex()
+	for img := range corpus.Images {
+		for _, l := range game.Labels.LabelsFor(img) {
+			ix.Add(img, l.Word, l.Count)
+		}
+	}
+	if ix.Items() < 250 {
+		t.Fatalf("only %d images indexed", ix.Items())
+	}
+
+	top5, queries := 0, 0
+	for img := range corpus.Images {
+		var query []int
+		for _, o := range corpus.Image(img).Objects {
+			query = append(query, corpus.Lexicon.Canonical(o.Tag))
+		}
+		queries++
+		if r := ix.Rank(query, img); r >= 1 && r <= 5 {
+			top5++
+		}
+	}
+	if frac := float64(top5) / float64(queries); frac < 0.6 {
+		t.Errorf("top-5 retrieval = %.2f over crowd-built index", frac)
+	}
+
+	ph := phetch.New(corpus, ix, phetch.DefaultConfig())
+	src := rng.New(9)
+	p := worker.SampleProfile(worker.DefaultPopulationConfig(4), src)
+	p.ThinkMean = 0
+	describer := worker.New("d", worker.Honest, p, src)
+	seekers := []*worker.Worker{
+		worker.New("s1", worker.Honest, p, src),
+		worker.New("s2", worker.Honest, p, src),
+	}
+	solved := 0
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		if ph.PlayRound(describer, seekers, ph.PickImage()).Solved {
+			solved++
+		}
+	}
+	if frac := float64(solved) / rounds; frac < 0.4 {
+		t.Errorf("phetch solve rate on crowd index = %.2f", frac)
+	}
+}
+
+// TestAbandonedLeasesRecycleOverHTTP injects the classic failure: workers
+// lease tasks and vanish. With a short TTL the service must recycle every
+// lease and other workers finish the backlog.
+func TestAbandonedLeasesRecycleOverHTTP(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.LeaseTTL = 50 * time.Millisecond
+	sys := core.New(cfg)
+	srv := httptest.NewServer(dispatch.NewServer(sys))
+	defer srv.Close()
+	client := dispatch.NewClient(srv.URL, srv.Client())
+
+	const nTasks = 10
+	for i := 0; i < nTasks; i++ {
+		if _, err := client.Submit(task.Label, task.Payload{ImageID: i}, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The flaky worker leases everything and disappears.
+	leased := 0
+	for {
+		_, _, err := client.Next("ghost")
+		if errors.Is(err, dispatch.ErrNoTask) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		leased++
+	}
+	if leased != nTasks {
+		t.Fatalf("ghost leased %d", leased)
+	}
+	// Nothing available until the TTL passes.
+	if _, _, err := client.Next("diligent"); !errors.Is(err, dispatch.ErrNoTask) {
+		t.Fatalf("pre-expiry: %v", err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	done := 0
+	for {
+		_, lease, err := client.Next("diligent")
+		if errors.Is(err, dispatch.ErrNoTask) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Answer(lease, task.Answer{Words: []int{1}}); err != nil {
+			t.Fatal(err)
+		}
+		done++
+	}
+	if done != nTasks {
+		t.Fatalf("recycled and finished %d/%d tasks", done, nTasks)
+	}
+	list, err := client.ListTasks("done", 0, 100)
+	if err != nil || list.Total != nTasks {
+		t.Fatalf("done list: %+v, %v", list, err)
+	}
+}
+
+// TestSnapshotJournalCheckpointCycle exercises the full durability cycle
+// the daemon uses: snapshot, more journaled traffic, recover from
+// snapshot + journal tail.
+func TestSnapshotJournalCheckpointCycle(t *testing.T) {
+	var journal bytes.Buffer
+	cfg := core.DefaultConfig()
+	cfg.Journal = store.NewWAL(&journal)
+	sys := core.New(cfg)
+
+	id1, err := sys.SubmitTask(task.Label, task.Payload{ImageID: 1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := sys.Store().Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	journalAtSnapshot := journal.Len()
+
+	// Post-snapshot traffic: answer id1, submit id2.
+	_, lease, err := sys.NextTask("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SubmitAnswer(lease, task.Answer{Words: []int{4}}); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := sys.SubmitTask(task.Label, task.Payload{ImageID: 2}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover: snapshot + only the journal tail written after it.
+	recovered := core.New(core.DefaultConfig())
+	if err := recovered.Store().Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	tail := journal.Bytes()[journalAtSnapshot:]
+	if _, err := store.ReplayWAL(bytes.NewReader(tail), recovered.Store()); err != nil {
+		t.Fatal(err)
+	}
+	got1, err := recovered.Task(id1)
+	if err != nil || got1.Status != task.Done {
+		t.Fatalf("task 1 after cycle: %+v, %v", got1, err)
+	}
+	got2, err := recovered.Task(id2)
+	if err != nil || got2.Status != task.Open {
+		t.Fatalf("task 2 after cycle: %+v, %v", got2, err)
+	}
+}

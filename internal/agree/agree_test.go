@@ -1,0 +1,307 @@
+package agree
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"humancomp/internal/vocab"
+)
+
+func lex(t testing.TB) *vocab.Lexicon {
+	t.Helper()
+	return vocab.NewLexicon(vocab.LexiconConfig{Size: 200, ZipfS: 1, SynonymRate: 0.3, Seed: 1})
+}
+
+// synonymPair returns two distinct words in the same synonym group,
+// or skips the test if none exists.
+func synonymPair(t *testing.T, l *vocab.Lexicon) (int, int) {
+	t.Helper()
+	for id := 0; id < l.Size(); id++ {
+		if g := l.Synonyms(id); len(g) >= 2 {
+			return g[0], g[1]
+		}
+	}
+	t.Skip("lexicon has no synonym group")
+	return 0, 0
+}
+
+func TestOutputAgreementExactMatch(t *testing.T) {
+	l := lex(t)
+	r := NewOutputRound(l, Exact, nil)
+	if m, err := r.Submit(0, 5); err != nil || m {
+		t.Fatalf("first guess: %v %v", m, err)
+	}
+	if m, err := r.Submit(1, 7); err != nil || m {
+		t.Fatalf("non-matching guess: %v %v", m, err)
+	}
+	m, err := r.Submit(1, 5)
+	if err != nil || !m {
+		t.Fatalf("matching guess: %v %v", m, err)
+	}
+	if w, ok := r.Agreed(); !ok || w != 5 {
+		t.Fatalf("Agreed = %d, %v", w, ok)
+	}
+	if !r.Done() {
+		t.Fatal("round should be done after match")
+	}
+	if _, err := r.Submit(0, 9); !errors.Is(err, ErrRoundOver) {
+		t.Fatalf("submit after match: %v", err)
+	}
+}
+
+func TestOutputAgreementExactRejectsSynonyms(t *testing.T) {
+	l := lex(t)
+	a, b := synonymPair(t, l)
+	r := NewOutputRound(l, Exact, nil)
+	_, _ = r.Submit(0, a)
+	if m, _ := r.Submit(1, b); m {
+		t.Fatal("exact mode matched synonyms")
+	}
+}
+
+func TestOutputAgreementCanonicalMatchesSynonyms(t *testing.T) {
+	l := lex(t)
+	a, b := synonymPair(t, l)
+	r := NewOutputRound(l, Canonical, nil)
+	_, _ = r.Submit(0, a)
+	if m, _ := r.Submit(1, b); !m {
+		t.Fatal("canonical mode did not match synonyms")
+	}
+}
+
+func TestOutputAgreementTaboo(t *testing.T) {
+	l := lex(t)
+	a, b := synonymPair(t, l)
+	r := NewOutputRound(l, Exact, []int{a})
+	if _, err := r.Submit(0, a); !errors.Is(err, ErrTabooWord) {
+		t.Fatalf("taboo word accepted: %v", err)
+	}
+	// A synonym of a taboo word is also rejected: taboo is by concept.
+	if _, err := r.Submit(0, b); !errors.Is(err, ErrTabooWord) {
+		t.Fatalf("synonym of taboo accepted: %v", err)
+	}
+}
+
+func TestOutputAgreementRepeatRejected(t *testing.T) {
+	l := lex(t)
+	r := NewOutputRound(l, Exact, nil)
+	_, _ = r.Submit(0, 5)
+	if _, err := r.Submit(0, 5); !errors.Is(err, ErrRepeatWord) {
+		t.Fatalf("repeat accepted: %v", err)
+	}
+	// The partner repeating the word is a match, not a repeat.
+	if m, err := r.Submit(1, 5); err != nil || !m {
+		t.Fatalf("partner match: %v %v", m, err)
+	}
+}
+
+func TestOutputAgreementBadPlayer(t *testing.T) {
+	r := NewOutputRound(lex(t), Exact, nil)
+	if _, err := r.Submit(2, 5); !errors.Is(err, ErrBadPlayer) {
+		t.Fatalf("bad player: %v", err)
+	}
+}
+
+func TestOutputAgreementPass(t *testing.T) {
+	r := NewOutputRound(lex(t), Exact, nil)
+	_, _ = r.Submit(0, 1)
+	r.Pass()
+	if !r.Done() {
+		t.Fatal("pass should end round")
+	}
+	if _, ok := r.Agreed(); ok {
+		t.Fatal("passed round must not report agreement")
+	}
+	if len(r.Guesses(0)) != 1 || len(r.Guesses(1)) != 0 {
+		t.Fatal("guess records wrong")
+	}
+}
+
+// TestOutputAgreementSymmetric: the mechanism must not care which player
+// says the word first.
+func TestOutputAgreementSymmetric(t *testing.T) {
+	l := lex(t)
+	f := func(wordRaw uint8, order bool) bool {
+		w := int(wordRaw) % l.Size()
+		r := NewOutputRound(l, Exact, nil)
+		p0, p1 := 0, 1
+		if order {
+			p0, p1 = 1, 0
+		}
+		if _, err := r.Submit(p0, w); err != nil {
+			return false
+		}
+		m, err := r.Submit(p1, w)
+		return err == nil && m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInversionRound(t *testing.T) {
+	l := lex(t)
+	r := NewInversionRound[string](l, Exact, 9)
+	if err := r.AddHint("clue-1"); err != nil {
+		t.Fatal(err)
+	}
+	if solved, err := r.Guess(3); err != nil || solved {
+		t.Fatalf("wrong guess: %v %v", solved, err)
+	}
+	if err := r.AddHint("clue-2"); err != nil {
+		t.Fatal(err)
+	}
+	solved, err := r.Guess(9)
+	if err != nil || !solved {
+		t.Fatalf("target guess: %v %v", solved, err)
+	}
+	if r.Tries() != 2 || !r.Solved() || len(r.Hints()) != 2 || r.Target() != 9 {
+		t.Fatalf("round state: tries=%d solved=%v hints=%d", r.Tries(), r.Solved(), len(r.Hints()))
+	}
+	if err := r.AddHint("late"); !errors.Is(err, ErrRoundOver) {
+		t.Fatalf("hint after solve: %v", err)
+	}
+	if _, err := r.Guess(9); !errors.Is(err, ErrRoundOver) {
+		t.Fatalf("guess after solve: %v", err)
+	}
+}
+
+func TestInversionCanonicalAcceptsSynonym(t *testing.T) {
+	l := lex(t)
+	a, b := synonymPair(t, l)
+	r := NewInversionRound[int](l, Canonical, a)
+	if solved, _ := r.Guess(b); !solved {
+		t.Fatal("canonical inversion rejected synonym of target")
+	}
+	rExact := NewInversionRound[int](l, Exact, a)
+	if solved, _ := rExact.Guess(b); solved {
+		t.Fatal("exact inversion accepted synonym of target")
+	}
+}
+
+func TestInputRoundSuccessRequiresBothCorrect(t *testing.T) {
+	cases := []struct {
+		same    bool
+		v0, v1  int
+		success bool
+	}{
+		{true, 0, 0, true},
+		{true, 0, 1, false},
+		{true, 1, 1, false},
+		{false, 1, 1, true},
+		{false, 0, 1, false},
+	}
+	for _, c := range cases {
+		r := NewInputRound(c.same)
+		if err := r.Vote(0, c.v0); err != nil {
+			t.Fatal(err)
+		}
+		if r.Complete() {
+			t.Fatal("complete after one vote")
+		}
+		if err := r.Vote(1, c.v1); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Complete() {
+			t.Fatal("not complete after both votes")
+		}
+		if r.Success() != c.success {
+			t.Errorf("same=%v votes=%d,%d: success=%v want %v", c.same, c.v0, c.v1, r.Success(), c.success)
+		}
+	}
+}
+
+func TestInputRoundValidation(t *testing.T) {
+	r := NewInputRound(true)
+	if err := r.Vote(2, 0); !errors.Is(err, ErrBadPlayer) {
+		t.Fatalf("bad player vote: %v", err)
+	}
+	if err := r.Vote(0, 3); err == nil {
+		t.Fatal("vote 3 accepted")
+	}
+	if err := r.Vote(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Vote(0, 1); !errors.Is(err, ErrAlreadyVote) {
+		t.Fatalf("double vote: %v", err)
+	}
+	if r.Success() {
+		t.Fatal("incomplete round cannot succeed")
+	}
+	if err := r.Describe(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Describe(5, 42); !errors.Is(err, ErrBadPlayer) {
+		t.Fatalf("bad player describe: %v", err)
+	}
+	if got := r.Tags(0); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Tags = %v", got)
+	}
+	if !r.Same() {
+		t.Fatal("Same() lost ground truth")
+	}
+}
+
+func TestTabooTrackerPromotionAndRetirement(t *testing.T) {
+	l := lex(t)
+	tr := NewTabooTracker(l, 2, 2)
+	if tr.Record(1, 5) {
+		t.Fatal("promoted after one agreement (promoteAfter=2)")
+	}
+	if !tr.Record(1, 5) {
+		t.Fatal("not promoted after two agreements")
+	}
+	if tr.Record(1, 5) {
+		t.Fatal("re-promoted an existing taboo word")
+	}
+	if got := tr.TabooFor(1); len(got) != 1 || got[0] != l.Canonical(5) {
+		t.Fatalf("TabooFor = %v", got)
+	}
+	if tr.Retired(1) {
+		t.Fatal("retired with 1 taboo word (retireAt=2)")
+	}
+	tr.Record(1, 90)
+	tr.Record(1, 90)
+	if !tr.Retired(1) {
+		t.Fatal("not retired with 2 taboo words")
+	}
+	if tr.Agreements(1, 5) != 3 {
+		t.Fatalf("Agreements = %d", tr.Agreements(1, 5))
+	}
+	// Other items unaffected.
+	if tr.TabooFor(2) != nil || tr.Retired(2) {
+		t.Fatal("taboo leaked across items")
+	}
+}
+
+func TestTabooTrackerSynonymsShareCounts(t *testing.T) {
+	l := lex(t)
+	a, b := synonymPair(t, l)
+	tr := NewTabooTracker(l, 2, 0)
+	tr.Record(1, a)
+	if !tr.Record(1, b) {
+		t.Fatal("synonym agreements should pool toward promotion")
+	}
+	if tr.Retired(1) {
+		t.Fatal("retireAt=0 must disable retirement")
+	}
+}
+
+func TestTabooTrackerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("promoteAfter 0 did not panic")
+		}
+	}()
+	NewTabooTracker(lex(t), 0, 5)
+}
+
+func TestMatchModeString(t *testing.T) {
+	if Exact.String() != "exact" || Canonical.String() != "canonical" {
+		t.Error("mode strings wrong")
+	}
+	if MatchMode(7).String() == "" {
+		t.Error("unknown mode should stringify")
+	}
+}

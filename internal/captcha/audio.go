@@ -1,0 +1,129 @@
+package captcha
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"humancomp/internal/rng"
+)
+
+// AudioChallenge is one spoken-digit test: the accessibility channel every
+// deployed CAPTCHA shipped alongside the visual one. The deployed audio
+// reCAPTCHA recycled this effort into transcribing old radio broadcasts,
+// exactly as the visual one recycled scanned books.
+type AudioChallenge struct {
+	ID    int64
+	Noise float64 // background-noise level in [0, 1]
+	// digits is the secret spoken sequence.
+	digits string
+}
+
+// Secret exposes the hidden digit string for simulation and testing only.
+func (c AudioChallenge) Secret() string { return c.digits }
+
+// AudioGate issues spoken-digit challenges and verifies answers. Each
+// challenge is single use. Safe for concurrent use.
+type AudioGate struct {
+	mu      sync.Mutex
+	src     *rng.Source
+	noise   float64
+	nDigits int
+	nextID  int64
+	pending map[int64]AudioChallenge
+
+	issued int64
+	passed int64
+}
+
+// NewAudioGate returns a gate speaking nDigits digits over the given
+// background-noise level.
+func NewAudioGate(nDigits int, noise float64, seed uint64) *AudioGate {
+	if nDigits < 1 {
+		panic("captcha: audio challenge needs at least one digit")
+	}
+	if noise < 0 || noise > 1 {
+		panic("captcha: noise must be in [0, 1]")
+	}
+	return &AudioGate{
+		src:     rng.New(seed),
+		noise:   noise,
+		nDigits: nDigits,
+		pending: make(map[int64]AudioChallenge),
+	}
+}
+
+// Issue returns a fresh spoken-digit challenge.
+func (g *AudioGate) Issue() AudioChallenge {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextID++
+	g.issued++
+	var b strings.Builder
+	for i := 0; i < g.nDigits; i++ {
+		b.WriteByte(byte('0' + g.src.Intn(10)))
+	}
+	ch := AudioChallenge{ID: g.nextID, Noise: g.noise, digits: b.String()}
+	g.pending[ch.ID] = ch
+	return ch
+}
+
+// Verify consumes the challenge and reports whether answer matches the
+// spoken digits (surrounding space ignored).
+func (g *AudioGate) Verify(id int64, answer string) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch, ok := g.pending[id]
+	if !ok {
+		return false, ErrUnknownChallenge
+	}
+	delete(g.pending, id)
+	pass := strings.TrimSpace(answer) == ch.digits
+	if pass {
+		g.passed++
+	}
+	return pass, nil
+}
+
+// Stats returns (issued, passed) challenge counts.
+func (g *AudioGate) Stats() (issued, passed int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.issued, g.passed
+}
+
+// ListenHuman models a human listener: per-digit recognition degrades
+// gently with noise (humans are remarkably robust to babble), scaled by
+// the listener's care.
+func ListenHuman(ch AudioChallenge, accuracy float64, src *rng.Source) string {
+	p := accuracy * (1 - 0.25*ch.Noise)
+	return listen(ch, p, src)
+}
+
+// ListenASR models an automatic speech recognizer attack: competitive on
+// clean audio, collapsing under the deliberate babble noise — the same
+// asymmetry the visual gate gets from distortion.
+func ListenASR(ch AudioChallenge, cleanAccuracy float64, src *rng.Source) string {
+	p := cleanAccuracy * (1 - 0.85*ch.Noise)
+	if p < 0.05 {
+		p = 0.05
+	}
+	return listen(ch, p, src)
+}
+
+func listen(ch AudioChallenge, pDigit float64, src *rng.Source) string {
+	var b strings.Builder
+	for i := 0; i < len(ch.digits); i++ {
+		if src.Bool(pDigit) {
+			b.WriteByte(ch.digits[i])
+		} else {
+			b.WriteByte(byte('0' + src.Intn(10)))
+		}
+	}
+	return b.String()
+}
+
+// String describes the gate for reports.
+func (g *AudioGate) String() string {
+	return fmt.Sprintf("captcha.AudioGate{digits: %d, noise: %.2f}", g.nDigits, g.noise)
+}

@@ -1,0 +1,355 @@
+// Package core assembles the substrates into the human-computation system
+// the paper describes: work arrives as tasks, a redundancy-aware queue
+// leases them to workers, gold probes with known answers calibrate each
+// worker's reputation, and reputation-weighted voting aggregates redundant
+// answers into trusted results. The dispatch package serves exactly this
+// API over HTTP; the examples and experiments drive it directly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"humancomp/internal/metrics"
+	"humancomp/internal/quality"
+	"humancomp/internal/queue"
+	"humancomp/internal/sim"
+	"humancomp/internal/store"
+	"humancomp/internal/task"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// LeaseTTL is how long a worker may hold a task before it is
+	// reclaimed.
+	LeaseTTL time.Duration
+	// ReputationPrior and ReputationWeight seed the worker reputation
+	// tracker (see quality.NewReputation).
+	ReputationPrior  float64
+	ReputationWeight float64
+	// Clock supplies time; defaults to the wall clock. The simulator
+	// injects its virtual clock here.
+	Clock sim.Clock
+	// Journal, when set, receives every state-changing event (submit,
+	// answer, cancel) before the call returns success — the ack barrier
+	// that lets a crashed service recover snapshot + journal tail.
+	// *store.WAL satisfies it.
+	Journal Journal
+}
+
+// Journal is the event sink a System writes through (see store.WAL).
+type Journal interface {
+	Append(store.Event) error
+}
+
+// DefaultConfig returns production-shaped defaults: two-minute leases and
+// a 0.75/4 reputation prior.
+func DefaultConfig() Config {
+	return Config{
+		LeaseTTL:         2 * time.Minute,
+		ReputationPrior:  0.75,
+		ReputationWeight: 4,
+		Clock:            sim.WallClock{},
+	}
+}
+
+// System is one running human-computation service instance.
+type System struct {
+	cfg   Config
+	store *store.Store
+	queue *queue.Queue
+	rep   *quality.Reputation
+	clock sim.Clock
+
+	mu   sync.Mutex
+	gold map[task.ID]task.Answer
+
+	tasksSubmitted metrics.Counter
+	answersTotal   metrics.Counter
+	goldChecked    metrics.Counter
+}
+
+// New returns an empty system.
+func New(cfg Config) *System {
+	if cfg.LeaseTTL <= 0 {
+		panic("core: LeaseTTL must be positive")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.WallClock{}
+	}
+	return &System{
+		cfg:   cfg,
+		store: store.New(),
+		queue: queue.New(cfg.LeaseTTL),
+		rep:   quality.NewReputation(cfg.ReputationPrior, cfg.ReputationWeight),
+		clock: cfg.Clock,
+		gold:  make(map[task.ID]task.Answer),
+	}
+}
+
+// Reputation exposes the worker reputation tracker.
+func (s *System) Reputation() *quality.Reputation { return s.rep }
+
+// SubmitTask creates and enqueues a task, returning its ID.
+func (s *System) SubmitTask(kind task.Kind, p task.Payload, redundancy, priority int) (task.ID, error) {
+	now := s.clock.Now()
+	t, err := task.New(s.store.NextID(), kind, p, redundancy, now)
+	if err != nil {
+		return 0, err
+	}
+	t.Priority = priority
+	s.store.Put(t)
+	if err := s.queue.Add(t); err != nil {
+		return 0, err
+	}
+	if err := s.journal(store.Event{Kind: store.EventSubmit, At: now, Task: t}); err != nil {
+		return 0, err
+	}
+	s.tasksSubmitted.Inc()
+	return t.ID, nil
+}
+
+// journal writes e to the configured journal, if any.
+func (s *System) journal(e store.Event) error {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	return s.cfg.Journal.Append(e)
+}
+
+// SubmitGold creates a gold probe: a task whose answer is already known.
+// Workers cannot tell it apart from real work; their answers update their
+// reputation instead of producing new results.
+func (s *System) SubmitGold(kind task.Kind, p task.Payload, redundancy, priority int, expected task.Answer) (task.ID, error) {
+	id, err := s.SubmitTask(kind, p, redundancy, priority)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.gold[id] = expected
+	s.mu.Unlock()
+	return id, nil
+}
+
+// IsGold reports whether id is a gold probe.
+func (s *System) IsGold(id task.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.gold[id]
+	return ok
+}
+
+// NextTask leases the best available task to workerID. It returns
+// queue.ErrEmpty when nothing is available.
+func (s *System) NextTask(workerID string) (*task.Task, queue.LeaseID, error) {
+	if workerID == "" {
+		return nil, 0, errors.New("core: worker ID required")
+	}
+	return s.queue.Lease(workerID, s.clock.Now())
+}
+
+// SubmitAnswer records the leaseholder's answer. Gold probes additionally
+// update the worker's reputation.
+func (s *System) SubmitAnswer(lease queue.LeaseID, a task.Answer) error {
+	now := s.clock.Now()
+	t, err := s.queue.Complete(lease, a, now)
+	if err != nil {
+		return err
+	}
+	recorded := t.Answers[len(t.Answers)-1]
+	if err := s.journal(store.Event{Kind: store.EventAnswer, At: now, TaskID: t.ID, Answer: &recorded}); err != nil {
+		return err
+	}
+	s.answersTotal.Inc()
+	s.checkGold(t)
+	return nil
+}
+
+// checkGold scores the newest answer of t against its gold expectation.
+func (s *System) checkGold(t *task.Task) {
+	s.mu.Lock()
+	expected, ok := s.gold[t.ID]
+	s.mu.Unlock()
+	if !ok || len(t.Answers) == 0 {
+		return
+	}
+	a := t.Answers[len(t.Answers)-1]
+	s.rep.Record(a.WorkerID, AnswerMatches(t.Kind, expected, a))
+	s.goldChecked.Inc()
+}
+
+// AnswerMatches reports whether a matches the expected gold answer for a
+// task of the given kind:
+//
+//   - Label/Describe: any submitted word appears in the expected set;
+//   - Locate: the boxes overlap with IoU above 0.5;
+//   - Transcribe: case-insensitive text equality;
+//   - Compare/Judge: choice equality.
+func AnswerMatches(kind task.Kind, expected, got task.Answer) bool {
+	switch kind {
+	case task.Label, task.Describe:
+		want := make(map[int]bool, len(expected.Words))
+		for _, w := range expected.Words {
+			want[w] = true
+		}
+		for _, w := range got.Words {
+			if want[w] {
+				return true
+			}
+		}
+		return false
+	case task.Locate:
+		return expected.Box.IoU(got.Box) > 0.5
+	case task.Transcribe:
+		return strings.EqualFold(strings.TrimSpace(expected.Text), strings.TrimSpace(got.Text))
+	case task.Compare, task.Judge:
+		return expected.Choice == got.Choice
+	default:
+		return false
+	}
+}
+
+// ReleaseTask returns a leased task to the pool unanswered.
+func (s *System) ReleaseTask(lease queue.LeaseID) error {
+	return s.queue.Release(lease, s.clock.Now())
+}
+
+// CancelTask cancels an open task. Canceling a task that already finished
+// (done or canceled) returns task.ErrWrongStatus; a task the system never
+// saw returns queue.ErrUnknownTask.
+func (s *System) CancelTask(id task.ID) error {
+	now := s.clock.Now()
+	err := s.queue.Cancel(id, now)
+	if errors.Is(err, queue.ErrUnknownTask) {
+		// The queue drops finished tasks; the store remembers them.
+		if t, serr := s.store.Get(id); serr == nil && t.Status != task.Open {
+			return task.ErrWrongStatus
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return s.journal(store.Event{Kind: store.EventCancel, At: now, TaskID: id})
+}
+
+// Task returns the stored task (any status).
+func (s *System) Task(id task.ID) (*task.Task, error) { return s.store.Get(id) }
+
+// Store exposes the underlying store (snapshot/restore).
+func (s *System) Store() *store.Store { return s.store }
+
+// RequeueOpen re-enqueues every open task in the store. It is used after a
+// snapshot restore to rebuild the dispatch queue; tasks already enqueued
+// are left alone.
+func (s *System) RequeueOpen() error {
+	for _, t := range s.store.ByStatus(task.Open) {
+		if err := s.queue.Add(t); err != nil && !errors.Is(err, queue.ErrDuplicateID) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExpireLeases reclaims overdue leases; the dispatch service calls this
+// periodically.
+func (s *System) ExpireLeases() int { return s.queue.ExpireLeases(s.clock.Now()) }
+
+// ChoiceResult is the aggregated outcome of a Compare or Judge task.
+type ChoiceResult struct {
+	Choice     int     `json:"choice"`
+	Confidence float64 `json:"confidence"` // winning weight share
+	Votes      int     `json:"votes"`
+}
+
+// ErrWrongKind is returned when an aggregation is asked of an unsuitable task.
+var ErrWrongKind = errors.New("core: aggregation not defined for this task kind")
+
+// AggregateChoice combines the answers of a Compare/Judge task by
+// reputation-weighted vote.
+func (s *System) AggregateChoice(id task.ID) (ChoiceResult, error) {
+	t, err := s.store.Get(id)
+	if err != nil {
+		return ChoiceResult{}, err
+	}
+	if t.Kind != task.Compare && t.Kind != task.Judge {
+		return ChoiceResult{}, fmt.Errorf("%w: %v", ErrWrongKind, t.Kind)
+	}
+	if len(t.Answers) == 0 {
+		return ChoiceResult{}, errors.New("core: no answers yet")
+	}
+	votes := make([]quality.Vote, len(t.Answers))
+	totalW := 0.0
+	for i, a := range t.Answers {
+		votes[i] = quality.Vote{Worker: a.WorkerID, Class: a.Choice}
+		w := s.rep.Weight(a.WorkerID)
+		if w < 1e-6 {
+			w = 1e-6
+		}
+		totalW += w
+	}
+	class, weight, _ := quality.Weighted(votes, s.rep.Weight)
+	return ChoiceResult{Choice: class, Confidence: weight / totalW, Votes: len(votes)}, nil
+}
+
+// WordCount is an aggregated word vote.
+type WordCount struct {
+	Word  int `json:"word"`
+	Count int `json:"count"`
+}
+
+// AggregateWords tallies the words submitted to a Label/Describe task,
+// most supported first.
+func (s *System) AggregateWords(id task.ID) ([]WordCount, error) {
+	t, err := s.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind != task.Label && t.Kind != task.Describe {
+		return nil, fmt.Errorf("%w: %v", ErrWrongKind, t.Kind)
+	}
+	counts := map[int]int{}
+	for _, a := range t.Answers {
+		seen := map[int]bool{}
+		for _, w := range a.Words {
+			if !seen[w] { // one vote per worker per word
+				counts[w]++
+				seen[w] = true
+			}
+		}
+	}
+	out := make([]WordCount, 0, len(counts))
+	for w, c := range counts {
+		out = append(out, WordCount{Word: w, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Word < out[j].Word
+	})
+	return out, nil
+}
+
+// Stats is a snapshot of system activity.
+type Stats struct {
+	TasksSubmitted int64       `json:"tasks_submitted"`
+	AnswersTotal   int64       `json:"answers_total"`
+	GoldChecked    int64       `json:"gold_checked"`
+	Queue          queue.Stats `json:"queue"`
+	StoredTasks    int         `json:"stored_tasks"`
+}
+
+// Stats returns a snapshot of system activity.
+func (s *System) Stats() Stats {
+	return Stats{
+		TasksSubmitted: s.tasksSubmitted.Value(),
+		AnswersTotal:   s.answersTotal.Value(),
+		GoldChecked:    s.goldChecked.Value(),
+		Queue:          s.queue.Stats(),
+		StoredTasks:    s.store.Len(),
+	}
+}

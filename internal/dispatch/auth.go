@@ -1,0 +1,81 @@
+package dispatch
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"humancomp/internal/antifraud"
+)
+
+// Options configures optional server hardening. The zero value is an open
+// server, which is what tests and trusted deployments use.
+type Options struct {
+	// APIKeys, when non-empty, requires every /v1 request to carry
+	// "Authorization: Bearer <key>" with one of the listed keys.
+	APIKeys []string
+	// RatePerSec and Burst, when positive, rate-limit requests per API key
+	// (or per remote address on an open server).
+	RatePerSec float64
+	Burst      float64
+}
+
+// authLimiter implements the auth + rate-limit middleware.
+type authLimiter struct {
+	keys    map[string]bool
+	mu      sync.Mutex
+	limiter *antifraud.RateLimiter
+}
+
+func newAuthLimiter(o Options) *authLimiter {
+	a := &authLimiter{}
+	if len(o.APIKeys) > 0 {
+		a.keys = make(map[string]bool, len(o.APIKeys))
+		for _, k := range o.APIKeys {
+			a.keys[k] = true
+		}
+	}
+	if o.RatePerSec > 0 && o.Burst >= 1 {
+		a.limiter = antifraud.NewRateLimiter(o.RatePerSec, o.Burst)
+	}
+	return a
+}
+
+// bearer extracts the bearer token, or "" when absent.
+func bearer(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if strings.HasPrefix(h, prefix) {
+		return strings.TrimSpace(h[len(prefix):])
+	}
+	return ""
+}
+
+// wrap guards h with key auth and rate limiting when configured.
+func (a *authLimiter) wrap(h http.HandlerFunc) http.HandlerFunc {
+	if a.keys == nil && a.limiter == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		principal := r.RemoteAddr
+		if a.keys != nil {
+			key := bearer(r)
+			if !a.keys[key] {
+				writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "dispatch: missing or invalid API key"})
+				return
+			}
+			principal = key
+		}
+		if a.limiter != nil {
+			a.mu.Lock()
+			ok := a.limiter.Allow(principal, time.Now())
+			a.mu.Unlock()
+			if !ok {
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "dispatch: rate limit exceeded"})
+				return
+			}
+		}
+		h(w, r)
+	}
+}

@@ -1,0 +1,202 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"humancomp/internal/core"
+	"humancomp/internal/queue"
+	"humancomp/internal/task"
+)
+
+// ErrNoTask is returned by Next when the queue has nothing for the worker.
+var ErrNoTask = errors.New("dispatch: no task available")
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dispatch: server returned %d: %s", e.Status, e.Message)
+}
+
+// Client is a typed client for the dispatch API.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// NewClient returns a client for the service at baseURL (no trailing
+// slash). A nil httpClient uses http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, http: httpClient}
+}
+
+func (c *Client) do(method, path string, in, out any) (int, error) {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return 0, fmt.Errorf("dispatch: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.baseURL+path, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		return resp.StatusCode, &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("dispatch: decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit creates a task and returns its ID.
+func (c *Client) Submit(kind task.Kind, p task.Payload, redundancy, priority int) (task.ID, error) {
+	req := SubmitRequest{Kind: kind.String(), Payload: p, Redundancy: redundancy, Priority: priority}
+	var resp SubmitResponse
+	if _, err := c.do(http.MethodPost, "/v1/tasks", req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// SubmitGold creates a gold probe task with a known expected answer.
+func (c *Client) SubmitGold(kind task.Kind, p task.Payload, redundancy, priority int, expected task.Answer) (task.ID, error) {
+	req := SubmitRequest{
+		Kind: kind.String(), Payload: p, Redundancy: redundancy, Priority: priority,
+		Gold: true, Expected: &expected,
+	}
+	var resp SubmitResponse
+	if _, err := c.do(http.MethodPost, "/v1/tasks", req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Next leases the next available task for workerID. It returns ErrNoTask
+// when nothing is available.
+func (c *Client) Next(workerID string) (*task.Task, queue.LeaseID, error) {
+	var resp NextResponse
+	status, err := c.do(http.MethodPost, "/v1/next", NextRequest{WorkerID: workerID}, &resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	if status == http.StatusNoContent {
+		return nil, 0, ErrNoTask
+	}
+	return resp.Task, resp.Lease, nil
+}
+
+// Answer submits the answer for a lease.
+func (c *Client) Answer(lease queue.LeaseID, a task.Answer) error {
+	_, err := c.do(http.MethodPost, fmt.Sprintf("/v1/leases/%d", lease), AnswerRequest{Answer: a}, nil)
+	return err
+}
+
+// Release returns a lease unanswered.
+func (c *Client) Release(lease queue.LeaseID) error {
+	_, err := c.do(http.MethodDelete, fmt.Sprintf("/v1/leases/%d", lease), nil, nil)
+	return err
+}
+
+// Task fetches a task with its answers.
+func (c *Client) Task(id task.ID) (*task.Task, error) {
+	var t task.Task
+	if _, err := c.do(http.MethodGet, fmt.Sprintf("/v1/tasks/%d", id), nil, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Cancel cancels an open task.
+func (c *Client) Cancel(id task.ID) error {
+	_, err := c.do(http.MethodDelete, fmt.Sprintf("/v1/tasks/%d", id), nil, nil)
+	return err
+}
+
+// Words fetches the aggregated word votes of a label/describe task.
+func (c *Client) Words(id task.ID) ([]core.WordCount, error) {
+	var out []core.WordCount
+	if _, err := c.do(http.MethodGet, fmt.Sprintf("/v1/tasks/%d/words", id), nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Choice fetches the aggregated choice of a compare/judge task.
+func (c *Client) Choice(id task.ID) (core.ChoiceResult, error) {
+	var out core.ChoiceResult
+	if _, err := c.do(http.MethodGet, fmt.Sprintf("/v1/tasks/%d/choice", id), nil, &out); err != nil {
+		return core.ChoiceResult{}, err
+	}
+	return out, nil
+}
+
+// Stats fetches system counters.
+func (c *Client) Stats() (core.Stats, error) {
+	var out core.Stats
+	if _, err := c.do(http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return core.Stats{}, err
+	}
+	return out, nil
+}
+
+// Healthy reports whether the service answers its liveness probe.
+func (c *Client) Healthy() bool {
+	resp, err := c.http.Get(c.baseURL + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// Metrics fetches per-endpoint request metrics from the service.
+func (c *Client) Metrics() ([]RouteMetrics, error) {
+	var out []RouteMetrics
+	if _, err := c.do(http.MethodGet, "/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ListTasks fetches a page of tasks, optionally filtered by status
+// ("open", "done", "canceled"; empty for all).
+func (c *Client) ListTasks(status string, offset, limit int) (TaskList, error) {
+	path := fmt.Sprintf("/v1/tasks?offset=%d&limit=%d", offset, limit)
+	if status != "" {
+		path += "&status=" + status
+	}
+	var out TaskList
+	if _, err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return TaskList{}, err
+	}
+	return out, nil
+}

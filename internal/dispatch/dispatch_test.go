@@ -1,0 +1,474 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"humancomp/internal/core"
+	"humancomp/internal/task"
+	"humancomp/internal/vocab"
+)
+
+func newTestServer(t testing.TB) (*Client, *core.System) {
+	t.Helper()
+	sys := core.New(core.DefaultConfig())
+	srv := httptest.NewServer(NewServer(sys))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL, srv.Client()), sys
+}
+
+func TestHealthz(t *testing.T) {
+	c, _ := newTestServer(t)
+	if !c.Healthy() {
+		t.Fatal("service not healthy")
+	}
+}
+
+func TestSubmitNextAnswerRoundTrip(t *testing.T) {
+	c, _ := newTestServer(t)
+	id, err := c.Submit(task.Label, task.Payload{ImageID: 42, Taboo: []int{1, 2}}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, lease, err := c.Next("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.ID != id || tk.Kind != task.Label || tk.Payload.ImageID != 42 {
+		t.Fatalf("leased task = %+v", tk)
+	}
+	if len(tk.Payload.Taboo) != 2 {
+		t.Fatal("payload taboo lost in transit")
+	}
+	if err := c.Answer(lease, task.Answer{Words: []int{7}}); err != nil {
+		t.Fatal(err)
+	}
+	// Second worker completes it.
+	_, lease2, err := c.Next("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Answer(lease2, task.Answer{Words: []int{7, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Task(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != task.Done || len(got.Answers) != 2 {
+		t.Fatalf("final task = %+v", got)
+	}
+	if got.Answers[0].WorkerID != "alice" {
+		t.Fatalf("worker attribution lost: %+v", got.Answers[0])
+	}
+	words, err := c.Words(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 2 || words[0].Word != 7 || words[0].Count != 2 {
+		t.Fatalf("Words = %v", words)
+	}
+}
+
+func TestNextEmptyReturnsErrNoTask(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, _, err := c.Next("w"); !errors.Is(err, ErrNoTask) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGoldOverHTTPUpdatesReputation(t *testing.T) {
+	c, sys := newTestServer(t)
+	if _, err := c.SubmitGold(task.Judge, task.Payload{ClipA: 1, ClipB: 2}, 1, 0, task.Answer{Choice: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := c.Next("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Answer(lease, task.Answer{Choice: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Reputation().Probes("w") != 1 {
+		t.Fatal("gold answer did not reach reputation")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GoldChecked != 1 || st.AnswersTotal != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestChoiceAggregateOverHTTP(t *testing.T) {
+	c, _ := newTestServer(t)
+	id, err := c.Submit(task.Judge, task.Payload{ClipA: 1, ClipB: 1}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, choice := range []int{0, 0, 1} {
+		_, lease, err := c.Next(fmt.Sprintf("w%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Answer(lease, task.Answer{Choice: choice}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Choice(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Choice != 0 || res.Votes != 3 {
+		t.Fatalf("Choice = %+v", res)
+	}
+}
+
+func TestLocatePayloadRoundTrip(t *testing.T) {
+	c, _ := newTestServer(t)
+	id, err := c.Submit(task.Locate, task.Payload{ImageID: 3, Word: 9}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := c.Next("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := vocab.Rect{X: 10, Y: 20, W: 30, H: 40}
+	if err := c.Answer(lease, task.Answer{Box: box}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Task(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Box != box {
+		t.Fatalf("box round trip = %+v", got.Answers[0].Box)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	c, _ := newTestServer(t)
+
+	// Unknown lease → 404.
+	err := c.Answer(999, task.Answer{Words: []int{1}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown lease: %v", err)
+	}
+
+	// Bad redundancy → 422.
+	if _, err := c.Submit(task.Label, task.Payload{}, 0, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("bad redundancy: %v", err)
+	}
+
+	// Empty answer → 422.
+	if _, err := c.Submit(task.Label, task.Payload{}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := c.Next("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Answer(lease, task.Answer{}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("empty answer: %v", err)
+	}
+
+	// Unknown task → 404.
+	if _, err := c.Task(12345); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown task: %v", err)
+	}
+
+	// Wrong aggregation kind → 422.
+	id, _ := c.Submit(task.Transcribe, task.Payload{WordImg: "x"}, 1, 0)
+	if _, err := c.Words(id); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("wrong-kind aggregate: %v", err)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	_, sys := newTestServer(t)
+	srv := httptest.NewServer(NewServer(sys))
+	defer srv.Close()
+
+	post := func(path, body string) int {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("/v1/tasks", "{not json"); got != http.StatusBadRequest {
+		t.Errorf("bad JSON: %d", got)
+	}
+	if got := post("/v1/tasks", `{"kind":"nonsense","redundancy":1}`); got != http.StatusBadRequest {
+		t.Errorf("bad kind: %d", got)
+	}
+	if got := post("/v1/tasks", `{"kind":"label","redundancy":1,"bogus_field":1}`); got != http.StatusBadRequest {
+		t.Errorf("unknown field: %d", got)
+	}
+	if got := post("/v1/next", `{}`); got != http.StatusBadRequest {
+		t.Errorf("missing worker: %d", got)
+	}
+	if got := post("/v1/tasks", `{"kind":"label","redundancy":1,"gold":true}`); got != http.StatusBadRequest {
+		t.Errorf("gold without expected: %d", got)
+	}
+	if got := post("/v1/leases/abc", `{"answer":{}}`); got != http.StatusBadRequest {
+		t.Errorf("non-numeric lease: %d", got)
+	}
+}
+
+func TestCancelOverHTTP(t *testing.T) {
+	c, _ := newTestServer(t)
+	id, err := c.Submit(task.Label, task.Payload{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *APIError
+	if err := c.Cancel(id); !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("double cancel: %v", err)
+	}
+	if _, _, err := c.Next("w"); !errors.Is(err, ErrNoTask) {
+		t.Fatal("canceled task still dispatched")
+	}
+}
+
+func TestReleaseOverHTTP(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, err := c.Submit(task.Label, task.Payload{}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := c.Next("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(lease); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Next("w"); err != nil {
+		t.Fatalf("released task not re-dispatchable: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c, _ := newTestServer(t)
+	const nTasks = 120
+	for i := 0; i < nTasks; i++ {
+		if _, err := c.Submit(task.Label, task.Payload{ImageID: i}, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := fmt.Sprintf("w%d", w)
+			for {
+				_, lease, err := c.Next(worker)
+				if errors.Is(err, ErrNoTask) {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Answer(lease, task.Answer{Words: []int{w}}); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				done++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if done != nTasks {
+		t.Fatalf("completed %d/%d tasks", done, nTasks)
+	}
+}
+
+func BenchmarkHTTPSubmitNextAnswer(b *testing.B) {
+	c, _ := newTestServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Submit(task.Label, task.Payload{ImageID: i}, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+		_, lease, err := c.Next("w")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Answer(lease, task.Answer{Words: []int{1}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEndpointMetrics(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, err := c.Submit(task.Label, task.Payload{}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := c.Next("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Answer(lease, task.Answer{Words: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// An error response must be counted.
+	_ = c.Answer(999, task.Answer{Words: []int{1}})
+
+	ms, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRoute := map[string]RouteMetrics{}
+	for _, m := range ms {
+		byRoute[m.Route] = m
+	}
+	if byRoute["POST /v1/tasks"].Requests != 1 {
+		t.Errorf("submit requests = %d", byRoute["POST /v1/tasks"].Requests)
+	}
+	if byRoute["POST /v1/leases/{id}"].Requests != 2 || byRoute["POST /v1/leases/{id}"].Errors != 1 {
+		t.Errorf("lease metrics = %+v", byRoute["POST /v1/leases/{id}"])
+	}
+	for _, m := range ms {
+		if m.MeanMs < 0 || m.MaxMs < m.P50Ms {
+			t.Errorf("implausible latency stats: %+v", m)
+		}
+	}
+}
+
+func TestListTasksPaginationAndFilter(t *testing.T) {
+	c, _ := newTestServer(t)
+	var ids []task.ID
+	for i := 0; i < 7; i++ {
+		id, err := c.Submit(task.Label, task.Payload{ImageID: i}, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Complete the first two.
+	for i := 0; i < 2; i++ {
+		_, lease, err := c.Next(fmt.Sprintf("w%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Answer(lease, task.Answer{Words: []int{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	all, err := c.ListTasks("", 0, 100)
+	if err != nil || all.Total != 7 || len(all.Tasks) != 7 {
+		t.Fatalf("all: %+v, %v", all, err)
+	}
+	open, err := c.ListTasks("open", 0, 100)
+	if err != nil || open.Total != 5 {
+		t.Fatalf("open: total=%d err=%v", open.Total, err)
+	}
+	done, err := c.ListTasks("done", 0, 100)
+	if err != nil || done.Total != 2 {
+		t.Fatalf("done: total=%d err=%v", done.Total, err)
+	}
+	// Pagination.
+	page, err := c.ListTasks("", 5, 10)
+	if err != nil || page.Total != 7 || len(page.Tasks) != 2 {
+		t.Fatalf("page: %+v, %v", page, err)
+	}
+	if page.Tasks[0].ID != ids[5] {
+		t.Fatalf("page start = %d", page.Tasks[0].ID)
+	}
+	// Beyond the end: empty but valid.
+	tail, err := c.ListTasks("", 100, 10)
+	if err != nil || len(tail.Tasks) != 0 || tail.Total != 7 {
+		t.Fatalf("tail: %+v, %v", tail, err)
+	}
+	// Bad params.
+	var apiErr *APIError
+	if _, err := c.ListTasks("bogus", 0, 10); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bogus status: %v", err)
+	}
+	if _, err := c.ListTasks("", -1, 10); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("negative offset: %v", err)
+	}
+	if _, err := c.ListTasks("", 0, 9999); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("oversized limit: %v", err)
+	}
+}
+
+func TestAPIKeyAuth(t *testing.T) {
+	sys := core.New(core.DefaultConfig())
+	srv := httptest.NewServer(NewServerWith(sys, Options{APIKeys: []string{"sekret"}}))
+	defer srv.Close()
+
+	// No key → 401 on API routes, but healthz stays open.
+	open := NewClient(srv.URL, srv.Client())
+	var apiErr *APIError
+	if _, err := open.Submit(task.Label, task.Payload{}, 1, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+		t.Fatalf("keyless submit: %v", err)
+	}
+	if !open.Healthy() {
+		t.Fatal("healthz should not require a key")
+	}
+
+	// With the key: a round-tripping transport that injects the header.
+	authed := NewClient(srv.URL, &http.Client{Transport: headerTransport{key: "sekret"}})
+	if _, err := authed.Submit(task.Label, task.Payload{}, 1, 0); err != nil {
+		t.Fatalf("keyed submit: %v", err)
+	}
+	// Wrong key → 401.
+	wrong := NewClient(srv.URL, &http.Client{Transport: headerTransport{key: "nope"}})
+	if _, err := wrong.Submit(task.Label, task.Payload{}, 1, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+		t.Fatalf("wrong key: %v", err)
+	}
+}
+
+type headerTransport struct{ key string }
+
+func (h headerTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	r.Header.Set("Authorization", "Bearer "+h.key)
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+func TestRateLimitPerKey(t *testing.T) {
+	sys := core.New(core.DefaultConfig())
+	srv := httptest.NewServer(NewServerWith(sys, Options{
+		APIKeys:    []string{"k1", "k2"},
+		RatePerSec: 0.001, // effectively no refill within the test
+		Burst:      3,
+	}))
+	defer srv.Close()
+
+	c1 := NewClient(srv.URL, &http.Client{Transport: headerTransport{key: "k1"}})
+	var apiErr *APIError
+	for i := 0; i < 3; i++ {
+		if _, err := c1.Submit(task.Label, task.Payload{ImageID: i}, 1, 0); err != nil {
+			t.Fatalf("burst request %d: %v", i, err)
+		}
+	}
+	if _, err := c1.Submit(task.Label, task.Payload{}, 1, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: %v", err)
+	}
+	// A different key has its own budget.
+	c2 := NewClient(srv.URL, &http.Client{Transport: headerTransport{key: "k2"}})
+	if _, err := c2.Submit(task.Label, task.Payload{}, 1, 0); err != nil {
+		t.Fatalf("second key throttled by first: %v", err)
+	}
+}

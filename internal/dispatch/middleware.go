@@ -1,0 +1,99 @@
+package dispatch
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"humancomp/internal/metrics"
+)
+
+// endpointStats accumulates request counts and latency per route pattern.
+type endpointStats struct {
+	mu      sync.Mutex
+	byRoute map[string]*routeStats
+}
+
+type routeStats struct {
+	requests metrics.Counter
+	errors   metrics.Counter // responses with status >= 400
+	latency  *metrics.Histogram
+}
+
+func newEndpointStats() *endpointStats {
+	return &endpointStats{byRoute: make(map[string]*routeStats)}
+}
+
+func (s *endpointStats) get(route string) *routeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.byRoute[route]
+	if rs == nil {
+		rs = &routeStats{latency: metrics.NewHistogram(2048)}
+		s.byRoute[route] = rs
+	}
+	return rs
+}
+
+// statusRecorder captures the response status for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with per-route metrics.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rs := s.stats.get(route)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		rs.requests.Inc()
+		if rec.status >= 400 {
+			rs.errors.Inc()
+		}
+		rs.latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// RouteMetrics is the per-endpoint block of GET /v1/metrics.
+type RouteMetrics struct {
+	Route    string  `json:"route"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.stats.mu.Lock()
+	routes := make([]string, 0, len(s.stats.byRoute))
+	for r := range s.stats.byRoute {
+		routes = append(routes, r)
+	}
+	s.stats.mu.Unlock()
+	sort.Strings(routes)
+
+	out := make([]RouteMetrics, 0, len(routes))
+	for _, route := range routes {
+		rs := s.stats.get(route)
+		out = append(out, RouteMetrics{
+			Route:    route,
+			Requests: rs.requests.Value(),
+			Errors:   rs.errors.Value(),
+			MeanMs:   rs.latency.Mean() * 1000,
+			P50Ms:    rs.latency.Quantile(0.5) * 1000,
+			P99Ms:    rs.latency.Quantile(0.99) * 1000,
+			MaxMs:    rs.latency.Max() * 1000,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

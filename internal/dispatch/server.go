@@ -1,0 +1,348 @@
+// Package dispatch serves a core.System over HTTP: the task dispatch
+// service of the repro hint. The API is a small JSON REST surface —
+// submit tasks, lease the next task for a worker, submit or release
+// answers, read results and aggregates — with no game logic of its own;
+// every handler is a thin translation onto core.
+//
+//	POST   /v1/tasks            submit a task (optionally gold)
+//	GET    /v1/tasks/{id}       fetch a task with its answers
+//	DELETE /v1/tasks/{id}       cancel an open task
+//	GET    /v1/tasks/{id}/words aggregated word votes (label/describe)
+//	GET    /v1/tasks/{id}/choice aggregated choice (compare/judge)
+//	POST   /v1/next             lease the next task for a worker
+//	POST   /v1/leases/{id}      submit the answer for a lease
+//	DELETE /v1/leases/{id}      release a lease unanswered
+//	GET    /v1/stats            system counters
+//	GET    /healthz             liveness
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"humancomp/internal/core"
+	"humancomp/internal/queue"
+	"humancomp/internal/task"
+)
+
+// SubmitRequest is the body of POST /v1/tasks.
+type SubmitRequest struct {
+	Kind       string       `json:"kind"`
+	Payload    task.Payload `json:"payload"`
+	Redundancy int          `json:"redundancy"`
+	Priority   int          `json:"priority"`
+	// Gold marks the task as a reputation probe with the given expected
+	// answer.
+	Gold     bool         `json:"gold,omitempty"`
+	Expected *task.Answer `json:"expected,omitempty"`
+}
+
+// SubmitResponse is the body returned by POST /v1/tasks.
+type SubmitResponse struct {
+	ID task.ID `json:"id"`
+}
+
+// NextRequest is the body of POST /v1/next.
+type NextRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// NextResponse is the body returned by POST /v1/next.
+type NextResponse struct {
+	Task  *task.Task    `json:"task"`
+	Lease queue.LeaseID `json:"lease"`
+}
+
+// AnswerRequest is the body of POST /v1/leases/{id}.
+type AnswerRequest struct {
+	Answer task.Answer `json:"answer"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server wires a core.System into an http.Handler.
+type Server struct {
+	sys   *core.System
+	mux   *http.ServeMux
+	stats *endpointStats
+}
+
+// NewServer returns a ready-to-serve open dispatch server over sys. Every
+// route is instrumented; GET /v1/metrics reports per-endpoint request
+// counts and latency quantiles.
+func NewServer(sys *core.System) *Server { return NewServerWith(sys, Options{}) }
+
+// NewServerWith returns a dispatch server with optional API-key auth and
+// per-key rate limiting on all /v1 routes (the health probe stays open).
+func NewServerWith(sys *core.System, opts Options) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), stats: newEndpointStats()}
+	guard := newAuthLimiter(opts)
+	route := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, guard.wrap(s.instrument(pattern, h)))
+	}
+	route("POST /v1/tasks", s.handleSubmit)
+	route("GET /v1/tasks", s.handleListTasks)
+	route("GET /v1/tasks/{id}", s.handleGetTask)
+	route("DELETE /v1/tasks/{id}", s.handleCancel)
+	route("GET /v1/tasks/{id}/words", s.handleWords)
+	route("GET /v1/tasks/{id}/choice", s.handleChoice)
+	route("POST /v1/next", s.handleNext)
+	route("POST /v1/leases/{id}", s.handleAnswer)
+	route("DELETE /v1/leases/{id}", s.handleRelease)
+	route("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps domain errors onto HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, queue.ErrEmpty):
+		status = http.StatusNoContent
+		w.WriteHeader(status)
+		return
+	case errors.Is(err, queue.ErrUnknownLease),
+		errors.Is(err, queue.ErrUnknownTask):
+		status = http.StatusNotFound
+	case errors.Is(err, task.ErrWrongStatus),
+		errors.Is(err, task.ErrWorkerRepeat),
+		errors.Is(err, queue.ErrDuplicateID):
+		status = http.StatusConflict
+	case errors.Is(err, task.ErrEmptyAnswer),
+		errors.Is(err, task.ErrBadRedundancy),
+		errors.Is(err, task.ErrUnknownKind),
+		errors.Is(err, core.ErrWrongKind):
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var v T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		badRequest(w, "dispatch: invalid request body: %v", err)
+		return v, false
+	}
+	return v, true
+}
+
+func pathID[T ~int64](w http.ResponseWriter, r *http.Request) (T, bool) {
+	raw := r.PathValue("id")
+	n, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || n < 0 {
+		badRequest(w, "dispatch: invalid id %q", raw)
+		return 0, false
+	}
+	return T(n), true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[SubmitRequest](w, r)
+	if !ok {
+		return
+	}
+	kind, err := task.ParseKind(req.Kind)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	var id task.ID
+	if req.Gold {
+		if req.Expected == nil {
+			badRequest(w, "dispatch: gold task requires expected answer")
+			return
+		}
+		id, err = s.sys.SubmitGold(kind, req.Payload, req.Redundancy, req.Priority, *req.Expected)
+	} else {
+		id, err = s.sys.SubmitTask(kind, req.Payload, req.Redundancy, req.Priority)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id})
+}
+
+// TaskList is the body returned by GET /v1/tasks.
+type TaskList struct {
+	Tasks []*task.Task `json:"tasks"`
+	Total int          `json:"total"`
+}
+
+// handleListTasks serves GET /v1/tasks?status=open&offset=0&limit=50.
+// Tasks are ordered by ID; Total counts all matches before pagination.
+func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var all []*task.Task
+	if raw := q.Get("status"); raw != "" {
+		var st task.Status
+		switch raw {
+		case task.Open.String():
+			st = task.Open
+		case task.Done.String():
+			st = task.Done
+		case task.Canceled.String():
+			st = task.Canceled
+		default:
+			badRequest(w, "dispatch: unknown status %q", raw)
+			return
+		}
+		all = s.sys.Store().ByStatus(st)
+	} else {
+		all = s.sys.Store().All()
+	}
+
+	offset, limit := 0, 50
+	if raw := q.Get("offset"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			badRequest(w, "dispatch: invalid offset %q", raw)
+			return
+		}
+		offset = n
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > 1000 {
+			badRequest(w, "dispatch: invalid limit %q (1..1000)", raw)
+			return
+		}
+		limit = n
+	}
+	out := TaskList{Total: len(all), Tasks: []*task.Task{}}
+	if offset < len(all) {
+		end := offset + limit
+		if end > len(all) {
+			end = len(all)
+		}
+		out.Tasks = all[offset:end]
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetTask(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID[task.ID](w, r)
+	if !ok {
+		return
+	}
+	t, err := s.sys.Task(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID[task.ID](w, r)
+	if !ok {
+		return
+	}
+	if err := s.sys.CancelTask(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWords(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID[task.ID](w, r)
+	if !ok {
+		return
+	}
+	words, err := s.sys.AggregateWords(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, words)
+}
+
+func (s *Server) handleChoice(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID[task.ID](w, r)
+	if !ok {
+		return
+	}
+	res, err := s.sys.AggregateChoice(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[NextRequest](w, r)
+	if !ok {
+		return
+	}
+	if req.WorkerID == "" {
+		badRequest(w, "dispatch: worker_id required")
+		return
+	}
+	t, lease, err := s.sys.NextTask(req.WorkerID)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NextResponse{Task: t, Lease: lease})
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID[queue.LeaseID](w, r)
+	if !ok {
+		return
+	}
+	req, ok := decode[AnswerRequest](w, r)
+	if !ok {
+		return
+	}
+	if err := s.sys.SubmitAnswer(id, req.Answer); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID[queue.LeaseID](w, r)
+	if !ok {
+		return
+	}
+	if err := s.sys.ReleaseTask(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Stats())
+}

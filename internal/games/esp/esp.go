@@ -1,0 +1,276 @@
+// Package esp implements the ESP Game: the canonical output-agreement GWAP
+// in which two randomly paired strangers see the same image and type tags
+// until they agree on one. Agreement is the correctness filter — two people
+// who cannot communicate and independently type the same word are almost
+// certainly describing something in the image. Taboo words push later pairs
+// past the labels already collected, and fully taboo'd images retire.
+package esp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"humancomp/internal/agree"
+	"humancomp/internal/match"
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+// Config parameterizes a Game.
+type Config struct {
+	// Mode selects exact or synonym-aware matching. The original game used
+	// exact string matching; Canonical models later intelligent matching.
+	Mode agree.MatchMode
+	// PromoteAfter is how many agreements a word needs on an image before
+	// it becomes taboo there. The deployed game promoted after the first.
+	PromoteAfter int
+	// RetireAt is the number of taboo words at which an image is
+	// considered fully labeled; 0 disables retirement.
+	RetireAt int
+	// MaxGuesses bounds each player's guesses per round; the pair passes
+	// when both run out.
+	MaxGuesses int
+	Seed       uint64
+}
+
+// DefaultConfig mirrors the deployed game: taboo after one agreement,
+// retirement at six taboo words, around a dozen guesses per round.
+func DefaultConfig() Config {
+	return Config{
+		Mode:         agree.Exact,
+		PromoteAfter: 1,
+		RetireAt:     6,
+		MaxGuesses:   12,
+		Seed:         1,
+	}
+}
+
+// RoundResult summarizes one two-player round.
+type RoundResult struct {
+	ImageID  int
+	Agreed   bool
+	Word     int           // the agreed label, meaningful iff Agreed
+	Guesses  [2][]int      // each player's guesses in order
+	Duration time.Duration // simulated wall time of the round
+}
+
+// Game runs ESP rounds over a corpus and accumulates agreed labels.
+type Game struct {
+	Corpus *vocab.Corpus
+	Taboo  *agree.TabooTracker
+	Labels *LabelStore
+	cfg    Config
+	src    *rng.Source
+}
+
+// New returns a game over corpus with the given configuration.
+func New(corpus *vocab.Corpus, cfg Config) *Game {
+	if cfg.MaxGuesses < 1 {
+		panic("esp: MaxGuesses must be >= 1")
+	}
+	return &Game{
+		Corpus: corpus,
+		Taboo:  agree.NewTabooTracker(corpus.Lexicon, cfg.PromoteAfter, cfg.RetireAt),
+		Labels: NewLabelStore(corpus.Lexicon),
+		cfg:    cfg,
+		src:    rng.New(cfg.Seed),
+	}
+}
+
+// PickImage returns a uniformly random image that has not retired, or
+// ok == false if the whole corpus is fully labeled.
+func (g *Game) PickImage() (int, bool) {
+	n := len(g.Corpus.Images)
+	start := g.src.Intn(n)
+	for i := 0; i < n; i++ {
+		id := (start + i) % n
+		if !g.Taboo.Retired(id) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// PlayRound runs one round between two workers on the image, interleaving
+// their guesses in think-time order as the live game does. It returns the
+// round outcome; on agreement the label and taboo stores are updated.
+func (g *Game) PlayRound(a, b *worker.Worker, imageID int) RoundResult {
+	img := g.Corpus.Image(imageID)
+	tabooList := g.Taboo.TabooFor(imageID)
+	round := agree.NewOutputRound(g.Corpus.Lexicon, g.cfg.Mode, tabooList)
+
+	tabooSet := make(map[int]bool, len(tabooList))
+	for _, w := range tabooList {
+		tabooSet[w] = true
+	}
+
+	players := [2]*worker.Worker{a, b}
+	said := [2]map[int]bool{{}, {}}
+	// next[i] is the simulated clock at which player i produces their next
+	// guess; the earlier player acts first, exactly like interleaved typing.
+	next := [2]time.Duration{players[0].ThinkTime(), players[1].ThinkTime()}
+	budget := [2]int{g.cfg.MaxGuesses, g.cfg.MaxGuesses}
+	var elapsed time.Duration
+
+	res := RoundResult{ImageID: imageID}
+	for budget[0] > 0 || budget[1] > 0 {
+		i := 0
+		if budget[0] <= 0 || (budget[1] > 0 && next[1] < next[0]) {
+			i = 1
+		}
+		elapsed = next[i]
+		w := players[i]
+		word := w.GuessTag(g.Corpus.Lexicon, img, tabooSet, said[i])
+		budget[i]--
+		next[i] += w.ThinkTime()
+		if word < 0 {
+			continue // player has nothing new to say this beat
+		}
+		matched, err := round.Submit(i, word)
+		if err != nil {
+			// Taboo violations (spammers) and repeats burn the guess.
+			continue
+		}
+		said[i][g.Corpus.Lexicon.Canonical(word)] = true
+		if matched {
+			res.Agreed = true
+			res.Word = word
+			break
+		}
+	}
+	if !res.Agreed {
+		round.Pass()
+	}
+	res.Guesses = [2][]int{round.Guesses(0), round.Guesses(1)}
+	res.Duration = elapsed
+	if res.Agreed {
+		g.Labels.Record(imageID, res.Word)
+		g.Taboo.Record(imageID, res.Word)
+	}
+	return res
+}
+
+// PlayRoundReplay runs a single-player round against a pre-recorded
+// partner transcript, the mechanism that keeps the game playable when no
+// live partner is available. The recorded partner "types" its guesses at
+// the pace they appear in the transcript (one per live-player beat).
+func (g *Game) PlayRoundReplay(a *worker.Worker, rp *match.Replayer, imageID int) RoundResult {
+	img := g.Corpus.Image(imageID)
+	tabooList := g.Taboo.TabooFor(imageID)
+	round := agree.NewOutputRound(g.Corpus.Lexicon, g.cfg.Mode, tabooList)
+
+	tabooSet := make(map[int]bool, len(tabooList))
+	for _, w := range tabooList {
+		tabooSet[w] = true
+	}
+	said := map[int]bool{}
+	var elapsed time.Duration
+
+	res := RoundResult{ImageID: imageID}
+	for guess := 0; guess < g.cfg.MaxGuesses; guess++ {
+		// Recorded partner plays its next line first (it "typed" already).
+		if w, ok := rp.Next(); ok {
+			if matched, err := round.Submit(1, w); err == nil && matched {
+				res.Agreed = true
+				res.Word = w
+				break
+			}
+		}
+		elapsed += a.ThinkTime()
+		word := a.GuessTag(g.Corpus.Lexicon, img, tabooSet, said)
+		if word < 0 {
+			continue
+		}
+		matched, err := round.Submit(0, word)
+		if err != nil {
+			continue
+		}
+		said[g.Corpus.Lexicon.Canonical(word)] = true
+		if matched {
+			res.Agreed = true
+			res.Word = word
+			break
+		}
+	}
+	if !res.Agreed {
+		round.Pass()
+	}
+	res.Guesses = [2][]int{round.Guesses(0), round.Guesses(1)}
+	res.Duration = elapsed
+	if res.Agreed {
+		g.Labels.Record(imageID, res.Word)
+		g.Taboo.Record(imageID, res.Word)
+	}
+	return res
+}
+
+// Label is an agreed tag for an image with its agreement count.
+type Label struct {
+	Word  int
+	Count int
+}
+
+// LabelStore accumulates agreed labels by image. Counts pool synonyms via
+// canonical IDs so "couch" and "sofa" agreements reinforce each other.
+type LabelStore struct {
+	lex     *vocab.Lexicon
+	byImage map[int]map[int]int // image -> canonical -> count
+}
+
+// NewLabelStore returns an empty store over lex.
+func NewLabelStore(lex *vocab.Lexicon) *LabelStore {
+	return &LabelStore{lex: lex, byImage: make(map[int]map[int]int)}
+}
+
+// Record adds one agreement on word for image.
+func (s *LabelStore) Record(image, word int) {
+	m := s.byImage[image]
+	if m == nil {
+		m = make(map[int]int)
+		s.byImage[image] = m
+	}
+	m[s.lex.Canonical(word)]++
+}
+
+// Count returns the agreement count for word (by concept) on image.
+func (s *LabelStore) Count(image, word int) int {
+	return s.byImage[image][s.lex.Canonical(word)]
+}
+
+// LabelsFor returns the labels collected for image, most agreed first
+// (ties broken by word ID for determinism).
+func (s *LabelStore) LabelsFor(image int) []Label {
+	m := s.byImage[image]
+	out := make([]Label, 0, len(m))
+	for w, c := range m {
+		out = append(out, Label{Word: w, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Word < out[j].Word
+	})
+	return out
+}
+
+// Images returns the number of images with at least one label.
+func (s *LabelStore) Images() int { return len(s.byImage) }
+
+// TotalLabels returns the total number of recorded agreements.
+func (s *LabelStore) TotalLabels() int {
+	n := 0
+	for _, m := range s.byImage {
+		for _, c := range m {
+			n += c
+		}
+	}
+	return n
+}
+
+// String summarizes the store for logs.
+func (s *LabelStore) String() string {
+	return fmt.Sprintf("esp.LabelStore{images: %d, labels: %d}", s.Images(), s.TotalLabels())
+}

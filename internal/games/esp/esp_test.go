@@ -1,0 +1,313 @@
+package esp
+
+import (
+	"testing"
+
+	"humancomp/internal/agree"
+	"humancomp/internal/match"
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+func corpus(tb testing.TB) *vocab.Corpus {
+	tb.Helper()
+	return vocab.NewCorpus(vocab.CorpusConfig{
+		Lexicon:     vocab.LexiconConfig{Size: 400, ZipfS: 1, SynonymRate: 0.25, Seed: 1},
+		NumImages:   300,
+		MeanObjects: 4,
+		CanvasW:     640,
+		CanvasH:     480,
+		Seed:        2,
+	})
+}
+
+func pair(tb testing.TB, seed uint64) (*worker.Worker, *worker.Worker) {
+	tb.Helper()
+	src := rng.New(seed)
+	cfg := worker.DefaultPopulationConfig(2)
+	p := worker.SampleProfile(cfg, src)
+	p.ThinkMean = 0 // keep unit tests fast and deterministic in shape
+	a := worker.New("a", worker.Honest, p, src)
+	b := worker.New("b", worker.Honest, p, src)
+	return a, b
+}
+
+func TestRoundsProduceMostlyTrueLabels(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	a, b := pair(t, 3)
+	agreedTrue, agreedTotal := 0, 0
+	for imgID := 0; imgID < 200; imgID++ {
+		res := g.PlayRound(a, b, imgID)
+		if !res.Agreed {
+			continue
+		}
+		agreedTotal++
+		if c.IsTrueTag(res.ImageID, res.Word) {
+			agreedTrue++
+		}
+	}
+	if agreedTotal < 100 {
+		t.Fatalf("only %d/200 rounds agreed; game is broken", agreedTotal)
+	}
+	// The ESP evaluation found ~85% of agreed labels good; with honest
+	// 0.85-accuracy players agreement should filter most noise.
+	if frac := float64(agreedTrue) / float64(agreedTotal); frac < 0.8 {
+		t.Errorf("true-label fraction = %.2f (%d/%d)", frac, agreedTrue, agreedTotal)
+	}
+}
+
+func TestAgreementUpdatesStores(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	a, b := pair(t, 4)
+	var res RoundResult
+	imgID := -1
+	for i := 0; i < 100; i++ {
+		res = g.PlayRound(a, b, i)
+		if res.Agreed {
+			imgID = i
+			break
+		}
+	}
+	if imgID < 0 {
+		t.Fatal("no round agreed in 100 images")
+	}
+	if g.Labels.Count(imgID, res.Word) != 1 {
+		t.Error("agreed label not recorded")
+	}
+	if g.Taboo.Agreements(imgID, res.Word) != 1 {
+		t.Error("agreement not recorded in taboo tracker")
+	}
+	// With PromoteAfter=1 the word is immediately taboo for that image.
+	found := false
+	for _, w := range g.Taboo.TabooFor(imgID) {
+		if c.Lexicon.AreSynonyms(w, res.Word) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("agreed word not promoted to taboo")
+	}
+}
+
+func TestTabooForcesFreshLabels(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	const imgID = 7
+	seen := map[int]bool{}
+	for round := 0; round < 30; round++ {
+		a, b := pair(t, uint64(100+round))
+		res := g.PlayRound(a, b, imgID)
+		if !res.Agreed {
+			continue
+		}
+		can := c.Lexicon.Canonical(res.Word)
+		if seen[can] {
+			t.Fatalf("round %d re-agreed taboo concept %d", round, can)
+		}
+		seen[can] = true
+	}
+	if len(seen) < 2 {
+		t.Skipf("only %d agreements on image %d; cannot exercise taboo", len(seen), imgID)
+	}
+}
+
+func TestRetirement(t *testing.T) {
+	c := corpus(t)
+	cfg := DefaultConfig()
+	cfg.RetireAt = 1
+	g := New(c, cfg)
+	a, b := pair(t, 5)
+	retired := 0
+	for imgID := 0; imgID < 100; imgID++ {
+		if res := g.PlayRound(a, b, imgID); res.Agreed {
+			if !g.Taboo.Retired(imgID) {
+				t.Fatalf("image %d not retired after 1 taboo word (RetireAt=1)", imgID)
+			}
+			retired++
+		}
+	}
+	if retired == 0 {
+		t.Fatal("no image retired")
+	}
+	// PickImage must avoid retired images.
+	for i := 0; i < 50; i++ {
+		id, ok := g.PickImage()
+		if !ok {
+			break
+		}
+		if g.Taboo.Retired(id) {
+			t.Fatal("PickImage returned a retired image")
+		}
+	}
+}
+
+func TestPickImageExhaustion(t *testing.T) {
+	c := vocab.NewCorpus(vocab.CorpusConfig{
+		Lexicon:     vocab.LexiconConfig{Size: 50, ZipfS: 1, Seed: 1},
+		NumImages:   3,
+		MeanObjects: 2,
+		CanvasW:     100, CanvasH: 100,
+		Seed: 3,
+	})
+	cfg := DefaultConfig()
+	cfg.RetireAt = 1
+	g := New(c, cfg)
+	a, b := pair(t, 6)
+	for round := 0; round < 60; round++ {
+		id, ok := g.PickImage()
+		if !ok {
+			return // exhausted: success
+		}
+		g.PlayRound(a, b, id)
+	}
+	// Not necessarily exhausted (agreement is stochastic), so no failure;
+	// but PickImage must still be functional.
+	if _, ok := g.PickImage(); !ok {
+		t.Log("corpus exhausted")
+	}
+}
+
+func TestReplayRoundAgreesWithRecordedPartner(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	a, b := pair(t, 7)
+
+	// Play a live round to produce a transcript, then replay it for a
+	// third player on the same image.
+	var live RoundResult
+	imgID := -1
+	for i := 0; i < 200; i++ {
+		live = g.PlayRound(a, b, i)
+		if live.Agreed && len(live.Guesses[0]) > 0 {
+			imgID = i
+			break
+		}
+	}
+	if imgID < 0 {
+		t.Fatal("no live agreement to record")
+	}
+	// Fresh game so the taboo from the live round doesn't block the replay.
+	g2 := New(c, DefaultConfig())
+	src := rng.New(8)
+	cfgPop := worker.DefaultPopulationConfig(1)
+	p := worker.SampleProfile(cfgPop, src)
+	p.ThinkMean = 0
+	solo := worker.New("solo", worker.Honest, p, src)
+
+	rp := match.NewReplayer(match.ReplaySession{Item: imgID, Player: "a", Words: live.Guesses[0]})
+	agreedOnce := false
+	for i := 0; i < 10 && !agreedOnce; i++ {
+		rp = match.NewReplayer(match.ReplaySession{Item: imgID, Player: "a", Words: live.Guesses[0]})
+		res := g2.PlayRoundReplay(solo, rp, imgID)
+		agreedOnce = res.Agreed
+		g2 = New(c, DefaultConfig()) // reset taboo between attempts
+	}
+	if !agreedOnce {
+		t.Error("solo player never agreed with a recorded transcript that contains true tags")
+	}
+}
+
+func TestSpammerPairRarelyPollutes(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	src := rng.New(9)
+	prof := worker.Profile{Accuracy: 0.9}
+	s1 := worker.New("s1", worker.Spammer, prof, src)
+	s2 := worker.New("s2", worker.Spammer, prof, src)
+	agreedTrue, agreedTotal := 0, 0
+	for imgID := 0; imgID < 150; imgID++ {
+		res := g.PlayRound(s1, s2, imgID)
+		if res.Agreed {
+			agreedTotal++
+			if c.IsTrueTag(imgID, res.Word) {
+				agreedTrue++
+			}
+		}
+	}
+	// Two independent spammers match easily on Zipf head words — exactly
+	// the attack the taboo mechanism exists for — but the labels they
+	// produce are mostly junk, unlike honest pairs (>80% true).
+	if agreedTotal > 0 {
+		if frac := float64(agreedTrue) / float64(agreedTotal); frac > 0.6 {
+			t.Errorf("spam label true fraction = %.2f; expected mostly junk", frac)
+		}
+	}
+
+	// On a single image, every spam agreement promotes a head word to
+	// taboo, so repeat spam gets throttled: agreements in the second half
+	// of play must be rarer than in the first half.
+	g2 := New(c, DefaultConfig())
+	const imgID, rounds = 11, 60
+	firstHalf, secondHalf := 0, 0
+	for r := 0; r < rounds; r++ {
+		res := g2.PlayRound(s1, s2, imgID)
+		if res.Agreed {
+			if r < rounds/2 {
+				firstHalf++
+			} else {
+				secondHalf++
+			}
+		}
+	}
+	if secondHalf >= firstHalf && firstHalf > 0 {
+		t.Errorf("taboo did not throttle spam: %d agreements early, %d late", firstHalf, secondHalf)
+	}
+}
+
+func TestLabelStore(t *testing.T) {
+	lex := vocab.NewLexicon(vocab.LexiconConfig{Size: 50, ZipfS: 1, SynonymRate: 0.5, Seed: 1})
+	s := NewLabelStore(lex)
+	s.Record(1, 4)
+	s.Record(1, 4)
+	s.Record(1, 9)
+	if s.Count(1, 4) != 2 {
+		t.Fatalf("Count = %d", s.Count(1, 4))
+	}
+	labels := s.LabelsFor(1)
+	if len(labels) != 2 || labels[0].Count < labels[1].Count {
+		t.Fatalf("LabelsFor = %+v", labels)
+	}
+	if s.Images() != 1 || s.TotalLabels() != 3 {
+		t.Fatalf("Images=%d Total=%d", s.Images(), s.TotalLabels())
+	}
+	// Synonyms pool.
+	var a, b int = -1, -1
+	for id := 0; id < lex.Size(); id++ {
+		if g := lex.Synonyms(id); len(g) >= 2 {
+			a, b = g[0], g[1]
+			break
+		}
+	}
+	if a >= 0 {
+		s.Record(2, a)
+		s.Record(2, b)
+		if s.Count(2, a) != 2 {
+			t.Error("synonym labels did not pool")
+		}
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxGuesses 0 did not panic")
+		}
+	}()
+	New(corpus(t), Config{Mode: agree.Exact, PromoteAfter: 1, MaxGuesses: 0})
+}
+
+func BenchmarkPlayRound(b *testing.B) {
+	c := corpus(b)
+	g := New(c, DefaultConfig())
+	wa, wb := pair(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PlayRound(wa, wb, i%len(c.Images))
+	}
+}

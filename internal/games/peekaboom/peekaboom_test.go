@@ -1,0 +1,170 @@
+package peekaboom
+
+import (
+	"testing"
+
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+func corpus(tb testing.TB) *vocab.Corpus {
+	tb.Helper()
+	return vocab.NewCorpus(vocab.CorpusConfig{
+		Lexicon:     vocab.LexiconConfig{Size: 300, ZipfS: 1, SynonymRate: 0.2, Seed: 1},
+		NumImages:   200,
+		MeanObjects: 3,
+		CanvasW:     640,
+		CanvasH:     480,
+		Seed:        2,
+	})
+}
+
+func players(tb testing.TB, seed uint64, accuracy float64) (*worker.Worker, *worker.Worker) {
+	tb.Helper()
+	src := rng.New(seed)
+	p := worker.Profile{Accuracy: accuracy}
+	return worker.New("boom", worker.Honest, p, src),
+		worker.New("peek", worker.Honest, p, src)
+}
+
+func TestRoundsSolveAndRecordPings(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	boom, peek := players(t, 3, 0.9)
+	solved := 0
+	const rounds = 300
+	for i := 0; i < rounds; i++ {
+		imgID, word := g.PickTask()
+		res := g.PlayRound(boom, peek, imgID, word)
+		if res.Solved {
+			solved++
+			if len(res.Pings) == 0 {
+				t.Fatal("solved round with no pings")
+			}
+			if g.Boxes.Pings(imgID, word) == 0 {
+				t.Fatal("solved round did not record pings")
+			}
+		}
+		if res.Tries == 0 {
+			t.Fatal("round with zero guesses")
+		}
+	}
+	if frac := float64(solved) / rounds; frac < 0.5 {
+		t.Errorf("solve rate = %.2f with skilled players", frac)
+	}
+}
+
+func TestAggregatedBoxOverlapsTruth(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	boom, peek := players(t, 4, 0.95)
+
+	// Hammer one object until it has enough pings for a box.
+	imgID := 0
+	word := c.Image(imgID).Objects[0].Tag
+	for i := 0; i < 200; i++ {
+		g.PlayRound(boom, peek, imgID, word)
+		if g.Boxes.Pings(imgID, word) >= DefaultConfig().MinPingsForBox {
+			break
+		}
+	}
+	box, ok := g.Boxes.Box(imgID, word)
+	if !ok {
+		t.Fatalf("no box after %d pings", g.Boxes.Pings(imgID, word))
+	}
+	truth, _ := c.TrueBox(imgID, word)
+	if iou := box.IoU(truth); iou < 0.3 {
+		t.Errorf("aggregated box IoU = %.2f, want > 0.3 (box %+v truth %+v)", iou, box, truth)
+	}
+}
+
+func TestBoxRequiresMinPings(t *testing.T) {
+	s := NewBoxStore(5, 0.1)
+	s.Record(1, 2, []Ping{{10, 10}, {11, 11}})
+	if _, ok := s.Box(1, 2); ok {
+		t.Fatal("box emitted below MinPings")
+	}
+	s.Record(1, 2, []Ping{{12, 12}, {13, 13}, {14, 14}})
+	if _, ok := s.Box(1, 2); !ok {
+		t.Fatal("box not emitted at MinPings")
+	}
+	if s.Objects() != 1 {
+		t.Fatalf("Objects = %d", s.Objects())
+	}
+}
+
+func TestTrimRejectsOutliers(t *testing.T) {
+	s := NewBoxStore(10, 0.1)
+	pings := make([]Ping, 0, 20)
+	for i := 0; i < 18; i++ {
+		pings = append(pings, Ping{X: 100 + i, Y: 200 + i})
+	}
+	// Two wild outliers (a cheater's random clicks).
+	pings = append(pings, Ping{X: 600, Y: 5}, Ping{X: 2, Y: 470})
+	s.Record(1, 1, pings)
+	box, ok := s.Box(1, 1)
+	if !ok {
+		t.Fatal("no box")
+	}
+	if box.X < 90 || box.X+box.W > 130 || box.Y < 190 || box.Y+box.H > 230 {
+		t.Errorf("outliers leaked into box: %+v", box)
+	}
+
+	// An untrimmed store must include them — confirming the ablation knob.
+	raw := NewBoxStore(10, 0)
+	raw.Record(1, 1, pings)
+	rawBox, _ := raw.Box(1, 1)
+	if rawBox.W <= box.W {
+		t.Errorf("untrimmed box %+v not wider than trimmed %+v", rawBox, box)
+	}
+}
+
+func TestUnskilledPeekSolvesLess(t *testing.T) {
+	c := corpus(t)
+	solveRate := func(acc float64) float64 {
+		g := New(c, DefaultConfig())
+		boom, peek := players(t, 5, acc)
+		solved := 0
+		const rounds = 300
+		for i := 0; i < rounds; i++ {
+			imgID, word := g.PickTask()
+			if g.PlayRound(boom, peek, imgID, word).Solved {
+				solved++
+			}
+		}
+		return float64(solved) / rounds
+	}
+	good, bad := solveRate(0.95), solveRate(0.55)
+	if good <= bad {
+		t.Errorf("solve rate good=%.2f <= bad=%.2f", good, bad)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"pings 0":  {MaxPings: 0, MaxGuesses: 3},
+		"guess 0":  {MaxPings: 3, MaxGuesses: 0},
+		"trim 0.5": {MaxPings: 3, MaxGuesses: 3, TrimFraction: 0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(corpus(t), cfg)
+		}()
+	}
+}
+
+func BenchmarkPlayRound(b *testing.B) {
+	c := corpus(b)
+	g := New(c, DefaultConfig())
+	boom, peek := players(b, 6, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imgID, word := g.PickTask()
+		g.PlayRound(boom, peek, imgID, word)
+	}
+}

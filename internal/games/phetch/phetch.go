@@ -1,0 +1,163 @@
+// Package phetch implements Phetch, the GWAP that collects natural-
+// language image descriptions (the captions screen readers need): a
+// describer writes a caption for a secret image; seekers feed the caption
+// to an image search engine and click the image they believe it describes.
+// A correct click validates the caption. The search engine is the
+// label-powered index from internal/search — the output of one game is the
+// substrate of the next, exactly the ecosystem the survey describes.
+package phetch
+
+import (
+	"time"
+
+	"humancomp/internal/rng"
+	"humancomp/internal/search"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+// Config parameterizes a Game.
+type Config struct {
+	// MaxCaptionWords bounds the describer's caption length.
+	MaxCaptionWords int
+	// TopK is how many search results a seeker inspects.
+	TopK int
+	// MaxSeekerClicks bounds each seeker's guesses per round.
+	MaxSeekerClicks int
+	Seed            uint64
+}
+
+// DefaultConfig mirrors deployed play: six-word captions, first page of
+// results, two clicks per seeker.
+func DefaultConfig() Config {
+	return Config{MaxCaptionWords: 6, TopK: 8, MaxSeekerClicks: 2, Seed: 1}
+}
+
+// RoundResult summarizes one caption round.
+type RoundResult struct {
+	ImageID  int
+	Caption  []int
+	Solved   bool
+	Finder   string // seeker who clicked the image, when Solved
+	Rank     int    // search rank of the target under the caption (0 = unranked)
+	Duration time.Duration
+}
+
+// Game runs Phetch rounds against a search index over the corpus.
+type Game struct {
+	Corpus   *vocab.Corpus
+	Index    *search.Index
+	Captions *CaptionStore
+	cfg      Config
+	src      *rng.Source
+}
+
+// New returns a game whose seekers query ix. The index is typically built
+// from ESP labels (see BuildIndexFromLabels in the search tests and the
+// image-search example).
+func New(corpus *vocab.Corpus, ix *search.Index, cfg Config) *Game {
+	if cfg.MaxCaptionWords < 1 || cfg.TopK < 1 || cfg.MaxSeekerClicks < 1 {
+		panic("phetch: caption words, TopK and clicks must all be >= 1")
+	}
+	return &Game{
+		Corpus:   corpus,
+		Index:    ix,
+		Captions: NewCaptionStore(),
+		cfg:      cfg,
+		src:      rng.New(cfg.Seed),
+	}
+}
+
+// PickImage returns a random image ID.
+func (g *Game) PickImage() int { return g.src.Intn(len(g.Corpus.Images)) }
+
+// PlayRound runs one round: describer captions the image, each seeker
+// searches with the caption and clicks among the top results. A correct
+// click solves the round and stores the caption as validated.
+func (g *Game) PlayRound(describer *worker.Worker, seekers []*worker.Worker, imageID int) RoundResult {
+	img := g.Corpus.Image(imageID)
+	res := RoundResult{ImageID: imageID}
+
+	// Caption: the describer's own description of the image.
+	said := map[int]bool{}
+	for len(res.Caption) < g.cfg.MaxCaptionWords {
+		res.Duration += describer.ThinkTime()
+		tag := describer.GuessTag(g.Corpus.Lexicon, img, nil, said)
+		if tag < 0 {
+			break
+		}
+		said[g.Corpus.Lexicon.Canonical(tag)] = true
+		res.Caption = append(res.Caption, g.Corpus.Lexicon.Canonical(tag))
+	}
+	if len(res.Caption) == 0 {
+		return res
+	}
+	res.Rank = g.Index.Rank(res.Caption, imageID)
+
+	hits := g.Index.Search(res.Caption, g.cfg.TopK)
+	for _, seeker := range seekers {
+		for click := 0; click < g.cfg.MaxSeekerClicks; click++ {
+			res.Duration += seeker.ThinkTime()
+			pick, ok := g.seekerPick(seeker, hits, imageID)
+			if !ok {
+				break
+			}
+			if pick == imageID {
+				res.Solved = true
+				res.Finder = seeker.ID
+				g.Captions.Record(imageID, res.Caption)
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// seekerPick models a seeker scanning the result page: a skilled seeker
+// recognizes the described image when it is listed (probability Accuracy,
+// discounted by how deep it sits); otherwise they click a plausible result
+// at random. ok is false when the result page is empty.
+func (g *Game) seekerPick(seeker *worker.Worker, hits []search.Hit, target int) (int, bool) {
+	if len(hits) == 0 {
+		return 0, false
+	}
+	for i, h := range hits {
+		if h.Item != target {
+			continue
+		}
+		depth := 1 - float64(i)/float64(2*len(hits)) // mild position discount
+		if g.src.Bool(seeker.Profile.Accuracy * depth) {
+			return target, true
+		}
+		break
+	}
+	return hits[g.src.Intn(len(hits))].Item, true
+}
+
+// CaptionStore accumulates validated captions by image.
+type CaptionStore struct {
+	byImage map[int][][]int
+	total   int
+}
+
+// NewCaptionStore returns an empty store.
+func NewCaptionStore() *CaptionStore {
+	return &CaptionStore{byImage: make(map[int][][]int)}
+}
+
+// Record stores a validated caption for image.
+func (s *CaptionStore) Record(image int, caption []int) {
+	cp := make([]int, len(caption))
+	copy(cp, caption)
+	s.byImage[image] = append(s.byImage[image], cp)
+	s.total++
+}
+
+// Captions returns the validated captions for image.
+func (s *CaptionStore) Captions(image int) [][]int { return s.byImage[image] }
+
+// Images returns the number of captioned images.
+func (s *CaptionStore) Images() int { return len(s.byImage) }
+
+// Total returns the total number of validated captions.
+func (s *CaptionStore) Total() int { return s.total }

@@ -1,0 +1,165 @@
+// Package tagatune implements the input-agreement mechanism of TagATune:
+// two players each receive an item (the same one, or different ones),
+// exchange free-text descriptions, and must decide whether their inputs
+// match. Because honest play requires faithfully describing your own input,
+// a successful round (both correct) validates the exchanged descriptions as
+// annotations. The mechanism works for any media; the simulation uses the
+// image corpus as its item collection.
+package tagatune
+
+import (
+	"time"
+
+	"humancomp/internal/agree"
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+// Config parameterizes a Game.
+type Config struct {
+	// SameProb is the probability a round presents identical inputs.
+	SameProb float64
+	// MaxTags bounds each player's descriptions per round.
+	MaxTags int
+	Seed    uint64
+}
+
+// DefaultConfig mirrors deployed play: half the rounds are "same", three
+// descriptions each.
+func DefaultConfig() Config {
+	return Config{SameProb: 0.5, MaxTags: 3, Seed: 1}
+}
+
+// RoundResult summarizes one input-agreement round.
+type RoundResult struct {
+	ItemA, ItemB int
+	Same         bool
+	Success      bool
+	Validated    int // descriptions validated by this round
+	Duration     time.Duration
+}
+
+// Game runs input-agreement rounds over a corpus and accumulates validated
+// annotations.
+type Game struct {
+	Corpus      *vocab.Corpus
+	Annotations *AnnotationStore
+	cfg         Config
+	src         *rng.Source
+}
+
+// New returns a game over corpus with the given configuration.
+func New(corpus *vocab.Corpus, cfg Config) *Game {
+	if cfg.SameProb < 0 || cfg.SameProb > 1 {
+		panic("tagatune: SameProb must be in [0, 1]")
+	}
+	if cfg.MaxTags < 1 {
+		panic("tagatune: MaxTags must be >= 1")
+	}
+	return &Game{
+		Corpus:      corpus,
+		Annotations: NewAnnotationStore(corpus.Lexicon),
+		cfg:         cfg,
+		src:         rng.New(cfg.Seed),
+	}
+}
+
+// PickPair returns the two item IDs for a round and whether they are the same.
+func (g *Game) PickPair() (a, b int, same bool) {
+	n := len(g.Corpus.Images)
+	a = g.src.Intn(n)
+	if g.src.Bool(g.cfg.SameProb) || n == 1 {
+		return a, a, true
+	}
+	for {
+		b = g.src.Intn(n)
+		if b != a {
+			return a, b, false
+		}
+	}
+}
+
+// PlayRound runs one round between two workers on the given items.
+// On success both players' descriptions are recorded as annotations.
+func (g *Game) PlayRound(pa, pb *worker.Worker, itemA, itemB int) RoundResult {
+	same := itemA == itemB
+	round := agree.NewInputRound(same)
+	res := RoundResult{ItemA: itemA, ItemB: itemB, Same: same}
+	var elapsed time.Duration
+
+	players := [2]*worker.Worker{pa, pb}
+	items := [2]int{itemA, itemB}
+	for i, w := range players {
+		said := map[int]bool{}
+		for k := 0; k < g.cfg.MaxTags; k++ {
+			elapsed += w.ThinkTime()
+			tag := w.GuessTag(g.Corpus.Lexicon, g.Corpus.Image(items[i]), nil, said)
+			if tag < 0 {
+				break
+			}
+			said[g.Corpus.Lexicon.Canonical(tag)] = true
+			if err := round.Describe(i, tag); err != nil {
+				break
+			}
+		}
+		elapsed += w.ThinkTime()
+		// The same/different judgment: honest workers are right with
+		// probability Accuracy; adversaries answer noise.
+		if err := round.Vote(i, w.Judge(same)); err != nil {
+			break
+		}
+	}
+	res.Duration = elapsed
+	if round.Success() {
+		res.Success = true
+		for i := range players {
+			for _, tag := range round.Tags(i) {
+				g.Annotations.Record(items[i], tag)
+				res.Validated++
+			}
+		}
+	}
+	return res
+}
+
+// AnnotationStore accumulates validated descriptions by item, pooling
+// synonyms via canonical IDs.
+type AnnotationStore struct {
+	lex    *vocab.Lexicon
+	byItem map[int]map[int]int
+}
+
+// NewAnnotationStore returns an empty store over lex.
+func NewAnnotationStore(lex *vocab.Lexicon) *AnnotationStore {
+	return &AnnotationStore{lex: lex, byItem: make(map[int]map[int]int)}
+}
+
+// Record adds one validated description of item by word.
+func (s *AnnotationStore) Record(item, word int) {
+	m := s.byItem[item]
+	if m == nil {
+		m = make(map[int]int)
+		s.byItem[item] = m
+	}
+	m[s.lex.Canonical(word)]++
+}
+
+// Count returns how often word (by concept) has been validated for item.
+func (s *AnnotationStore) Count(item, word int) int {
+	return s.byItem[item][s.lex.Canonical(word)]
+}
+
+// Items returns the number of items with at least one annotation.
+func (s *AnnotationStore) Items() int { return len(s.byItem) }
+
+// Total returns the total number of validations.
+func (s *AnnotationStore) Total() int {
+	n := 0
+	for _, m := range s.byItem {
+		for _, c := range m {
+			n += c
+		}
+	}
+	return n
+}

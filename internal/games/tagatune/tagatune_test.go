@@ -1,0 +1,159 @@
+package tagatune
+
+import (
+	"testing"
+
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+func corpus(tb testing.TB) *vocab.Corpus {
+	tb.Helper()
+	return vocab.NewCorpus(vocab.CorpusConfig{
+		Lexicon:     vocab.LexiconConfig{Size: 300, ZipfS: 1, SynonymRate: 0.2, Seed: 1},
+		NumImages:   150,
+		MeanObjects: 4,
+		CanvasW:     640,
+		CanvasH:     480,
+		Seed:        2,
+	})
+}
+
+func players(tb testing.TB, seed uint64, accuracy float64) (*worker.Worker, *worker.Worker) {
+	tb.Helper()
+	src := rng.New(seed)
+	p := worker.Profile{Accuracy: accuracy}
+	return worker.New("a", worker.Honest, p, src), worker.New("b", worker.Honest, p, src)
+}
+
+func TestPickPairRespectsSameProb(t *testing.T) {
+	c := corpus(t)
+	g := New(c, Config{SameProb: 1, MaxTags: 3, Seed: 1})
+	for i := 0; i < 50; i++ {
+		a, b, same := g.PickPair()
+		if !same || a != b {
+			t.Fatal("SameProb=1 produced a different pair")
+		}
+	}
+	g = New(c, Config{SameProb: 0, MaxTags: 3, Seed: 2})
+	for i := 0; i < 50; i++ {
+		a, b, same := g.PickPair()
+		if same || a == b {
+			t.Fatal("SameProb=0 produced an identical pair")
+		}
+	}
+}
+
+func TestSkilledPlayersSucceedOften(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	pa, pb := players(t, 3, 0.92)
+	success, rounds := 0, 400
+	for i := 0; i < rounds; i++ {
+		a, b, _ := g.PickPair()
+		res := g.PlayRound(pa, pb, a, b)
+		if res.Success {
+			success++
+			if res.Validated == 0 {
+				t.Fatal("successful round validated no descriptions")
+			}
+		}
+	}
+	// Both must judge correctly: ~0.92² ≈ 0.85 expected.
+	if frac := float64(success) / float64(rounds); frac < 0.7 {
+		t.Errorf("success rate = %.2f with skilled players", frac)
+	}
+	if g.Annotations.Total() == 0 {
+		t.Fatal("no annotations collected")
+	}
+}
+
+func TestValidatedAnnotationsAreMostlyTrue(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	pa, pb := players(t, 4, 0.9)
+	for i := 0; i < 500; i++ {
+		a, b, _ := g.PickPair()
+		g.PlayRound(pa, pb, a, b)
+	}
+	good, total := 0, 0
+	for item := 0; item < len(c.Images); item++ {
+		img := c.Image(item)
+		for _, o := range img.Objects {
+			n := g.Annotations.Count(item, o.Tag)
+			good += n
+			total += n
+		}
+	}
+	// Count non-true annotations by comparing store total.
+	junk := g.Annotations.Total() - good
+	if total == 0 {
+		t.Skip("no true annotations to assess")
+	}
+	if frac := float64(good) / float64(g.Annotations.Total()); frac < 0.6 {
+		t.Errorf("true-annotation fraction = %.2f (junk %d)", frac, junk)
+	}
+}
+
+func TestFailureValidatesNothing(t *testing.T) {
+	c := corpus(t)
+	g := New(c, DefaultConfig())
+	src := rng.New(5)
+	// Spammers judge randomly, so most rounds fail and validate nothing.
+	pa := worker.New("s1", worker.Spammer, worker.Profile{Accuracy: 0.9}, src)
+	pb := worker.New("s2", worker.Spammer, worker.Profile{Accuracy: 0.9}, src)
+	success := 0
+	for i := 0; i < 200; i++ {
+		a, b, _ := g.PickPair()
+		if g.PlayRound(pa, pb, a, b).Success {
+			success++
+		}
+	}
+	// Spammers are never "correct" in Judge, so every round must fail.
+	if success != 0 {
+		t.Errorf("spammer rounds succeeded %d times", success)
+	}
+	if g.Annotations.Total() != 0 {
+		t.Error("failed rounds contributed annotations")
+	}
+}
+
+func TestAnnotationStore(t *testing.T) {
+	lex := vocab.NewLexicon(vocab.LexiconConfig{Size: 50, ZipfS: 1, SynonymRate: 0.5, Seed: 1})
+	s := NewAnnotationStore(lex)
+	s.Record(3, 7)
+	s.Record(3, 7)
+	if s.Count(3, 7) != 2 || s.Items() != 1 || s.Total() != 2 {
+		t.Fatalf("store state wrong: count=%d items=%d total=%d", s.Count(3, 7), s.Items(), s.Total())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	c := corpus(t)
+	for name, cfg := range map[string]Config{
+		"sameprob -1": {SameProb: -1, MaxTags: 1},
+		"sameprob 2":  {SameProb: 2, MaxTags: 1},
+		"tags 0":      {SameProb: 0.5, MaxTags: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(c, cfg)
+		}()
+	}
+}
+
+func BenchmarkPlayRound(b *testing.B) {
+	c := corpus(b)
+	g := New(c, DefaultConfig())
+	pa, pb := players(b, 6, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a2, b2, _ := g.PickPair()
+		g.PlayRound(pa, pb, a2, b2)
+	}
+}

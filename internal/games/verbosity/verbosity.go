@@ -1,0 +1,240 @@
+// Package verbosity implements Verbosity, the inversion-problem GWAP that
+// collects common-sense facts. The narrator sees a secret word and fills
+// sentence templates ("___ is a kind of ___") with clues; the guesser types
+// words until they hit the secret. A solved round certifies the clues were
+// informative, so its facts enter the knowledge store; facts confirmed by
+// enough independent rounds become trusted.
+package verbosity
+
+import (
+	"sort"
+	"time"
+
+	"humancomp/internal/agree"
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+// Config parameterizes a Game.
+type Config struct {
+	Mode agree.MatchMode
+	// MaxHints bounds the narrator's clues per round.
+	MaxHints int
+	// MaxGuesses bounds the guesser's tries per round.
+	MaxGuesses int
+	// CluePower is how much each true clue narrows the guesser's search:
+	// the chance of recognizing the secret after k true clues is
+	// skill × (1 − (1−CluePower)^k).
+	CluePower float64
+	Seed      uint64
+}
+
+// DefaultConfig mirrors deployed play.
+func DefaultConfig() Config {
+	return Config{
+		Mode:       agree.Canonical,
+		MaxHints:   6,
+		MaxGuesses: 8,
+		CluePower:  0.4,
+		Seed:       1,
+	}
+}
+
+// RoundResult summarizes one narrator/guesser round.
+type RoundResult struct {
+	Subject  int
+	Solved   bool
+	Hints    []vocab.Fact
+	Tries    int
+	Duration time.Duration
+}
+
+// Game runs Verbosity rounds over a fact base and accumulates validated facts.
+type Game struct {
+	FactBase *vocab.FactBase
+	Facts    *FactStore
+	cfg      Config
+	src      *rng.Source
+}
+
+// New returns a game over fb with the given configuration.
+func New(fb *vocab.FactBase, cfg Config) *Game {
+	if cfg.MaxHints < 1 || cfg.MaxGuesses < 1 {
+		panic("verbosity: MaxHints and MaxGuesses must be >= 1")
+	}
+	if cfg.CluePower <= 0 || cfg.CluePower > 1 {
+		panic("verbosity: CluePower must be in (0, 1]")
+	}
+	return &Game{
+		FactBase: fb,
+		Facts:    NewFactStore(),
+		cfg:      cfg,
+		src:      rng.New(cfg.Seed),
+	}
+}
+
+// PickConcept returns a random secret word, Zipf-weighted like the deployed
+// game's frequency-ordered word list.
+func (g *Game) PickConcept() int { return g.FactBase.Lexicon.SampleFrom(g.src) }
+
+// PlayRound runs one round about subject. Facts from solved rounds are
+// recorded into the fact store.
+func (g *Game) PlayRound(narrator, guesser *worker.Worker, subject int) RoundResult {
+	round := agree.NewInversionRound[vocab.Fact](g.FactBase.Lexicon, g.cfg.Mode, subject)
+	res := RoundResult{Subject: subject}
+	var elapsed time.Duration
+
+	given := map[vocab.Fact]bool{}
+	trueClues := 0
+	guessesLeft := g.cfg.MaxGuesses
+	for h := 0; h < g.cfg.MaxHints && guessesLeft > 0; h++ {
+		fact := narrator.DescribeFact(g.FactBase, subject, given)
+		given[fact] = true
+		elapsed += narrator.ThinkTime()
+		if err := round.AddHint(fact); err != nil {
+			break
+		}
+		if g.FactBase.IsTrue(fact) {
+			trueClues++
+		}
+		// The guesser reacts to each clue; only true clues narrow the
+		// search — misleading clues keep them guessing in the dark.
+		elapsed += guesser.ThinkTime()
+		guessesLeft--
+		pKnow := guesser.Profile.Accuracy * (1 - pow1m(g.cfg.CluePower, trueClues))
+		guess := g.FactBase.Lexicon.SampleFrom(g.src)
+		if g.src.Bool(pKnow) {
+			guess = subject
+		}
+		solved, err := round.Guess(guess)
+		if err != nil {
+			break
+		}
+		if solved {
+			res.Solved = true
+			break
+		}
+	}
+	res.Hints = round.Hints()
+	res.Tries = round.Tries()
+	res.Duration = elapsed
+	if res.Solved {
+		for _, f := range res.Hints {
+			g.Facts.Record(f)
+		}
+	}
+	return res
+}
+
+// PlayAssessment runs one assessment round: a rater is shown a collected
+// fact and votes on whether it is true — the deployed game's second stage,
+// which screens out the plausible-sounding junk that repetition alone
+// cannot (popular-word free associations repeat too). The vote is recorded
+// in the fact store; the returned vote is true when the rater endorsed the
+// fact.
+func (g *Game) PlayAssessment(rater *worker.Worker, f vocab.Fact) (endorsed bool, d time.Duration) {
+	d = rater.ThinkTime()
+	// Judge returns 0 when the rater believes "yes/same"; raters judge the
+	// fact's actual truth with their skill-limited accuracy.
+	endorsed = rater.Judge(g.FactBase.IsTrue(f)) == 0
+	g.Facts.Assess(f, endorsed)
+	return endorsed, d
+}
+
+// pow1m returns (1-p)^k.
+func pow1m(p float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= 1 - p
+	}
+	return out
+}
+
+// FactStore counts how many solved rounds each fact appeared in and
+// accumulates assessment votes.
+type FactStore struct {
+	counts  map[vocab.Fact]int
+	endorse map[vocab.Fact]int
+	reject  map[vocab.Fact]int
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		counts:  make(map[vocab.Fact]int),
+		endorse: make(map[vocab.Fact]int),
+		reject:  make(map[vocab.Fact]int),
+	}
+}
+
+// Record adds one validation for f.
+func (s *FactStore) Record(f vocab.Fact) { s.counts[f]++ }
+
+// Assess records one assessment vote for f.
+func (s *FactStore) Assess(f vocab.Fact, endorsed bool) {
+	if endorsed {
+		s.endorse[f]++
+	} else {
+		s.reject[f]++
+	}
+}
+
+// Votes returns f's (endorse, reject) assessment counts.
+func (s *FactStore) Votes(f vocab.Fact) (endorse, reject int) {
+	return s.endorse[f], s.reject[f]
+}
+
+// Verified returns the facts with at least minCount collection rounds whose
+// assessment votes are at least minVotes total with an endorse share of at
+// least minShare, in the same deterministic order as Confirmed.
+func (s *FactStore) Verified(minCount, minVotes int, minShare float64) []vocab.Fact {
+	var out []vocab.Fact
+	for _, f := range s.Confirmed(minCount) {
+		e, r := s.endorse[f], s.reject[f]
+		if e+r < minVotes {
+			continue
+		}
+		if float64(e)/float64(e+r) >= minShare {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Count returns f's validation count.
+func (s *FactStore) Count(f vocab.Fact) int { return s.counts[f] }
+
+// Total returns the total number of validations recorded.
+func (s *FactStore) Total() int {
+	n := 0
+	for _, c := range s.counts {
+		n += c
+	}
+	return n
+}
+
+// Distinct returns the number of distinct facts seen.
+func (s *FactStore) Distinct() int { return len(s.counts) }
+
+// Confirmed returns all facts validated by at least minCount rounds, in a
+// deterministic order.
+func (s *FactStore) Confirmed(minCount int) []vocab.Fact {
+	var out []vocab.Fact
+	for f, c := range s.counts {
+		if c >= minCount {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Relation != b.Relation {
+			return a.Relation < b.Relation
+		}
+		return a.Object < b.Object
+	})
+	return out
+}

@@ -1,0 +1,247 @@
+package verbosity
+
+import (
+	"testing"
+
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+	"humancomp/internal/worker"
+)
+
+func factBase(tb testing.TB) *vocab.FactBase {
+	tb.Helper()
+	return vocab.NewFactBase(vocab.FactBaseConfig{
+		Lexicon:      vocab.LexiconConfig{Size: 300, ZipfS: 1, SynonymRate: 0.2, Seed: 1},
+		FactsPerWord: 5,
+		Seed:         2,
+	})
+}
+
+func players(tb testing.TB, seed uint64, accuracy float64) (*worker.Worker, *worker.Worker) {
+	tb.Helper()
+	src := rng.New(seed)
+	p := worker.Profile{Accuracy: accuracy}
+	return worker.New("narrator", worker.Honest, p, src),
+		worker.New("guesser", worker.Honest, p, src)
+}
+
+func TestSolvedRoundsCollectMostlyTrueFacts(t *testing.T) {
+	fb := factBase(t)
+	g := New(fb, DefaultConfig())
+	n, gu := players(t, 3, 0.9)
+	solved := 0
+	const rounds = 500
+	for i := 0; i < rounds; i++ {
+		subject := g.PickConcept()
+		res := g.PlayRound(n, gu, subject)
+		if res.Solved {
+			solved++
+			if len(res.Hints) == 0 {
+				t.Fatal("solved round with no hints")
+			}
+		}
+	}
+	if frac := float64(solved) / rounds; frac < 0.5 {
+		t.Fatalf("solve rate = %.2f with skilled players", frac)
+	}
+	trueFacts, total := 0, 0
+	for _, f := range g.Facts.Confirmed(1) {
+		total++
+		if fb.IsTrue(f) {
+			trueFacts++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no facts collected")
+	}
+	if frac := float64(trueFacts) / float64(total); frac < 0.7 {
+		t.Errorf("true-fact fraction = %.2f (%d/%d)", frac, trueFacts, total)
+	}
+}
+
+func TestConfirmationRaisesPrecision(t *testing.T) {
+	fb := factBase(t)
+	g := New(fb, DefaultConfig())
+	n, gu := players(t, 4, 0.85)
+	// Repeatedly play the same few subjects so facts accumulate counts.
+	for i := 0; i < 3000; i++ {
+		g.PlayRound(n, gu, i%20)
+	}
+	precisionAt := func(min int) (float64, int) {
+		facts := g.Facts.Confirmed(min)
+		if len(facts) == 0 {
+			return 0, 0
+		}
+		right := 0
+		for _, f := range facts {
+			if fb.IsTrue(f) {
+				right++
+			}
+		}
+		return float64(right) / float64(len(facts)), len(facts)
+	}
+	p1, n1 := precisionAt(1)
+	p3, n3 := precisionAt(3)
+	if n3 == 0 {
+		t.Skip("no facts reached confirmation count 3")
+	}
+	if p3 < p1 {
+		t.Errorf("precision at >=3 confirmations (%.2f, n=%d) below >=1 (%.2f, n=%d)", p3, n3, p1, n1)
+	}
+	// Confirmation filters random junk but not popular-word free
+	// association (Zipf-head objects repeat across rounds); the deployed
+	// game added separate fact-assessment rounds for that residue, so the
+	// bar here is "clearly better than unconfirmed", not perfection.
+	if p3 < 0.6 {
+		t.Errorf("confirmed-fact precision = %.2f, want >= 0.6", p3)
+	}
+}
+
+func TestUnskilledGuesserSolvesLess(t *testing.T) {
+	fb := factBase(t)
+	solveRate := func(acc float64) float64 {
+		g := New(fb, DefaultConfig())
+		n, gu := players(t, 5, acc)
+		solved := 0
+		const rounds = 400
+		for i := 0; i < rounds; i++ {
+			if g.PlayRound(n, gu, g.PickConcept()).Solved {
+				solved++
+			}
+		}
+		return float64(solved) / rounds
+	}
+	if good, bad := solveRate(0.95), solveRate(0.55); good <= bad {
+		t.Errorf("solve rate good=%.2f <= bad=%.2f", good, bad)
+	}
+}
+
+func TestFactStore(t *testing.T) {
+	s := NewFactStore()
+	f1 := vocab.Fact{Subject: 1, Relation: vocab.IsA, Object: 2}
+	f2 := vocab.Fact{Subject: 1, Relation: vocab.UsedFor, Object: 3}
+	s.Record(f1)
+	s.Record(f1)
+	s.Record(f2)
+	if s.Count(f1) != 2 || s.Count(f2) != 1 {
+		t.Fatalf("counts: %d, %d", s.Count(f1), s.Count(f2))
+	}
+	if s.Total() != 3 || s.Distinct() != 2 {
+		t.Fatalf("Total=%d Distinct=%d", s.Total(), s.Distinct())
+	}
+	confirmed := s.Confirmed(2)
+	if len(confirmed) != 1 || confirmed[0] != f1 {
+		t.Fatalf("Confirmed(2) = %v", confirmed)
+	}
+	if len(s.Confirmed(1)) != 2 {
+		t.Fatal("Confirmed(1) wrong")
+	}
+	if len(s.Confirmed(5)) != 0 {
+		t.Fatal("Confirmed(5) should be empty")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	fb := factBase(t)
+	for name, cfg := range map[string]Config{
+		"hints 0":     {MaxHints: 0, MaxGuesses: 1, CluePower: 0.5},
+		"guesses 0":   {MaxHints: 1, MaxGuesses: 0, CluePower: 0.5},
+		"cluepower 0": {MaxHints: 1, MaxGuesses: 1, CluePower: 0},
+		"cluepower 2": {MaxHints: 1, MaxGuesses: 1, CluePower: 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(fb, cfg)
+		}()
+	}
+}
+
+func BenchmarkPlayRound(b *testing.B) {
+	fb := factBase(b)
+	g := New(fb, DefaultConfig())
+	n, gu := players(b, 6, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PlayRound(n, gu, g.PickConcept())
+	}
+}
+
+func TestAssessmentScreensJunk(t *testing.T) {
+	fb := factBase(t)
+	g := New(fb, DefaultConfig())
+	n, gu := players(t, 9, 0.85)
+	// Collect facts by playing the same subjects repeatedly.
+	for i := 0; i < 2500; i++ {
+		g.PlayRound(n, gu, i%15)
+	}
+	collected := g.Facts.Confirmed(2)
+	if len(collected) == 0 {
+		t.Skip("nothing collected at confirmation 2")
+	}
+	// Assessment stage: five raters vote on every collected fact.
+	src := rng.New(10)
+	raters := make([]*worker.Worker, 5)
+	for i := range raters {
+		raters[i] = worker.New("r", worker.Honest, worker.Profile{Accuracy: 0.85}, src)
+	}
+	for _, f := range collected {
+		for _, r := range raters {
+			if _, d := g.PlayAssessment(r, f); d < 0 {
+				t.Fatal("negative assessment duration")
+			}
+		}
+	}
+	precision := func(facts []vocab.Fact) float64 {
+		if len(facts) == 0 {
+			return 0
+		}
+		right := 0
+		for _, f := range facts {
+			if fb.IsTrue(f) {
+				right++
+			}
+		}
+		return float64(right) / float64(len(facts))
+	}
+	verified := g.Facts.Verified(2, 5, 0.6)
+	if len(verified) == 0 {
+		t.Skip("nothing verified")
+	}
+	pCollected := precision(collected)
+	pVerified := precision(verified)
+	if pVerified <= pCollected {
+		t.Errorf("assessment did not raise precision: %.2f -> %.2f", pCollected, pVerified)
+	}
+	if pVerified < 0.9 {
+		t.Errorf("verified precision = %.2f, want >= 0.9", pVerified)
+	}
+}
+
+func TestAssessmentVoteBookkeeping(t *testing.T) {
+	s := NewFactStore()
+	f := vocab.Fact{Subject: 1, Relation: vocab.IsA, Object: 2}
+	s.Record(f)
+	s.Assess(f, true)
+	s.Assess(f, true)
+	s.Assess(f, false)
+	e, r := s.Votes(f)
+	if e != 2 || r != 1 {
+		t.Fatalf("votes = %d, %d", e, r)
+	}
+	if got := s.Verified(1, 3, 0.6); len(got) != 1 || got[0] != f {
+		t.Fatalf("Verified = %v", got)
+	}
+	if got := s.Verified(1, 4, 0.6); len(got) != 0 {
+		t.Fatal("minVotes not enforced")
+	}
+	if got := s.Verified(1, 3, 0.8); len(got) != 0 {
+		t.Fatal("minShare not enforced")
+	}
+	if got := s.Verified(2, 1, 0); len(got) != 0 {
+		t.Fatal("minCount not enforced")
+	}
+}

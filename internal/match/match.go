@@ -1,0 +1,105 @@
+// Package match implements the two pieces of GWAP infrastructure that turn
+// a two-player mechanism into a service: the matchmaker, which pairs
+// arriving players uniformly at random (the primary structural defense
+// against collusion — you cannot cheat with a partner you cannot choose),
+// and the replay store, which records the guess sequences of past games so
+// a lone player can be paired with a "pre-recorded" partner instead of
+// waiting. Replayed partners keep the game playable at low traffic and are
+// also an anti-cheat tool: a player who "agrees" with a replayed stranger
+// was verifiably not colluding.
+package match
+
+import (
+	"errors"
+
+	"humancomp/internal/rng"
+)
+
+// ErrAlreadyWaiting is returned when a player enqueues twice.
+var ErrAlreadyWaiting = errors.New("match: player already in the waiting pool")
+
+// Matchmaker pairs players uniformly at random from its waiting pool.
+type Matchmaker struct {
+	src     *rng.Source
+	waiting []string
+	index   map[string]int // player -> position in waiting
+	played  map[[2]string]int
+	// MaxRepeats bounds how many times the same two players may be paired;
+	// 0 means unlimited. Bounding repeats frustrates colluders who try to
+	// meet by enqueueing simultaneously from two browsers.
+	MaxRepeats int
+}
+
+// NewMatchmaker returns an empty matchmaker drawing randomness from src.
+func NewMatchmaker(src *rng.Source) *Matchmaker {
+	return &Matchmaker{
+		src:    src.Split(),
+		index:  make(map[string]int),
+		played: make(map[[2]string]int),
+	}
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Enqueue adds id to the pool. If a compatible partner is waiting, both are
+// removed and the partner is returned with ok == true; otherwise id waits.
+func (m *Matchmaker) Enqueue(id string) (partner string, ok bool, err error) {
+	if _, waiting := m.index[id]; waiting {
+		return "", false, ErrAlreadyWaiting
+	}
+	// Collect compatible candidates, then pick one uniformly at random.
+	var candidates []int
+	for i, w := range m.waiting {
+		if w == id {
+			continue
+		}
+		if m.MaxRepeats > 0 && m.played[pairKey(id, w)] >= m.MaxRepeats {
+			continue
+		}
+		candidates = append(candidates, i)
+	}
+	if len(candidates) == 0 {
+		m.index[id] = len(m.waiting)
+		m.waiting = append(m.waiting, id)
+		return "", false, nil
+	}
+	i := candidates[m.src.Intn(len(candidates))]
+	partner = m.waiting[i]
+	m.removeAt(i)
+	m.played[pairKey(id, partner)]++
+	return partner, true, nil
+}
+
+// Leave removes id from the waiting pool (the player closed the tab).
+// It reports whether the player was waiting.
+func (m *Matchmaker) Leave(id string) bool {
+	i, ok := m.index[id]
+	if !ok {
+		return false
+	}
+	m.removeAt(i)
+	return true
+}
+
+func (m *Matchmaker) removeAt(i int) {
+	id := m.waiting[i]
+	last := len(m.waiting) - 1
+	m.waiting[i] = m.waiting[last]
+	m.index[m.waiting[i]] = i
+	m.waiting = m.waiting[:last]
+	delete(m.index, id)
+	if i == last {
+		return
+	}
+}
+
+// Waiting returns the number of players in the pool.
+func (m *Matchmaker) Waiting() int { return len(m.waiting) }
+
+// TimesPlayed returns how many times a and b have been paired.
+func (m *Matchmaker) TimesPlayed(a, b string) int { return m.played[pairKey(a, b)] }

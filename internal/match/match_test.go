@@ -1,0 +1,200 @@
+package match
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"humancomp/internal/rng"
+)
+
+func TestEnqueuePairsTwoPlayers(t *testing.T) {
+	m := NewMatchmaker(rng.New(1))
+	if _, ok, err := m.Enqueue("a"); err != nil || ok {
+		t.Fatalf("first enqueue: ok=%v err=%v", ok, err)
+	}
+	if m.Waiting() != 1 {
+		t.Fatalf("Waiting = %d", m.Waiting())
+	}
+	partner, ok, err := m.Enqueue("b")
+	if err != nil || !ok || partner != "a" {
+		t.Fatalf("second enqueue: partner=%q ok=%v err=%v", partner, ok, err)
+	}
+	if m.Waiting() != 0 {
+		t.Fatalf("Waiting = %d after pair", m.Waiting())
+	}
+	if m.TimesPlayed("a", "b") != 1 || m.TimesPlayed("b", "a") != 1 {
+		t.Fatal("TimesPlayed not symmetric")
+	}
+}
+
+func TestEnqueueTwiceRejected(t *testing.T) {
+	m := NewMatchmaker(rng.New(2))
+	_, _, _ = m.Enqueue("a")
+	if _, _, err := m.Enqueue("a"); !errors.Is(err, ErrAlreadyWaiting) {
+		t.Fatalf("double enqueue: %v", err)
+	}
+}
+
+func TestLeave(t *testing.T) {
+	m := NewMatchmaker(rng.New(3))
+	_, _, _ = m.Enqueue("a")
+	_, _, _ = m.Enqueue("b") // pairs with a
+	_, _, _ = m.Enqueue("c")
+	if !m.Leave("c") {
+		t.Fatal("Leave(c) = false for waiting player")
+	}
+	if m.Leave("c") {
+		t.Fatal("Leave(c) = true after leaving")
+	}
+	if m.Waiting() != 0 {
+		t.Fatalf("Waiting = %d", m.Waiting())
+	}
+	// After leaving, a new arrival waits instead of pairing with c.
+	if _, ok, _ := m.Enqueue("d"); ok {
+		t.Fatal("paired with departed player")
+	}
+}
+
+func TestRandomPairingIsUniform(t *testing.T) {
+	// With 4 waiting players, a fifth arrival should pick each with
+	// roughly equal probability across many trials.
+	counts := map[string]int{}
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		m := NewMatchmaker(rng.New(uint64(i + 1)))
+		// Seed the waiting pool directly (white-box): sequential Enqueue
+		// calls would pair the seeds with each other.
+		for _, id := range []string{"w1", "w2", "w3", "w4"} {
+			m.index[id] = len(m.waiting)
+			m.waiting = append(m.waiting, id)
+		}
+		p, ok, _ := m.Enqueue("new")
+		if !ok {
+			t.Fatal("fifth player did not pair")
+		}
+		counts[p]++
+	}
+	for id, c := range counts {
+		if c < trials/4-trials/10 || c > trials/4+trials/10 {
+			t.Errorf("partner %s chosen %d/%d times; pairing not uniform", id, c, trials)
+		}
+	}
+}
+
+func TestMaxRepeatsBlocksSerialPartners(t *testing.T) {
+	m := NewMatchmaker(rng.New(5))
+	m.MaxRepeats = 2
+	for round := 0; round < 2; round++ {
+		_, _, _ = m.Enqueue("x")
+		p, ok, _ := m.Enqueue("y")
+		if !ok || p != "x" {
+			t.Fatalf("round %d: pairing failed", round)
+		}
+	}
+	// Third attempt: x and y have exhausted their repeat budget.
+	_, _, _ = m.Enqueue("x")
+	if _, ok, _ := m.Enqueue("y"); ok {
+		t.Fatal("pair exceeded MaxRepeats")
+	}
+	// A third player can still pair with either.
+	p, ok, _ := m.Enqueue("z")
+	if !ok || (p != "x" && p != "y") {
+		t.Fatalf("fresh player failed to pair: %q %v", p, ok)
+	}
+}
+
+func TestManyPlayersAllPair(t *testing.T) {
+	m := NewMatchmaker(rng.New(6))
+	paired := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok, err := m.Enqueue(fmt.Sprintf("p%d", i)); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			paired++
+		}
+	}
+	if paired != 500 {
+		t.Fatalf("paired %d couples from 1000 arrivals", paired)
+	}
+	if m.Waiting() != 0 {
+		t.Fatalf("Waiting = %d", m.Waiting())
+	}
+}
+
+func TestReplayStoreRecordGet(t *testing.T) {
+	s := NewReplayStore(rng.New(7), 3)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("Get on empty store succeeded")
+	}
+	s.Record(ReplaySession{Item: 1, Player: "a", Words: []int{1, 2, 3}})
+	s.Record(ReplaySession{Item: 1, Player: "b", Words: []int{4}})
+	s.Record(ReplaySession{Item: 2, Player: "c", Words: []int{5}})
+	s.Record(ReplaySession{Item: 3, Player: "d", Words: nil}) // ignored
+	if s.Items() != 2 || s.Size() != 3 {
+		t.Fatalf("Items=%d Size=%d", s.Items(), s.Size())
+	}
+	sess, ok := s.Get(1)
+	if !ok || sess.Item != 1 {
+		t.Fatalf("Get(1) = %+v, %v", sess, ok)
+	}
+}
+
+func TestReplayStoreEvictionKeepsCapacity(t *testing.T) {
+	s := NewReplayStore(rng.New(8), 2)
+	for i := 0; i < 50; i++ {
+		s.Record(ReplaySession{Item: 1, Player: fmt.Sprintf("p%d", i), Words: []int{i}})
+	}
+	if got := len(s.sessions[1]); got != 2 {
+		t.Fatalf("stored %d sessions, cap 2", got)
+	}
+	// Eviction is random replacement: late sessions should appear sometimes.
+	foundLate := false
+	for _, sess := range s.sessions[1] {
+		if sess.Words[0] >= 2 {
+			foundLate = true
+		}
+	}
+	if !foundLate {
+		t.Error("random replacement never admitted a late recording")
+	}
+}
+
+func TestReplayer(t *testing.T) {
+	r := NewReplayer(ReplaySession{Item: 1, Words: []int{10, 20}})
+	if r.Remaining() != 2 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	w, ok := r.Next()
+	if !ok || w != 10 {
+		t.Fatalf("Next = %d, %v", w, ok)
+	}
+	w, ok = r.Next()
+	if !ok || w != 20 {
+		t.Fatalf("Next = %d, %v", w, ok)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next past end succeeded")
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d at end", r.Remaining())
+	}
+}
+
+func TestReplayStorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 did not panic")
+		}
+	}()
+	NewReplayStore(rng.New(1), 0)
+}
+
+func BenchmarkEnqueuePair(b *testing.B) {
+	m := NewMatchmaker(rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = m.Enqueue(fmt.Sprintf("a%d", i))
+		_, _, _ = m.Enqueue(fmt.Sprintf("b%d", i))
+	}
+}

@@ -1,0 +1,109 @@
+package match
+
+import "humancomp/internal/rng"
+
+// ReplaySession is one recorded single-sided game transcript: the ordered
+// guesses a real player made on an item in a past two-player game.
+type ReplaySession struct {
+	Item   int
+	Player string
+	Words  []int
+}
+
+// ReplayStore keeps a bounded number of recorded sessions per item.
+// When full, a new recording evicts a uniformly random old one, keeping the
+// store an unbiased sample of past play.
+type ReplayStore struct {
+	src      *rng.Source
+	perItem  int
+	sessions map[int][]ReplaySession
+	items    []int // keys of sessions, for O(1) random item choice
+	total    int
+}
+
+// NewReplayStore returns a store keeping at most perItem recordings per item.
+func NewReplayStore(src *rng.Source, perItem int) *ReplayStore {
+	if perItem <= 0 {
+		panic("match: replay store capacity must be positive")
+	}
+	return &ReplayStore{
+		src:      src.Split(),
+		perItem:  perItem,
+		sessions: make(map[int][]ReplaySession),
+	}
+}
+
+// Record stores a session transcript. Empty transcripts are ignored: a
+// partner that never guesses is useless for replayed play.
+func (s *ReplayStore) Record(sess ReplaySession) {
+	if len(sess.Words) == 0 {
+		return
+	}
+	list := s.sessions[sess.Item]
+	if len(list) == 0 {
+		s.items = append(s.items, sess.Item)
+	}
+	if len(list) < s.perItem {
+		s.sessions[sess.Item] = append(list, sess)
+		s.total++
+		return
+	}
+	list[s.src.Intn(len(list))] = sess
+}
+
+// Get returns a uniformly random recorded session for item, or ok == false
+// when none exist.
+func (s *ReplayStore) Get(item int) (ReplaySession, bool) {
+	list := s.sessions[item]
+	if len(list) == 0 {
+		return ReplaySession{}, false
+	}
+	return list[s.src.Intn(len(list))], true
+}
+
+// Any returns a random recorded session from a random recorded item, or
+// ok == false when the store is empty. Single-player mode serves whatever
+// items have transcripts, not a random corpus item.
+func (s *ReplayStore) Any() (ReplaySession, bool) {
+	if len(s.items) == 0 {
+		return ReplaySession{}, false
+	}
+	item := s.items[s.src.Intn(len(s.items))]
+	return s.Get(item)
+}
+
+// Items returns the number of items with at least one recording.
+func (s *ReplayStore) Items() int { return len(s.sessions) }
+
+// Size returns the total number of stored recordings.
+func (s *ReplayStore) Size() int {
+	n := 0
+	for _, l := range s.sessions {
+		n += len(l)
+	}
+	return n
+}
+
+// Replayer steps through a recorded session as the "pre-recorded partner"
+// of a single-player game.
+type Replayer struct {
+	sess ReplaySession
+	next int
+}
+
+// NewReplayer returns a replayer over sess.
+func NewReplayer(sess ReplaySession) *Replayer { return &Replayer{sess: sess} }
+
+// Next returns the recorded partner's next guess, or ok == false when the
+// transcript is exhausted.
+func (r *Replayer) Next() (word int, ok bool) {
+	if r.next >= len(r.sess.Words) {
+		return 0, false
+	}
+	w := r.sess.Words[r.next]
+	r.next++
+	return w, true
+}
+
+// Remaining returns how many recorded guesses are left.
+func (r *Replayer) Remaining() int { return len(r.sess.Words) - r.next }

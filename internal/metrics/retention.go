@@ -1,0 +1,78 @@
+package metrics
+
+import "sync"
+
+// Retention tracks cohort retention: for each player, the days (relative
+// to the start of observation) on which they played. Day-N retention — the
+// fraction of players who return N days after their first session — is the
+// engagement metric behind ALP: a game with flat day-7 retention keeps its
+// throughput without new-player acquisition.
+type Retention struct {
+	mu       sync.Mutex
+	firstDay map[string]int
+	visits   map[string]map[int]bool
+	lastDay  int
+}
+
+// NewRetention returns an empty tracker.
+func NewRetention() *Retention {
+	return &Retention{
+		firstDay: make(map[string]int),
+		visits:   make(map[string]map[int]bool),
+	}
+}
+
+// RecordVisit notes that player played on day (0-based). Days may arrive
+// out of order.
+func (r *Retention) RecordVisit(player string, day int) {
+	if day < 0 {
+		panic("metrics: negative retention day")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if first, seen := r.firstDay[player]; !seen || day < first {
+		r.firstDay[player] = day
+	}
+	m := r.visits[player]
+	if m == nil {
+		m = make(map[int]bool)
+		r.visits[player] = m
+	}
+	m[day] = true
+	if day > r.lastDay {
+		r.lastDay = day
+	}
+}
+
+// Players returns the number of distinct players observed.
+func (r *Retention) Players() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.firstDay)
+}
+
+// Curve returns day-N retention for N in [0, maxDay]: the fraction of
+// players, among those observable for at least N days (first visit no
+// later than lastDay−N), who played again on firstDay+N. Curve[0] is 1 by
+// construction. Days with an empty observable cohort report 0.
+func (r *Retention) Curve(maxDay int) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, maxDay+1)
+	for n := 0; n <= maxDay; n++ {
+		cohort, returned := 0, 0
+		for player, first := range r.firstDay {
+			if first+n > r.lastDay {
+				continue // not observable for N days yet
+			}
+			cohort++
+			if r.visits[player][first+n] {
+				returned++
+			}
+		}
+		if cohort > 0 {
+			out[n] = float64(returned) / float64(cohort)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package ocr simulates optical character recognition over degraded scans.
+// It substitutes for the commercial OCR programs and scanned books of the
+// reCAPTCHA deployment (DESIGN.md §3): each word carries a latent
+// degradation level; an engine misreads characters with probability that
+// grows with degradation. Because degradation is shared across engines,
+// their errors are *correlated* — both engines fail on the same smudged
+// words — which is precisely the structure that makes "two OCRs agree" a
+// weak filter and human transcription valuable.
+package ocr
+
+import (
+	"strings"
+
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+)
+
+// Engine is one simulated OCR program.
+type Engine struct {
+	// Name identifies the engine in reports.
+	Name string
+	// BaseCharAccuracy is the per-character read accuracy on a clean scan.
+	BaseCharAccuracy float64
+	// DegradationSensitivity scales how fast accuracy falls with
+	// degradation: per-char accuracy = Base × (1 − Sensitivity × deg).
+	DegradationSensitivity float64
+
+	src *rng.Source
+}
+
+// NewEngine returns an engine with its own error stream.
+func NewEngine(name string, baseCharAccuracy, sensitivity float64, seed uint64) *Engine {
+	if baseCharAccuracy <= 0 || baseCharAccuracy > 1 {
+		panic("ocr: base char accuracy must be in (0, 1]")
+	}
+	if sensitivity < 0 || sensitivity > 1 {
+		panic("ocr: sensitivity must be in [0, 1]")
+	}
+	return &Engine{
+		Name:                   name,
+		BaseCharAccuracy:       baseCharAccuracy,
+		DegradationSensitivity: sensitivity,
+		src:                    rng.New(seed),
+	}
+}
+
+// confusable maps each letter to the glyphs OCR classically confuses it
+// with on noisy scans.
+var confusable = map[byte]string{
+	'a': "oe", 'b': "dh", 'c': "eo", 'd': "bcl", 'e': "ca",
+	'f': "tl", 'g': "qy", 'h': "bn", 'i': "ljt", 'j': "i",
+	'k': "lx", 'l': "it1", 'm': "nw", 'n': "mh", 'o': "ac",
+	'p': "q", 'q': "gp", 'r': "nv", 's': "z", 't': "fl",
+	'u': "vn", 'v': "uw", 'w': "vm", 'x': "k", 'z': "s",
+}
+
+// Read returns the engine's transcription of a word scanned at the given
+// degradation level in [0, 1], plus a confidence in [0, 1] (the engine's
+// own estimate that the word is right, which shrinks with every uncertain
+// character — real OCR reports exactly this).
+func (e *Engine) Read(word string, degradation float64) (text string, confidence float64) {
+	if degradation < 0 {
+		degradation = 0
+	}
+	if degradation > 1 {
+		degradation = 1
+	}
+	pChar := e.BaseCharAccuracy * (1 - e.DegradationSensitivity*degradation)
+	if pChar < 0.05 {
+		pChar = 0.05
+	}
+	var b strings.Builder
+	confidence = 1
+	for i := 0; i < len(word); i++ {
+		ch := word[i]
+		if e.src.Bool(pChar) {
+			b.WriteByte(ch)
+			confidence *= pChar
+			continue
+		}
+		confidence *= pChar * 0.5 // a misread also dents self-confidence
+		switch e.src.Intn(10) {
+		case 0: // dropped character (ink gap)
+		case 1: // split character (smudge read as two glyphs)
+			b.WriteByte(substitute(e.src, ch))
+			b.WriteByte(substitute(e.src, ch))
+		default:
+			b.WriteByte(substitute(e.src, ch))
+		}
+	}
+	return b.String(), confidence
+}
+
+func substitute(src *rng.Source, ch byte) byte {
+	if opts := confusable[ch]; len(opts) > 0 {
+		return opts[src.Intn(len(opts))]
+	}
+	return byte('a' + src.Intn(26))
+}
+
+// Word is one scanned token with its latent degradation.
+type Word struct {
+	Text        string
+	Degradation float64
+}
+
+// Document is a sequence of scanned words.
+type Document struct {
+	Words []Word
+}
+
+// DocumentConfig parameterizes SyntheticDocument.
+type DocumentConfig struct {
+	NumWords int
+	// DegMean and DegSD shape the per-word degradation distribution
+	// (normal, clamped to [0, 1]). Old newspaper archives sit around
+	// mean 0.5; clean modern print near 0.1.
+	DegMean, DegSD float64
+	Seed           uint64
+}
+
+// SyntheticDocument builds a document by drawing Zipf-weighted words from
+// lex — the stand-in for a scanned book page.
+func SyntheticDocument(lex *vocab.Lexicon, cfg DocumentConfig) Document {
+	if cfg.NumWords <= 0 {
+		panic("ocr: document must contain at least one word")
+	}
+	src := rng.New(cfg.Seed)
+	doc := Document{Words: make([]Word, cfg.NumWords)}
+	for i := range doc.Words {
+		deg := src.Norm(cfg.DegMean, cfg.DegSD)
+		if deg < 0 {
+			deg = 0
+		}
+		if deg > 1 {
+			deg = 1
+		}
+		doc.Words[i] = Word{
+			Text:        lex.Word(lex.SampleFrom(src)).Text,
+			Degradation: deg,
+		}
+	}
+	return doc
+}
+
+// WordAccuracy scores a transcription run: the fraction of words in got
+// that exactly match want. The slices must be parallel; it panics otherwise.
+func WordAccuracy(want []string, got []string) float64 {
+	if len(want) != len(got) {
+		panic("ocr: WordAccuracy slices must be parallel")
+	}
+	if len(want) == 0 {
+		return 0
+	}
+	right := 0
+	for i := range want {
+		if want[i] == got[i] {
+			right++
+		}
+	}
+	return float64(right) / float64(len(want))
+}

@@ -1,0 +1,76 @@
+package quality
+
+import (
+	"math"
+	"sync"
+)
+
+// Reputation tracks per-worker reliability from gold-standard probes:
+// tasks with known answers seeded into a worker's stream. Estimates use
+// Laplace smoothing so new workers start near the prior rather than at an
+// extreme. Safe for concurrent use by dispatch handlers.
+type Reputation struct {
+	mu          sync.Mutex
+	prior       float64 // prior accuracy for unseen workers
+	priorWeight float64 // pseudo-observations behind the prior
+	correct     map[string]float64
+	total       map[string]float64
+}
+
+// NewReputation returns a tracker with the given prior accuracy backed by
+// priorWeight pseudo-observations.
+func NewReputation(prior, priorWeight float64) *Reputation {
+	if prior <= 0 || prior >= 1 {
+		panic("quality: reputation prior must be in (0, 1)")
+	}
+	if priorWeight <= 0 {
+		panic("quality: reputation prior weight must be positive")
+	}
+	return &Reputation{
+		prior:       prior,
+		priorWeight: priorWeight,
+		correct:     make(map[string]float64),
+		total:       make(map[string]float64),
+	}
+}
+
+// Record notes one gold-probe outcome for worker.
+func (r *Reputation) Record(worker string, correct bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total[worker]++
+	if correct {
+		r.correct[worker]++
+	}
+}
+
+// Accuracy returns the smoothed accuracy estimate for worker.
+func (r *Reputation) Accuracy(worker string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return (r.correct[worker] + r.prior*r.priorWeight) / (r.total[worker] + r.priorWeight)
+}
+
+// Probes returns how many gold probes the worker has seen.
+func (r *Reputation) Probes(worker string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int(r.total[worker])
+}
+
+// Weight returns the vote weight for worker: the log-odds of the accuracy
+// estimate, floored at zero. A worker at the 50% guessing floor contributes
+// nothing; reliable workers contribute proportionally to the evidence their
+// agreement carries. This is the Bayes-optimal weighting for independent
+// binary votes and a good heuristic beyond.
+func (r *Reputation) Weight(worker string) float64 {
+	a := r.Accuracy(worker)
+	if a <= 0.5 {
+		return 0
+	}
+	return logit(a)
+}
+
+func logit(p float64) float64 {
+	return math.Log(p / (1 - p))
+}

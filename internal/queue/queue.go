@@ -1,0 +1,317 @@
+// Package queue implements the work queue at the heart of a human
+// computation system: tasks wait in priority order, workers lease them for
+// a bounded time, and redundancy is enforced by never handing one task to
+// more concurrent workers than it still needs answers from. Expired leases
+// return the task to the pool, so a player closing the browser tab mid-round
+// never strands work.
+//
+// All methods take the current time explicitly, so the queue runs equally
+// well under the discrete-event simulator's virtual clock and the dispatch
+// service's wall clock. The queue is safe for concurrent use.
+package queue
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"humancomp/internal/task"
+)
+
+// Errors returned by queue operations.
+var (
+	ErrEmpty        = errors.New("queue: no task available for this worker")
+	ErrUnknownLease = errors.New("queue: unknown or expired lease")
+	ErrUnknownTask  = errors.New("queue: unknown task")
+	ErrDuplicateID  = errors.New("queue: task ID already enqueued")
+)
+
+// LeaseID identifies one outstanding lease.
+type LeaseID int64
+
+// Lease records that a worker holds a task until Expiry.
+type Lease struct {
+	ID       LeaseID
+	TaskID   task.ID
+	WorkerID string
+	Expiry   time.Time
+}
+
+type entry struct {
+	t        *task.Task
+	inFlight int // outstanding leases on this task
+	index    int // heap index, -1 when not in heap
+}
+
+// Queue is a redundancy-aware priority work queue with leases.
+type Queue struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	entries map[task.ID]*entry
+	heap    taskHeap
+	leases  map[LeaseID]*Lease
+	nextID  LeaseID
+
+	expired int64 // total leases reclaimed by ExpireLeases
+}
+
+// New returns an empty queue whose leases expire after ttl.
+// It panics if ttl is not positive.
+func New(ttl time.Duration) *Queue {
+	if ttl <= 0 {
+		panic("queue: lease TTL must be positive")
+	}
+	return &Queue{
+		ttl:     ttl,
+		entries: make(map[task.ID]*entry),
+		leases:  make(map[LeaseID]*Lease),
+	}
+}
+
+// Add enqueues an open task. The queue takes ownership of the task; callers
+// must not mutate it afterwards except through queue methods.
+func (q *Queue) Add(t *task.Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, dup := q.entries[t.ID]; dup {
+		return ErrDuplicateID
+	}
+	if t.Status != task.Open {
+		return fmt.Errorf("queue: cannot enqueue task %d with status %v", t.ID, t.Status)
+	}
+	e := &entry{t: t, index: -1}
+	q.entries[t.ID] = e
+	heap.Push(&q.heap, e)
+	return nil
+}
+
+// Lease hands workerID the best available task and records a lease expiring
+// at now.Add(ttl). A task is available when it is Open, has not already been
+// answered by this worker, is not currently leased to this worker, and has
+// fewer outstanding leases than answers it still needs. Returns ErrEmpty
+// when nothing is eligible.
+func (q *Queue) Lease(workerID string, now time.Time) (*task.Task, LeaseID, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(now)
+
+	// Pop until an eligible entry is found; re-push skipped entries after.
+	var skipped []*entry
+	defer func() {
+		for _, e := range skipped {
+			heap.Push(&q.heap, e)
+		}
+	}()
+	for q.heap.Len() > 0 {
+		e := heap.Pop(&q.heap).(*entry)
+		if !q.eligibleLocked(e, workerID) {
+			if e.t.Status == task.Open {
+				skipped = append(skipped, e)
+				continue
+			}
+			delete(q.entries, e.t.ID) // finished task drained from heap
+			continue
+		}
+		e.inFlight++
+		// Keep the entry in the heap while leased: other workers may take
+		// the remaining redundancy slots concurrently.
+		heap.Push(&q.heap, e)
+		q.nextID++
+		l := &Lease{ID: q.nextID, TaskID: e.t.ID, WorkerID: workerID, Expiry: now.Add(q.ttl)}
+		q.leases[l.ID] = l
+		return e.t, l.ID, nil
+	}
+	return nil, 0, ErrEmpty
+}
+
+func (q *Queue) eligibleLocked(e *entry, workerID string) bool {
+	if e.t.Status != task.Open {
+		return false
+	}
+	if e.inFlight >= e.t.Remaining() {
+		return false
+	}
+	for _, a := range e.t.Answers {
+		if a.WorkerID == workerID {
+			return false
+		}
+	}
+	for _, l := range q.leases {
+		if l.TaskID == e.t.ID && l.WorkerID == workerID {
+			return false
+		}
+	}
+	return true
+}
+
+// Complete records the leaseholder's answer and releases the lease,
+// returning the task the answer landed on. If the answer fulfills the
+// task's redundancy the task leaves the queue as Done.
+func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (*task.Task, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(now)
+	l, ok := q.leases[id]
+	if !ok {
+		return nil, ErrUnknownLease
+	}
+	e, ok := q.entries[l.TaskID]
+	if !ok {
+		delete(q.leases, id)
+		return nil, ErrUnknownTask
+	}
+	a.WorkerID = l.WorkerID
+	if err := e.t.Record(a, now); err != nil {
+		return nil, err
+	}
+	delete(q.leases, id)
+	e.inFlight--
+	q.fixLocked(e)
+	return e.t, nil
+}
+
+// Release returns a leased task to the pool without an answer (the worker
+// skipped or disconnected cleanly).
+func (q *Queue) Release(id LeaseID, now time.Time) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(now)
+	l, ok := q.leases[id]
+	if !ok {
+		return ErrUnknownLease
+	}
+	delete(q.leases, id)
+	if e, ok := q.entries[l.TaskID]; ok {
+		e.inFlight--
+		q.fixLocked(e)
+	}
+	return nil
+}
+
+// Cancel removes an open task from the queue.
+func (q *Queue) Cancel(id task.ID, now time.Time) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[id]
+	if !ok {
+		return ErrUnknownTask
+	}
+	if err := e.t.Cancel(now); err != nil {
+		return err
+	}
+	q.fixLocked(e)
+	return nil
+}
+
+// ExpireLeases reclaims all leases that expired at or before now and
+// returns how many were reclaimed. Lease and Complete call this implicitly;
+// it is exported for callers that want eager reclamation (e.g. a ticker in
+// the dispatch service).
+func (q *Queue) ExpireLeases(now time.Time) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	before := q.expired
+	q.expireLocked(now)
+	return int(q.expired - before)
+}
+
+func (q *Queue) expireLocked(now time.Time) {
+	for id, l := range q.leases {
+		if l.Expiry.After(now) {
+			continue
+		}
+		delete(q.leases, id)
+		q.expired++
+		if e, ok := q.entries[l.TaskID]; ok {
+			e.inFlight--
+			q.fixLocked(e)
+		}
+	}
+}
+
+// fixLocked re-establishes heap order for e after its scheduling state
+// changed, removing it when it is no longer Open.
+func (q *Queue) fixLocked(e *entry) {
+	if e.index < 0 {
+		return
+	}
+	if e.t.Status != task.Open {
+		heap.Remove(&q.heap, e.index)
+		delete(q.entries, e.t.ID)
+		return
+	}
+	heap.Fix(&q.heap, e.index)
+}
+
+// Task returns the task with the given ID regardless of status, or
+// ErrUnknownTask if the queue never saw it or has already dropped it.
+func (q *Queue) Task(id task.ID) (*task.Task, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[id]
+	if !ok {
+		return nil, ErrUnknownTask
+	}
+	return e.t, nil
+}
+
+// Stats is a snapshot of queue occupancy.
+type Stats struct {
+	Open          int   // tasks still collecting answers
+	InFlight      int   // outstanding leases
+	ExpiredLeases int64 // cumulative reclaimed leases
+}
+
+// Stats returns a snapshot of queue occupancy.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	open := 0
+	for _, e := range q.entries {
+		if e.t.Status == task.Open {
+			open++
+		}
+	}
+	return Stats{Open: open, InFlight: len(q.leases), ExpiredLeases: q.expired}
+}
+
+// taskHeap orders entries by priority (desc), then creation time (asc),
+// then ID (asc) for determinism.
+type taskHeap []*entry
+
+func (h taskHeap) Len() int { return len(h) }
+
+func (h taskHeap) Less(i, j int) bool {
+	a, b := h[i].t, h[j].t
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if !a.CreatedAt.Equal(b.CreatedAt) {
+		return a.CreatedAt.Before(b.CreatedAt)
+	}
+	return a.ID < b.ID
+}
+
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *taskHeap) Push(x any) {
+	e := x.(*entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

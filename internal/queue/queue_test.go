@@ -1,0 +1,384 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"humancomp/internal/task"
+)
+
+var t0 = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+func newTask(t *testing.T, id task.ID, priority, redundancy int) *task.Task {
+	t.Helper()
+	tk, err := task.New(id, task.Label, task.Payload{ImageID: int(id)}, redundancy, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Priority = priority
+	return tk
+}
+
+func answer(words ...int) task.Answer { return task.Answer{Words: words} }
+
+func TestPriorityOrder(t *testing.T) {
+	q := New(time.Minute)
+	for i, pri := range []int{1, 5, 3} {
+		if err := q.Add(newTask(t, task.ID(i), pri, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantOrder := []task.ID{1, 2, 0} // priorities 5, 3, 1
+	for _, want := range wantOrder {
+		tk, lease, err := q.Lease("w", t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.ID != want {
+			t.Fatalf("leased %d, want %d", tk.ID, want)
+		}
+		if _, err := q.Complete(lease, answer(1), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := q.Lease("w", t0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("expected empty queue, got %v", err)
+	}
+}
+
+func TestFIFOWithinPriority(t *testing.T) {
+	q := New(time.Minute)
+	early := newTask(t, 10, 0, 1)
+	late := newTask(t, 5, 0, 1)
+	late.CreatedAt = t0.Add(time.Second)
+	if err := q.Add(late); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Add(early); err != nil {
+		t.Fatal(err)
+	}
+	tk, _, err := q.Lease("w", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.ID != 10 {
+		t.Fatalf("leased %d, want earlier-created 10", tk.ID)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Add(newTask(t, 1, 0, 1)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRedundancyLimitsConcurrentLeases(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Lease("a", t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Lease("b", t0); err != nil {
+		t.Fatal(err)
+	}
+	// Third concurrent worker must not get the task: only 2 answers wanted.
+	if _, _, err := q.Lease("c", t0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("third lease: err = %v", err)
+	}
+}
+
+func TestSameWorkerCannotHoldTaskTwice(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Lease("w", t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Lease("w", t0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("second lease to same worker: err = %v", err)
+	}
+}
+
+func TestWorkerCannotAnswerTwice(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := q.Lease("w", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Complete(lease, answer(1), t0); err != nil {
+		t.Fatal(err)
+	}
+	// The same worker asking again must be skipped even though the task
+	// still needs two more answers.
+	if _, _, err := q.Lease("w", t0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("lease after answering: err = %v", err)
+	}
+	if _, _, err := q.Lease("other", t0); err != nil {
+		t.Fatalf("different worker should get the task: %v", err)
+	}
+}
+
+func TestCompleteStampsLeaseWorker(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	tk, lease, err := q.Lease("w", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := answer(1)
+	a.WorkerID = "forged"
+	if _, err := q.Complete(lease, a, t0); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Answers[0].WorkerID != "w" {
+		t.Fatalf("answer WorkerID = %q, want lease holder", tk.Answers[0].WorkerID)
+	}
+}
+
+func TestLeaseExpiryRequeues(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := q.Lease("a", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before expiry no one else can take it.
+	if _, _, err := q.Lease("b", t0.Add(30*time.Second)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("pre-expiry lease: err = %v", err)
+	}
+	// After expiry the task is available again and the old lease is dead.
+	tk, _, err := q.Lease("b", t0.Add(61*time.Second))
+	if err != nil || tk.ID != 1 {
+		t.Fatalf("post-expiry lease: %v, %v", tk, err)
+	}
+	if _, err := q.Complete(lease, answer(1), t0.Add(61*time.Second)); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("complete on expired lease: err = %v", err)
+	}
+	if q.Stats().ExpiredLeases != 1 {
+		t.Errorf("ExpiredLeases = %d", q.Stats().ExpiredLeases)
+	}
+}
+
+func TestExpireLeasesExplicit(t *testing.T) {
+	q := New(time.Minute)
+	for i := 0; i < 3; i++ {
+		if err := q.Add(newTask(t, task.ID(i), 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := q.Lease(fmt.Sprintf("w%d", i), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := q.ExpireLeases(t0.Add(time.Second)); n != 0 {
+		t.Fatalf("expired %d before TTL", n)
+	}
+	if n := q.ExpireLeases(t0.Add(2 * time.Minute)); n != 3 {
+		t.Fatalf("expired %d, want 3", n)
+	}
+	if got := q.Stats(); got.InFlight != 0 || got.Open != 3 {
+		t.Fatalf("stats after expiry: %+v", got)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := q.Lease("a", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Release(lease, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Release(lease, t0); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("double release: err = %v", err)
+	}
+	// Released task immediately available, even to the same worker.
+	if _, _, err := q.Lease("a", t0); err != nil {
+		t.Fatalf("lease after release: %v", err)
+	}
+}
+
+func TestCancelRemovesTask(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Cancel(1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Lease("w", t0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("lease after cancel: err = %v", err)
+	}
+	if err := q.Cancel(99, t0); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("cancel unknown: err = %v", err)
+	}
+}
+
+func TestTaskLookup(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 7, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := q.Task(7)
+	if err != nil || tk.ID != 7 {
+		t.Fatalf("Task(7) = %v, %v", tk, err)
+	}
+	if _, err := q.Task(8); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("Task(8): err = %v", err)
+	}
+}
+
+func TestNewPanicsOnBadTTL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// TestNoDoubleLeaseProperty drives random lease/complete/release/expire
+// traffic and asserts the core safety property: a task never accumulates
+// more answers than its redundancy, and no worker answers twice.
+func TestNoDoubleLeaseProperty(t *testing.T) {
+	f := func(ops []uint8, redundancyRaw uint8) bool {
+		q := New(time.Minute)
+		redundancy := int(redundancyRaw%4) + 1
+		const nTasks = 5
+		for i := 0; i < nTasks; i++ {
+			tk, _ := task.New(task.ID(i), task.Label, task.Payload{}, redundancy, t0)
+			if err := q.Add(tk); err != nil {
+				return false
+			}
+		}
+		now := t0
+		held := map[LeaseID]bool{}
+		workers := []string{"a", "b", "c", "d", "e", "f"}
+		for _, op := range ops {
+			now = now.Add(time.Duration(op%40) * time.Second)
+			switch op % 3 {
+			case 0:
+				w := workers[int(op/3)%len(workers)]
+				if _, l, err := q.Lease(w, now); err == nil {
+					held[l] = true
+				}
+			case 1:
+				for l := range held {
+					_, _ = q.Complete(l, answer(int(op)), now)
+					delete(held, l)
+					break
+				}
+			case 2:
+				for l := range held {
+					_ = q.Release(l, now)
+					delete(held, l)
+					break
+				}
+			}
+		}
+		for i := 0; i < nTasks; i++ {
+			tk, err := q.Task(task.ID(i))
+			if errors.Is(err, ErrUnknownTask) {
+				continue // drained after completion; fine
+			}
+			if len(tk.Answers) > redundancy {
+				return false
+			}
+			seen := map[string]bool{}
+			for _, a := range tk.Answers {
+				if seen[a.WorkerID] {
+					return false
+				}
+				seen[a.WorkerID] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentWorkersRace(t *testing.T) {
+	q := New(time.Minute)
+	const nTasks = 200
+	for i := 0; i < nTasks; i++ {
+		if err := q.Add(newTask(t, task.ID(i), 0, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	var completed sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("worker-%d", w)
+			for {
+				tk, lease, err := q.Lease(id, t0)
+				if errors.Is(err, ErrEmpty) {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := q.Complete(lease, answer(w), t0); err != nil {
+					t.Error(err)
+					return
+				}
+				completed.Store(tk.ID, true)
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := 0
+	completed.Range(func(_, _ any) bool { n++; return true })
+	if n != nTasks {
+		t.Fatalf("completed %d distinct tasks, want %d", n, nTasks)
+	}
+	if s := q.Stats(); s.Open != 0 || s.InFlight != 0 {
+		t.Fatalf("queue not drained: %+v", s)
+	}
+}
+
+func BenchmarkLeaseComplete(b *testing.B) {
+	q := New(time.Minute)
+	for i := 0; i < b.N; i++ {
+		tk, _ := task.New(task.ID(i), task.Label, task.Payload{}, 1, t0)
+		if err := q.Add(tk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, lease, err := q.Lease("w", t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Complete(lease, answer(1), t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

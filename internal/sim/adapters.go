@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"time"
+
+	"humancomp/internal/games/esp"
+	"humancomp/internal/games/matchin"
+	"humancomp/internal/games/peekaboom"
+	"humancomp/internal/games/phetch"
+	"humancomp/internal/games/squigl"
+	"humancomp/internal/games/tagatune"
+	"humancomp/internal/games/verbosity"
+	"humancomp/internal/match"
+	"humancomp/internal/rng"
+	"humancomp/internal/score"
+	"humancomp/internal/worker"
+)
+
+// ESPAdapter wires the ESP Game into the crowd simulator: one round labels
+// one random unretired image; an agreement is one output. Live transcripts
+// feed the replay store so solo fallback works, and an optional observer
+// sees every round (the anti-fraud experiments hook in there).
+type ESPAdapter struct {
+	Game   *esp.Game
+	Replay *match.ReplayStore
+	// Observer, when set, is called after every live round.
+	Observer func(a, b *worker.Worker, res esp.RoundResult)
+	// Board, when set, scores every player's rounds (points, streaks).
+	Board *score.Board
+	src   *rng.Source
+}
+
+// NewESPAdapter returns an adapter with replay recording enabled.
+func NewESPAdapter(g *esp.Game, seed uint64) *ESPAdapter {
+	src := rng.New(seed)
+	return &ESPAdapter{
+		Game:   g,
+		Replay: match.NewReplayStore(src, 8),
+		src:    src.Split(),
+	}
+}
+
+// PlayRound implements PairGame.
+func (a *ESPAdapter) PlayRound(w1, w2 *worker.Worker) (int, time.Duration) {
+	imgID, ok := a.Game.PickImage()
+	if !ok {
+		return 0, time.Minute // corpus exhausted; idle beat
+	}
+	res := a.Game.PlayRound(w1, w2, imgID)
+	if a.Replay != nil {
+		for i, w := range [2]*worker.Worker{w1, w2} {
+			if len(res.Guesses[i]) > 0 {
+				a.Replay.Record(match.ReplaySession{Item: imgID, Player: w.ID, Words: res.Guesses[i]})
+			}
+		}
+	}
+	if a.Observer != nil {
+		a.Observer(w1, w2, res)
+	}
+	if a.Board != nil {
+		a.Board.RecordRound(w1.ID, res.Agreed, res.Duration)
+		a.Board.RecordRound(w2.ID, res.Agreed, res.Duration)
+	}
+	outputs := 0
+	if res.Agreed {
+		outputs = 1
+	}
+	return outputs, res.Duration
+}
+
+// PlaySolo implements SoloGame via the replay store: the round is played
+// on an item that actually has a transcript, skipping retired images and
+// the player's own recordings.
+func (a *ESPAdapter) PlaySolo(w *worker.Worker) (int, time.Duration, bool) {
+	var sess match.ReplaySession
+	found := false
+	for attempts := 0; attempts < 8; attempts++ {
+		s, ok := a.Replay.Any()
+		if !ok {
+			return 0, 0, false
+		}
+		if s.Player == w.ID || a.Game.Taboo.Retired(s.Item) {
+			continue
+		}
+		sess, found = s, true
+		break
+	}
+	if !found {
+		return 0, 0, false
+	}
+	res := a.Game.PlayRoundReplay(w, match.NewReplayer(sess), sess.Item)
+	outputs := 0
+	if res.Agreed {
+		outputs = 1
+	}
+	return outputs, res.Duration, true
+}
+
+// PeekaboomAdapter wires Peekaboom in: one round is one locate task; a
+// solved round is one output.
+type PeekaboomAdapter struct {
+	Game *peekaboom.Game
+}
+
+// PlayRound implements PairGame.
+func (a *PeekaboomAdapter) PlayRound(boom, peek *worker.Worker) (int, time.Duration) {
+	imgID, word := a.Game.PickTask()
+	res := a.Game.PlayRound(boom, peek, imgID, word)
+	outputs := 0
+	if res.Solved {
+		outputs = 1
+	}
+	return outputs, res.Duration
+}
+
+// VerbosityAdapter wires Verbosity in: a solved round contributes its
+// collected facts as outputs.
+type VerbosityAdapter struct {
+	Game *verbosity.Game
+}
+
+// PlayRound implements PairGame.
+func (a *VerbosityAdapter) PlayRound(narrator, guesser *worker.Worker) (int, time.Duration) {
+	subject := a.Game.PickConcept()
+	res := a.Game.PlayRound(narrator, guesser, subject)
+	outputs := 0
+	if res.Solved {
+		outputs = len(res.Hints)
+	}
+	return outputs, res.Duration
+}
+
+// TagATuneAdapter wires the input-agreement game in: a successful round
+// contributes its validated descriptions as outputs.
+type TagATuneAdapter struct {
+	Game *tagatune.Game
+}
+
+// PlayRound implements PairGame.
+func (a *TagATuneAdapter) PlayRound(p1, p2 *worker.Worker) (int, time.Duration) {
+	itemA, itemB, _ := a.Game.PickPair()
+	res := a.Game.PlayRound(p1, p2, itemA, itemB)
+	return res.Validated, res.Duration
+}
+
+// SquiglAdapter wires the outline-tracing game in: an agreed trace is one
+// output.
+type SquiglAdapter struct {
+	Game *squigl.Game
+}
+
+// PlayRound implements PairGame.
+func (a *SquiglAdapter) PlayRound(p1, p2 *worker.Worker) (int, time.Duration) {
+	imgID, word := a.Game.PickTask()
+	res := a.Game.PlayRound(p1, p2, imgID, word)
+	outputs := 0
+	if res.Agreed {
+		outputs = 1
+	}
+	return outputs, res.Duration
+}
+
+// PhetchAdapter wires the caption game in: one player describes, the other
+// seeks; a validated caption is one output.
+type PhetchAdapter struct {
+	Game *phetch.Game
+}
+
+// PlayRound implements PairGame.
+func (a *PhetchAdapter) PlayRound(describer, seeker *worker.Worker) (int, time.Duration) {
+	res := a.Game.PlayRound(describer, []*worker.Worker{seeker}, a.Game.PickImage())
+	outputs := 0
+	if res.Solved {
+		outputs = 1
+	}
+	return outputs, res.Duration
+}
+
+// MatchinAdapter wires the preference game in: an agreed comparison is one
+// output.
+type MatchinAdapter struct {
+	Game *matchin.Game
+}
+
+// PlayRound implements PairGame.
+func (a *MatchinAdapter) PlayRound(p1, p2 *worker.Worker) (int, time.Duration) {
+	x, y := a.Game.PickPair()
+	res := a.Game.PlayRound(p1, p2, x, y)
+	outputs := 0
+	if res.Agreed {
+		outputs = 1
+	}
+	return outputs, res.Duration
+}

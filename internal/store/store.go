@@ -1,0 +1,144 @@
+// Package store provides the persistence layer of the dispatch service: an
+// in-memory task table with a monotonic ID allocator and JSON
+// snapshot/restore, so a service can checkpoint its state to disk and pick
+// up where it left off. The snapshot format is plain JSON — inspectable
+// with standard tools and stable across versions that do not change the
+// task schema.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"humancomp/internal/task"
+)
+
+// ErrNotFound is returned by Get for unknown task IDs.
+var ErrNotFound = errors.New("store: task not found")
+
+// Store is an in-memory task table. Safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	tasks  map[task.ID]*task.Task
+	nextID task.ID
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{tasks: make(map[task.ID]*task.Task)}
+}
+
+// NextID allocates a fresh task ID.
+func (s *Store) NextID() task.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return s.nextID
+}
+
+// Put inserts or replaces a task.
+func (s *Store) Put(t *task.Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tasks[t.ID] = t
+	if t.ID > s.nextID {
+		s.nextID = t.ID
+	}
+}
+
+// Get returns the task with the given ID or ErrNotFound.
+func (s *Store) Get(id task.ID) (*task.Task, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return t, nil
+}
+
+// Len returns the number of stored tasks.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tasks)
+}
+
+// All returns every task ordered by ID.
+func (s *Store) All() []*task.Task {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*task.Task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByStatus returns every task with the given status, ordered by ID.
+func (s *Store) ByStatus(st task.Status) []*task.Task {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*task.Task
+	for _, t := range s.tasks {
+		if t.Status == st {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// snapshot is the JSON wire format of a store.
+type snapshot struct {
+	Version int          `json:"version"`
+	NextID  task.ID      `json:"next_id"`
+	Tasks   []*task.Task `json:"tasks"`
+}
+
+const snapshotVersion = 1
+
+// Snapshot writes the store as JSON to w.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Version: snapshotVersion, NextID: s.nextID, Tasks: make([]*task.Task, 0, len(s.tasks))}
+	for _, t := range s.tasks {
+		snap.Tasks = append(snap.Tasks, t)
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.Tasks, func(i, j int) bool { return snap.Tasks[i].ID < snap.Tasks[j].ID })
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Restore replaces the store's contents with the snapshot read from r.
+func (s *Store) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
+	}
+	tasks := make(map[task.ID]*task.Task, len(snap.Tasks))
+	nextID := snap.NextID
+	for _, t := range snap.Tasks {
+		if _, dup := tasks[t.ID]; dup {
+			return fmt.Errorf("store: duplicate task ID %d in snapshot", t.ID)
+		}
+		tasks[t.ID] = t
+		if t.ID > nextID {
+			nextID = t.ID
+		}
+	}
+	s.mu.Lock()
+	s.tasks = tasks
+	s.nextID = nextID
+	s.mu.Unlock()
+	return nil
+}

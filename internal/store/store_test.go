@@ -1,0 +1,170 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"humancomp/internal/task"
+)
+
+var t0 = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+func mk(t *testing.T, s *Store, kind task.Kind) *task.Task {
+	t.Helper()
+	tk, err := task.New(s.NextID(), kind, task.Payload{ImageID: 1}, 2, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(tk)
+	return tk
+}
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	tk := mk(t, s, task.Label)
+	got, err := s.Get(tk.ID)
+	if err != nil || got != tk {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if _, err := s.Get(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing task err = %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestNextIDMonotonic(t *testing.T) {
+	s := New()
+	prev := task.ID(0)
+	for i := 0; i < 100; i++ {
+		id := s.NextID()
+		if id <= prev {
+			t.Fatalf("NextID not monotonic: %d after %d", id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestPutAdvancesAllocator(t *testing.T) {
+	s := New()
+	tk, _ := task.New(50, task.Label, task.Payload{}, 1, t0)
+	s.Put(tk)
+	if id := s.NextID(); id <= 50 {
+		t.Fatalf("NextID = %d after Put(50)", id)
+	}
+}
+
+func TestAllSortedAndByStatus(t *testing.T) {
+	s := New()
+	a := mk(t, s, task.Label)
+	b := mk(t, s, task.Locate)
+	_ = b.Cancel(t0)
+	all := s.All()
+	if len(all) != 2 || all[0].ID > all[1].ID {
+		t.Fatalf("All = %v", all)
+	}
+	open := s.ByStatus(task.Open)
+	if len(open) != 1 || open[0] != a {
+		t.Fatalf("ByStatus(Open) = %v", open)
+	}
+	if got := s.ByStatus(task.Canceled); len(got) != 1 || got[0] != b {
+		t.Fatalf("ByStatus(Canceled) = %v", got)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New()
+	a := mk(t, s, task.Label)
+	if err := a.Record(task.Answer{WorkerID: "w", Words: []int{3, 4}}, t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	mk(t, s, task.Transcribe)
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != s.Len() {
+		t.Fatalf("restored %d tasks, want %d", restored.Len(), s.Len())
+	}
+	got, err := restored.Get(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != a.Kind || len(got.Answers) != 1 || got.Answers[0].WorkerID != "w" {
+		t.Fatalf("restored task lost data: %+v", got)
+	}
+	if len(got.Answers[0].Words) != 2 {
+		t.Fatal("answer words lost")
+	}
+	// Allocator continues past restored IDs.
+	if id := restored.NextID(); id <= a.ID {
+		t.Fatalf("NextID = %d after restore", id)
+	}
+}
+
+func TestRestoreRejectsBadInput(t *testing.T) {
+	s := New()
+	if err := s.Restore(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if err := s.Restore(strings.NewReader(`{"version": 99, "tasks": []}`)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	dup := `{"version":1,"next_id":2,"tasks":[{"id":1,"kind":0,"redundancy":1},{"id":1,"kind":0,"redundancy":1}]}`
+	if err := s.Restore(strings.NewReader(dup)); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestRestoreReplacesContents(t *testing.T) {
+	s := New()
+	mk(t, s, task.Label)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mk(t, s, task.Locate) // extra task not in snapshot
+	if err := s.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after restore, want snapshot contents only", s.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tk, err := task.New(s.NextID(), task.Label, task.Payload{}, 1, t0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.Put(tk)
+				if _, err := s.Get(tk.ID); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 1600 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

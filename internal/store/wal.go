@@ -1,0 +1,159 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"humancomp/internal/task"
+)
+
+// WAL is a write-ahead log of task events: every submission, answer and
+// cancellation is appended as one JSON line before it is acknowledged, so a
+// crashed service replays the log and loses nothing since the last
+// snapshot. Snapshots (Store.Snapshot) bound replay length; the WAL covers
+// the tail.
+type WAL struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	n  int64
+}
+
+// EventKind tags a WAL record.
+type EventKind string
+
+// WAL record kinds.
+const (
+	EventSubmit EventKind = "submit"
+	EventAnswer EventKind = "answer"
+	EventCancel EventKind = "cancel"
+)
+
+// Event is one WAL record. Exactly the fields matching Kind are set.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	At   time.Time `json:"at"`
+
+	Task   *task.Task   `json:"task,omitempty"`    // submit: the full new task
+	TaskID task.ID      `json:"task_id,omitempty"` // answer, cancel
+	Answer *task.Answer `json:"answer,omitempty"`  // answer
+}
+
+// NewWAL returns a log appending to w.
+func NewWAL(w io.Writer) *WAL {
+	return &WAL{w: bufio.NewWriter(w)}
+}
+
+// Append writes one event and flushes it. The write is acknowledged only
+// after the buffered writer has handed the bytes to the underlying writer.
+func (l *WAL) Append(e Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := validateEvent(e); err != nil {
+		return err
+	}
+	enc, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encoding wal event: %w", err)
+	}
+	if _, err := l.w.Write(append(enc, '\n')); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// Len returns the number of events appended through this WAL instance.
+func (l *WAL) Len() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+func validateEvent(e Event) error {
+	switch e.Kind {
+	case EventSubmit:
+		if e.Task == nil {
+			return errors.New("store: submit event without task")
+		}
+	case EventAnswer:
+		if e.Answer == nil || e.TaskID == 0 {
+			return errors.New("store: answer event without answer or task id")
+		}
+	case EventCancel:
+		if e.TaskID == 0 {
+			return errors.New("store: cancel event without task id")
+		}
+	default:
+		return fmt.Errorf("store: unknown wal event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// ReplayWAL applies every event from r onto the store, in order. A record
+// that fails to apply (for example an answer to a task that already
+// finished in the snapshot) stops replay with an error describing the line;
+// a truncated trailing line — the usual crash artifact — is tolerated and
+// ends replay cleanly. It returns the number of applied events.
+func ReplayWAL(r io.Reader, s *Store) (int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	applied := 0
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn final line means the process died mid-append; the
+			// event was never acknowledged, so dropping it is correct.
+			return applied, nil
+		}
+		if err := applyEvent(s, e); err != nil {
+			return applied, fmt.Errorf("store: wal event %d: %w", applied+1, err)
+		}
+		applied++
+	}
+	if err := scanner.Err(); err != nil {
+		return applied, err
+	}
+	return applied, nil
+}
+
+func applyEvent(s *Store, e Event) error {
+	if err := validateEvent(e); err != nil {
+		return err
+	}
+	switch e.Kind {
+	case EventSubmit:
+		if _, err := s.Get(e.Task.ID); err == nil {
+			return fmt.Errorf("duplicate submit for task %d", e.Task.ID)
+		}
+		s.Put(e.Task)
+	case EventAnswer:
+		t, err := s.Get(e.TaskID)
+		if err != nil {
+			return err
+		}
+		if err := t.Record(*e.Answer, e.At); err != nil {
+			return err
+		}
+	case EventCancel:
+		t, err := s.Get(e.TaskID)
+		if err != nil {
+			return err
+		}
+		if err := t.Cancel(e.At); err != nil {
+			return err
+		}
+	}
+	return nil
+}

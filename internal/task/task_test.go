@@ -1,0 +1,162 @@
+package task
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"humancomp/internal/vocab"
+)
+
+var t0 = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+func mustNew(t *testing.T, kind Kind, redundancy int) *Task {
+	t.Helper()
+	tk, err := New(1, kind, Payload{ImageID: 7}, redundancy, t0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tk
+}
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus kind")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, Label, Payload{}, 0, t0); !errors.Is(err, ErrBadRedundancy) {
+		t.Errorf("redundancy 0: err = %v", err)
+	}
+	if _, err := New(1, Kind(99), Payload{}, 1, t0); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("kind 99: err = %v", err)
+	}
+	if _, err := New(1, numKinds, Payload{}, 1, t0); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("numKinds: err = %v", err)
+	}
+}
+
+func TestRecordCompletesAtRedundancy(t *testing.T) {
+	tk := mustNew(t, Label, 3)
+	for i := 0; i < 3; i++ {
+		if tk.Status != Open {
+			t.Fatalf("task closed after %d answers", i)
+		}
+		a := Answer{WorkerID: string(rune('a' + i)), Words: []int{i}}
+		if err := tk.Record(a, t0.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatalf("Record %d: %v", i, err)
+		}
+	}
+	if tk.Status != Done {
+		t.Fatalf("status = %v after redundancy met", tk.Status)
+	}
+	if tk.DoneAt != t0.Add(2*time.Second) {
+		t.Errorf("DoneAt = %v", tk.DoneAt)
+	}
+	if tk.Remaining() != 0 {
+		t.Errorf("Remaining = %d", tk.Remaining())
+	}
+	// Further answers are rejected.
+	err := tk.Record(Answer{WorkerID: "z", Words: []int{9}}, t0)
+	if !errors.Is(err, ErrWrongStatus) {
+		t.Errorf("Record after Done: err = %v", err)
+	}
+}
+
+func TestRecordRejectsRepeatWorker(t *testing.T) {
+	tk := mustNew(t, Label, 3)
+	if err := tk.Record(Answer{WorkerID: "w", Words: []int{1}}, t0); err != nil {
+		t.Fatal(err)
+	}
+	err := tk.Record(Answer{WorkerID: "w", Words: []int{2}}, t0)
+	if !errors.Is(err, ErrWorkerRepeat) {
+		t.Errorf("repeat worker: err = %v", err)
+	}
+	if len(tk.Answers) != 1 {
+		t.Errorf("answers = %d after rejected repeat", len(tk.Answers))
+	}
+}
+
+func TestRecordContentValidation(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		bad  Answer
+		good Answer
+	}{
+		{Label, Answer{}, Answer{Words: []int{3}}},
+		{Describe, Answer{}, Answer{Words: []int{3}}},
+		{Locate, Answer{}, Answer{Box: vocab.Rect{W: 5, H: 5}}},
+		{Transcribe, Answer{}, Answer{Text: "hello"}},
+		{Compare, Answer{Choice: 7}, Answer{Choice: 1}},
+		{Judge, Answer{Choice: -1}, Answer{Choice: 0}},
+	}
+	for _, c := range cases {
+		tk := mustNew(t, c.kind, 2)
+		c.bad.WorkerID = "a"
+		if err := tk.Record(c.bad, t0); !errors.Is(err, ErrEmptyAnswer) {
+			t.Errorf("%v bad answer: err = %v", c.kind, err)
+		}
+		c.good.WorkerID = "a"
+		if err := tk.Record(c.good, t0); err != nil {
+			t.Errorf("%v good answer: err = %v", c.kind, err)
+		}
+	}
+}
+
+func TestRecordStampsTaskAndTime(t *testing.T) {
+	tk := mustNew(t, Label, 2)
+	at := t0.Add(time.Minute)
+	if err := tk.Record(Answer{WorkerID: "w", Words: []int{1}, TaskID: 999}, at); err != nil {
+		t.Fatal(err)
+	}
+	got := tk.Answers[0]
+	if got.TaskID != tk.ID {
+		t.Errorf("TaskID = %d, want %d (caller value must be overwritten)", got.TaskID, tk.ID)
+	}
+	if got.At != at {
+		t.Errorf("At = %v, want %v", got.At, at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	tk := mustNew(t, Label, 1)
+	if err := tk.Cancel(t0); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Status != Canceled {
+		t.Fatalf("status = %v", tk.Status)
+	}
+	if err := tk.Cancel(t0); !errors.Is(err, ErrWrongStatus) {
+		t.Errorf("double cancel: err = %v", err)
+	}
+	if err := tk.Record(Answer{WorkerID: "w", Words: []int{1}}, t0); !errors.Is(err, ErrWrongStatus) {
+		t.Errorf("record after cancel: err = %v", err)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	tk := mustNew(t, Label, 2)
+	if tk.Remaining() != 2 {
+		t.Fatalf("Remaining = %d", tk.Remaining())
+	}
+	_ = tk.Record(Answer{WorkerID: "a", Words: []int{1}}, t0)
+	if tk.Remaining() != 1 {
+		t.Fatalf("Remaining = %d", tk.Remaining())
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Open.String() != "open" || Done.String() != "done" || Canceled.String() != "canceled" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status should still stringify")
+	}
+}

@@ -1,0 +1,52 @@
+package vocab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// corpusFile is the JSON wire format of an exported corpus: the lexicon is
+// stored by configuration (it is deterministic in it), the images by value.
+// This is the dataset interchange format — a labeled run can be exported,
+// inspected with standard tools, and re-imported elsewhere.
+type corpusFile struct {
+	Version int           `json:"version"`
+	Lexicon LexiconConfig `json:"lexicon"`
+	Images  []Image       `json:"images"`
+}
+
+const corpusFileVersion = 1
+
+// ExportCorpus writes the corpus as JSON. The lexicon travels as its
+// generating configuration, so the file stays compact.
+func ExportCorpus(w io.Writer, c *Corpus, lexCfg LexiconConfig) error {
+	f := corpusFile{Version: corpusFileVersion, Lexicon: lexCfg, Images: c.Images}
+	return json.NewEncoder(w).Encode(f)
+}
+
+// ImportCorpus reads a corpus previously written by ExportCorpus.
+func ImportCorpus(r io.Reader) (*Corpus, LexiconConfig, error) {
+	var f corpusFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, LexiconConfig{}, fmt.Errorf("vocab: decoding corpus: %w", err)
+	}
+	if f.Version != corpusFileVersion {
+		return nil, LexiconConfig{}, fmt.Errorf("vocab: unsupported corpus version %d", f.Version)
+	}
+	if len(f.Images) == 0 {
+		return nil, LexiconConfig{}, fmt.Errorf("vocab: corpus file has no images")
+	}
+	lex := NewLexicon(f.Lexicon)
+	for i, img := range f.Images {
+		if img.ID != i {
+			return nil, LexiconConfig{}, fmt.Errorf("vocab: image %d has ID %d; IDs must be dense", i, img.ID)
+		}
+		for _, o := range img.Objects {
+			if o.Tag < 0 || o.Tag >= lex.Size() {
+				return nil, LexiconConfig{}, fmt.Errorf("vocab: image %d references tag %d outside lexicon", i, o.Tag)
+			}
+		}
+	}
+	return &Corpus{Lexicon: lex, Images: f.Images}, f.Lexicon, nil
+}

@@ -1,0 +1,335 @@
+// Package worker models the humans in the loop. Deployed GWAPs run on live
+// web players; the reproduction substitutes a stochastic behavioural model
+// (DESIGN.md §3): players have skill, a Zipfian guessing vocabulary shaped
+// by what is actually in the image, think time, log-normal session lengths
+// with geometric return behaviour, and — crucially for the anti-cheating
+// experiments — adversarial strategies (random spamming and collusion).
+//
+// The experiments sweep these parameters, so no claim rests on one magic
+// worker configuration.
+package worker
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+)
+
+// Behavior selects a player strategy.
+type Behavior int
+
+// Player strategies.
+const (
+	// Honest players try to solve the task, with skill-limited accuracy.
+	Honest Behavior = iota
+	// Spammer players emit popular words regardless of the task — the
+	// lazy cheating strategy the ESP Game's taboo words target.
+	Spammer
+	// Colluder players follow a pre-agreed script ("always type X first")
+	// to force agreement with co-conspirators — the strategy random
+	// pairing and answer-entropy tests target.
+	Colluder
+	// Machine players are trained classifiers standing in as partners —
+	// the "seed the games with computer vision" extension the GWAP line
+	// proposes as future work. A machine labels instantly, never uses
+	// synonyms (classifiers emit canonical class names) and sees mostly
+	// the salient objects; it cannot play the non-labeling games.
+	Machine
+)
+
+// String returns the lowercase name of the behavior.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case Spammer:
+		return "spammer"
+	case Colluder:
+		return "colluder"
+	case Machine:
+		return "machine"
+	default:
+		return fmt.Sprintf("behavior(%d)", int(b))
+	}
+}
+
+// Profile holds the behavioural parameters of one simulated player.
+type Profile struct {
+	// Accuracy is the probability that any single emitted judgment is a
+	// genuine attempt at the truth rather than noise. Honest median ≈ 0.85.
+	Accuracy float64
+	// SynonymRate is the probability an honest tag comes out as a synonym
+	// of the canonical object name rather than the name itself.
+	SynonymRate float64
+	// TypoRate is the probability a typed word carries a character typo.
+	TypoRate float64
+	// ThinkMean is the mean think time per guess; actual think times are
+	// exponential around it.
+	ThinkMean time.Duration
+	// SessionMu and SessionSigma parameterize the log-normal session
+	// length in minutes. GWAP session data is heavy-tailed: many short
+	// sessions and a devoted tail, which is exactly what log-normal gives.
+	SessionMu, SessionSigma float64
+	// ReturnProb is the probability the player starts another session
+	// after finishing one (geometric number of lifetime sessions).
+	ReturnProb float64
+}
+
+// Worker is one simulated player.
+type Worker struct {
+	ID       string
+	Behavior Behavior
+	Profile  Profile
+
+	// ColludeWord is the scripted first answer shared by all colluders in
+	// a ring; ignored for other behaviors.
+	ColludeWord int
+
+	src *rng.Source
+}
+
+// New returns a worker with its own random stream split from src.
+func New(id string, b Behavior, p Profile, src *rng.Source) *Worker {
+	return &Worker{ID: id, Behavior: b, Profile: p, src: src.Split()}
+}
+
+// ThinkTime returns the time the worker spends before the next guess.
+func (w *Worker) ThinkTime() time.Duration {
+	mean := w.Profile.ThinkMean.Seconds()
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(w.src.Exp(1/mean) * float64(time.Second))
+}
+
+// SessionLength returns the length of the worker's next play session.
+func (w *Worker) SessionLength() time.Duration {
+	minutes := w.src.LogNorm(w.Profile.SessionMu, w.Profile.SessionSigma)
+	return time.Duration(minutes * float64(time.Minute))
+}
+
+// Returns reports whether the worker comes back for another session.
+func (w *Worker) Returns() bool { return w.src.Bool(w.Profile.ReturnProb) }
+
+// GuessTag produces the worker's next tag guess for an ESP-style labeling
+// round: the image being labeled, the taboo set (canonical IDs that are off
+// limits) and the set of canonical IDs the worker already said this round.
+// It returns the guessed word ID, or -1 when the worker has nothing new to
+// say (all objects it can see are taboo or already used).
+func (w *Worker) GuessTag(lex *vocab.Lexicon, img *vocab.Image, taboo, said map[int]bool) int {
+	switch w.Behavior {
+	case Spammer:
+		// Popular words regardless of image content; taboo is ignored —
+		// that is what makes taboo effective as a defense.
+		return lex.SampleFrom(w.src)
+	case Colluder:
+		if !said[lex.Canonical(w.ColludeWord)] {
+			return w.ColludeWord
+		}
+		return lex.SampleFrom(w.src)
+	case Machine:
+		// A classifier proposes the canonical name of a detected object
+		// (detection probability = Accuracy) and otherwise a confident
+		// wrong class from the popular end of the label space.
+		if w.src.Bool(w.Profile.Accuracy) {
+			if tag := w.pickObject(lex, img, taboo, said); tag >= 0 {
+				return lex.Canonical(tag)
+			}
+		}
+		for attempts := 0; attempts < 16; attempts++ {
+			word := lex.Canonical(lex.SampleFrom(w.src))
+			if !taboo[word] && !said[word] {
+				return word
+			}
+		}
+		return -1
+	}
+	// Honest: with probability Accuracy describe a real object (weighted
+	// by salience), otherwise free-associate a popular word.
+	if w.src.Bool(w.Profile.Accuracy) {
+		if tag := w.pickObject(lex, img, taboo, said); tag >= 0 {
+			return tag
+		}
+		// Everything visible is blocked; fall through to free association,
+		// which is exactly what taboo words force real players into.
+	}
+	for attempts := 0; attempts < 16; attempts++ {
+		word := lex.SampleFrom(w.src)
+		can := lex.Canonical(word)
+		if !taboo[can] && !said[can] {
+			return word
+		}
+	}
+	return -1
+}
+
+// pickObject samples a visible object by salience, skipping blocked
+// concepts, and applies synonym substitution.
+func (w *Worker) pickObject(lex *vocab.Lexicon, img *vocab.Image, taboo, said map[int]bool) int {
+	total := 0.0
+	for _, o := range img.Objects {
+		if can := lex.Canonical(o.Tag); !taboo[can] && !said[can] {
+			total += o.Salience
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	u := w.src.Float64() * total
+	for _, o := range img.Objects {
+		can := lex.Canonical(o.Tag)
+		if taboo[can] || said[can] {
+			continue
+		}
+		u -= o.Salience
+		if u > 0 {
+			continue
+		}
+		tag := o.Tag
+		if w.src.Bool(w.Profile.SynonymRate) {
+			syns := lex.Synonyms(tag)
+			tag = syns[w.src.Intn(len(syns))]
+		}
+		return tag
+	}
+	return -1
+}
+
+// Ping returns where the worker clicks when asked to reveal the object
+// named word in the image (Peekaboom). Honest workers click inside the true
+// box with probability Accuracy (uniformly within it), otherwise anywhere
+// on the canvas; cheaters always click randomly.
+func (w *Worker) Ping(c *vocab.Corpus, imageID, word int) (x, y int) {
+	img := c.Image(imageID)
+	if w.Behavior == Honest && w.src.Bool(w.Profile.Accuracy) {
+		if box, ok := c.TrueBox(imageID, word); ok {
+			return box.X + w.src.Intn(box.W), box.Y + w.src.Intn(box.H)
+		}
+	}
+	return w.src.Intn(img.Width), w.src.Intn(img.Height)
+}
+
+// TraceBox returns the worker's outline of the object named word in the
+// image, as a rectangle (Squigl). Honest workers trace the true box with
+// edge jitter proportional to (1 − Accuracy); when they cannot see the
+// object — or for cheaters — the trace is a random rectangle.
+func (w *Worker) TraceBox(c *vocab.Corpus, imageID, word int) vocab.Rect {
+	img := c.Image(imageID)
+	if w.Behavior == Honest && w.src.Bool(w.Profile.Accuracy) {
+		if box, ok := c.TrueBox(imageID, word); ok {
+			jitter := (1 - w.Profile.Accuracy) * 0.6
+			dx := int(w.src.Norm(0, jitter*float64(box.W)))
+			dy := int(w.src.Norm(0, jitter*float64(box.H)))
+			dw := int(w.src.Norm(0, jitter*float64(box.W)))
+			dh := int(w.src.Norm(0, jitter*float64(box.H)))
+			out := vocab.Rect{X: box.X + dx, Y: box.Y + dy, W: box.W + dw, H: box.H + dh}
+			return clampRect(out, img.Width, img.Height)
+		}
+	}
+	rw := 20 + w.src.Intn(img.Width/2)
+	rh := 20 + w.src.Intn(img.Height/2)
+	return vocab.Rect{X: w.src.Intn(img.Width - rw), Y: w.src.Intn(img.Height - rh), W: rw, H: rh}
+}
+
+// clampRect clips r to the canvas, keeping at least a 1×1 rectangle.
+func clampRect(r vocab.Rect, width, height int) vocab.Rect {
+	if r.W < 1 {
+		r.W = 1
+	}
+	if r.H < 1 {
+		r.H = 1
+	}
+	if r.X < 0 {
+		r.X = 0
+	}
+	if r.Y < 0 {
+		r.Y = 0
+	}
+	if r.X+r.W > width {
+		r.X = width - r.W
+		if r.X < 0 {
+			r.X, r.W = 0, width
+		}
+	}
+	if r.Y+r.H > height {
+		r.Y = height - r.H
+		if r.Y < 0 {
+			r.Y, r.H = 0, height
+		}
+	}
+	return r
+}
+
+// DescribeFact returns the worker's next clue about subject for a Verbosity
+// round, avoiding facts already given. Honest workers state a true fact
+// with probability Accuracy; otherwise (and for cheaters) they emit a
+// random plausible-looking triple.
+func (w *Worker) DescribeFact(fb *vocab.FactBase, subject int, given map[vocab.Fact]bool) vocab.Fact {
+	if w.Behavior == Honest && w.src.Bool(w.Profile.Accuracy) {
+		facts := fb.Facts(subject)
+		if len(facts) > 0 {
+			for _, i := range w.src.Perm(len(facts)) {
+				if !given[facts[i]] {
+					return facts[i]
+				}
+			}
+		}
+	}
+	rel := vocab.Relations()
+	return vocab.Fact{
+		Subject:  subject,
+		Relation: rel[w.src.Intn(len(rel))],
+		Object:   fb.Lexicon.SampleFrom(w.src),
+	}
+}
+
+// Transcribe returns the worker's reading of a word whose rendering has the
+// given difficulty in [0, 1]. The per-word error probability grows with
+// difficulty and shrinks with skill; failures are realistic typo/misread
+// corruptions rather than random strings.
+func (w *Worker) Transcribe(word string, difficulty float64) string {
+	if w.Behavior != Honest {
+		// Cheaters type junk quickly.
+		return vocab.Misspell(vocab.Misspell(word, w.src), w.src)
+	}
+	pCorrect := w.Profile.Accuracy * (1 - 0.35*difficulty)
+	out := word
+	if !w.src.Bool(pCorrect) {
+		out = vocab.Misspell(out, w.src)
+	}
+	if w.src.Bool(w.Profile.TypoRate) {
+		out = vocab.Misspell(out, w.src)
+	}
+	return out
+}
+
+// Compare returns 0 if the worker prefers image a, 1 for image b (Matchin).
+// Honest preference follows the latent aesthetic scores through a logistic
+// choice model; cheaters answer uniformly.
+func (w *Worker) Compare(a, b *vocab.Image) int {
+	if w.Behavior != Honest {
+		return w.src.Intn(2)
+	}
+	// Logistic discrimination: the further apart the aesthetics, the more
+	// deterministic the choice. Skilled workers discriminate more sharply.
+	d := (b.Aesthetic - a.Aesthetic) * 10 * w.Profile.Accuracy
+	pB := 1 / (1 + math.Exp(-d))
+	if w.src.Bool(pB) {
+		return 1
+	}
+	return 0
+}
+
+// Judge returns 0 ("same") or 1 ("different") for a TagATune-style input-
+// agreement round, given whether the two inputs truly match. Honest workers
+// are right with probability Accuracy.
+func (w *Worker) Judge(same bool) int {
+	correct := w.src.Bool(w.Profile.Accuracy) && w.Behavior == Honest
+	if correct == same {
+		return 0
+	}
+	return 1
+}
