@@ -120,7 +120,16 @@ func main() {
 
 	opts := dispatch.Options{RatePerSec: *rate, Burst: *burst}
 	if *apiKeys != "" {
-		opts.APIKeys = strings.Split(*apiKeys, ",")
+		// Trim and drop empty entries so "a,b," never registers the empty
+		// string as a valid key (which would admit unauthenticated requests).
+		for _, k := range strings.Split(*apiKeys, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				opts.APIKeys = append(opts.APIKeys, k)
+			}
+		}
+		if len(opts.APIKeys) == 0 {
+			log.Fatal("hcservd: -api-keys contains no usable keys")
+		}
 	}
 	srv := &http.Server{Addr: *addr, Handler: dispatch.NewServerWith(sys, opts)}
 	go func() {
@@ -163,7 +172,7 @@ func restore(sys *core.System, path string) error {
 	if err := sys.Store().Restore(f); err != nil {
 		return err
 	}
-	open := sys.Store().ByStatus(task.Open)
+	open := sys.Store().ViewByStatus(task.Open)
 	log.Printf("hcservd: restored %d tasks (%d open)", sys.Store().Len(), len(open))
 	return sys.RequeueOpen()
 }

@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -113,6 +117,329 @@ func TestServiceLifecycleWithJournalRecovery(t *testing.T) {
 	words, err := recovered.AggregateWords(ids[0])
 	if err != nil || len(words) == 0 {
 		t.Fatalf("aggregate after recovery: %v, %v", words, err)
+	}
+}
+
+// TestConcurrentDispatchSoak hammers a single dispatch server from many
+// goroutines at once — submitters, workers, cancelers and readers all
+// racing — and then checks the system converged to a consistent state.
+// Run under -race (CI always does) this is the proof that the read path
+// serves immutable task views: on the pre-view code, GET /v1/tasks/{id}
+// and GET /v1/tasks serialized live *task.Task pointers while the queue
+// appended answers, and this test fails with a race report.
+func TestConcurrentDispatchSoak(t *testing.T) {
+	// The race can only be observed while a read handler is in flight: once
+	// a request completes, boundary synchronization (the connection-tracking
+	// mutex in httptest, the shared per-route stats mutex taken at the start
+	// of every request) orders it against every later request. On a
+	// single-P runtime these microsecond handlers run to completion without
+	// preemption and never overlap, so the detector has nothing to see;
+	// force at least a few Ps so handlers genuinely interleave.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	var journal bytes.Buffer
+	cfg := core.DefaultConfig()
+	cfg.Journal = store.NewWAL(&journal)
+	sys := core.New(cfg)
+	srv := httptest.NewServer(dispatch.NewServer(sys))
+	defer srv.Close()
+	// Each goroutine gets its own client with its own connection pool:
+	// a shared transport would serialize requests through the pool mutex,
+	// creating happens-before edges that mask server-side races from the
+	// race detector.
+	newClient := func() *dispatch.Client {
+		return dispatch.NewClient(srv.URL, &http.Client{Transport: &http.Transport{}})
+	}
+	client := newClient()
+
+	const (
+		nSubmitters = 2
+		tasksPer    = 40
+		nWorkers    = 4
+		nReaders    = 3
+	)
+	total := nSubmitters * tasksPer
+
+	// Domain errors (409 conflict, 404 gone, 422, ...) are legitimate
+	// outcomes of racing operations; only transport/protocol failures and
+	// nil-safety bugs should fail the test — the race detector is the real
+	// assertion here.
+	tolerable := func(err error) bool {
+		var apiErr *dispatch.APIError
+		return err == nil || errors.As(err, &apiErr)
+	}
+
+	var (
+		mu        sync.Mutex
+		seen      []task.ID
+		submitWG  sync.WaitGroup
+		workWG    sync.WaitGroup
+		readWG    sync.WaitGroup
+		submitted atomic.Bool
+		working   atomic.Bool
+	)
+	working.Store(true)
+
+	for s := 0; s < nSubmitters; s++ {
+		submitWG.Add(1)
+		go func(s int) {
+			defer submitWG.Done()
+			client := newClient()
+			for i := 0; i < tasksPer; i++ {
+				var id task.ID
+				var err error
+				if i%10 == 9 {
+					id, err = client.SubmitGold(task.Judge,
+						task.Payload{ClipA: i, ClipB: i + 1}, 2, i%3, task.Answer{Choice: 1})
+				} else {
+					id, err = client.Submit(task.Label,
+						task.Payload{ImageID: 100*s + i, Taboo: []int{1, 2}}, 2, i%5)
+				}
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				mu.Lock()
+				seen = append(seen, id)
+				mu.Unlock()
+				// Cancel a slice of the stream to race DELETE against leases.
+				if i%8 == 7 {
+					if err := client.Cancel(id); !tolerable(err) {
+						t.Errorf("cancel: %v", err)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	go func() { submitWG.Wait(); submitted.Store(true) }()
+
+	work := func(workerID string) {
+		client := newClient()
+		for {
+			tk, lease, err := client.Next(workerID)
+			if errors.Is(err, dispatch.ErrNoTask) {
+				if submitted.Load() {
+					return
+				}
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if !tolerable(err) {
+				t.Errorf("next: %v", err)
+				return
+			}
+			if err != nil {
+				continue
+			}
+			var a task.Answer
+			switch tk.Kind {
+			case task.Judge:
+				a = task.Answer{Choice: 1}
+			default:
+				a = task.Answer{Words: []int{tk.Payload.ImageID%7 + 1}}
+			}
+			if err := client.Answer(lease, a); !tolerable(err) {
+				t.Errorf("answer: %v", err)
+				return
+			}
+		}
+	}
+	for w := 0; w < nWorkers; w++ {
+		workWG.Add(1)
+		go func(w int) {
+			defer workWG.Done()
+			work(fmt.Sprintf("soak-w%d", w))
+		}(w)
+	}
+
+	for r := 0; r < nReaders; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			client := newClient()
+			for i := 0; working.Load(); i++ {
+				// Read a recently submitted task: the tail of the stream is
+				// where tasks are still open and answers land concurrently.
+				mu.Lock()
+				var id task.ID
+				if n := len(seen); n > 0 {
+					recent := (r + i) % 8
+					if recent >= n {
+						recent = n - 1
+					}
+					id = seen[n-1-recent]
+				}
+				mu.Unlock()
+				if id != 0 {
+					if _, err := client.Task(id); !tolerable(err) {
+						t.Errorf("get: %v", err)
+						return
+					}
+					if _, err := client.Words(id); !tolerable(err) {
+						t.Errorf("words: %v", err)
+						return
+					}
+					if _, err := client.Choice(id); !tolerable(err) {
+						t.Errorf("choice: %v", err)
+						return
+					}
+				}
+				if _, err := client.ListTasks("", 0, 1000); err != nil {
+					t.Errorf("list: %v", err)
+					return
+				}
+				if _, err := client.ListTasks("done", 0, 1000); err != nil {
+					t.Errorf("list done: %v", err)
+					return
+				}
+				// Only one reader polls the counters: reading the atomic
+				// stats (incremented after each answer is recorded) creates
+				// a happens-before edge that orders earlier answers before
+				// this goroutine's later task reads, which would hide the
+				// very races the pure readers exist to expose.
+				if r == 0 {
+					if _, err := client.Stats(); err != nil {
+						t.Errorf("stats: %v", err)
+						return
+					}
+					if _, err := client.Metrics(); err != nil {
+						t.Errorf("metrics: %v", err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	workWG.Wait()
+	// Drain stragglers with fresh workers: a task that still needs answers
+	// may have outlived the pool (every remaining worker had already
+	// answered it once). Fresh IDs are always eligible.
+	for d := 0; d < 2; d++ {
+		work(fmt.Sprintf("soak-drain%d", d))
+	}
+
+	// Hot-task hammer: one high-redundancy task at a time, answered by a
+	// fresh worker pool while dedicated readers tight-loop GETs on exactly
+	// that task. The phase-one mix keeps every endpoint busy, but answers
+	// land so fast after submission that a reader is rarely mid-encode at
+	// the moment of mutation; here the readers are already spinning on the
+	// task before the first answer arrives, so on the pre-view code the
+	// JSON encoder reliably observes the append.
+	const (
+		hotRounds  = 20
+		hotWorkers = 5
+		hotReaders = 2
+	)
+	for round := 0; round < hotRounds; round++ {
+		hotID, err := client.Submit(task.Label,
+			task.Payload{ImageID: 9000 + round, Taboo: []int{1, 2, 3}}, hotWorkers, 0)
+		if err != nil {
+			t.Fatalf("hot submit: %v", err)
+		}
+		mu.Lock()
+		seen = append(seen, hotID)
+		mu.Unlock()
+		stop := make(chan struct{})
+		var hotReadWG, hotWorkWG sync.WaitGroup
+		for r := 0; r < hotReaders; r++ {
+			hotReadWG.Add(1)
+			go func() {
+				defer hotReadWG.Done()
+				client := newClient()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := client.Task(hotID); !tolerable(err) {
+						t.Errorf("hot get: %v", err)
+						return
+					}
+					if _, err := client.ListTasks("", 0, 1000); err != nil {
+						t.Errorf("hot list: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		for w := 0; w < hotWorkers; w++ {
+			hotWorkWG.Add(1)
+			go func(w int) {
+				defer hotWorkWG.Done()
+				client := newClient()
+				workerID := fmt.Sprintf("hot-%d-%d", round, w)
+				for attempt := 0; attempt < 10000; attempt++ {
+					tk, lease, err := client.Next(workerID)
+					if errors.Is(err, dispatch.ErrNoTask) {
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
+					if !tolerable(err) {
+						t.Errorf("hot next: %v", err)
+						return
+					}
+					if err != nil {
+						continue
+					}
+					if err := client.Answer(lease, task.Answer{Words: []int{w + 1, w + 2, w + 3}}); !tolerable(err) {
+						t.Errorf("hot answer: %v", err)
+						return
+					}
+					if tk.ID == hotID {
+						return
+					}
+				}
+				t.Errorf("hot worker %s never got task %d", workerID, hotID)
+			}(w)
+		}
+		hotWorkWG.Wait()
+		close(stop)
+		hotReadWG.Wait()
+	}
+
+	working.Store(false)
+	readWG.Wait()
+
+	total += hotRounds // the hot-task phase submitted one task per round
+	list, err := client.ListTasks("", 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != total {
+		t.Fatalf("stored %d tasks, want %d", list.Total, total)
+	}
+	for _, tk := range list.Tasks {
+		switch tk.Status {
+		case task.Done:
+			if len(tk.Answers) != tk.Redundancy {
+				t.Errorf("task %d done with %d/%d answers", tk.ID, len(tk.Answers), tk.Redundancy)
+			}
+		case task.Canceled:
+			if len(tk.Answers) > tk.Redundancy {
+				t.Errorf("task %d canceled with %d answers", tk.ID, len(tk.Answers))
+			}
+		default:
+			t.Errorf("task %d still %v after drain", tk.ID, tk.Status)
+		}
+		workers := map[string]bool{}
+		for _, a := range tk.Answers {
+			if workers[a.WorkerID] {
+				t.Errorf("task %d: worker %s answered twice", tk.ID, a.WorkerID)
+			}
+			workers[a.WorkerID] = true
+		}
+	}
+	// The journal saw every submit and every recorded answer.
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TasksSubmitted != int64(total) {
+		t.Fatalf("stats counted %d submissions, want %d", st.TasksSubmitted, total)
 	}
 }
 

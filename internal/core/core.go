@@ -81,10 +81,14 @@ func New(cfg Config) *System {
 	if cfg.Clock == nil {
 		cfg.Clock = sim.WallClock{}
 	}
+	// The queue holds the store's write lock while mutating task state, so
+	// every store-side view read (handlers, snapshots, aggregators) is
+	// race-free under the store's read lock.
+	st := store.New()
 	return &System{
 		cfg:   cfg,
-		store: store.New(),
-		queue: queue.New(cfg.LeaseTTL),
+		store: st,
+		queue: queue.NewLocked(cfg.LeaseTTL, st.Locker()),
 		rep:   quality.NewReputation(cfg.ReputationPrior, cfg.ReputationWeight),
 		clock: cfg.Clock,
 		gold:  make(map[task.ID]task.Answer),
@@ -94,7 +98,9 @@ func New(cfg Config) *System {
 // Reputation exposes the worker reputation tracker.
 func (s *System) Reputation() *quality.Reputation { return s.rep }
 
-// SubmitTask creates and enqueues a task, returning its ID.
+// SubmitTask creates and enqueues a task, returning its ID. On any
+// failure after the task reaches the store, the partial state is rolled
+// back so store, queue and journal never disagree about which tasks exist.
 func (s *System) SubmitTask(kind task.Kind, p task.Payload, redundancy, priority int) (task.ID, error) {
 	now := s.clock.Now()
 	t, err := task.New(s.store.NextID(), kind, p, redundancy, now)
@@ -102,11 +108,19 @@ func (s *System) SubmitTask(kind task.Kind, p task.Payload, redundancy, priority
 		return 0, err
 	}
 	t.Priority = priority
+	// Snapshot for the journal before the task becomes leasable: once Add
+	// succeeds a concurrent worker may already be mutating t.
+	clean := task.Task(t.View())
 	s.store.Put(t)
 	if err := s.queue.Add(t); err != nil {
+		s.store.Delete(t.ID)
 		return 0, err
 	}
-	if err := s.journal(store.Event{Kind: store.EventSubmit, At: now, Task: t}); err != nil {
+	if err := s.journal(store.Event{Kind: store.EventSubmit, At: now, Task: &clean}); err != nil {
+		// Unacknowledged and unjournaled: a crash here would lose the task
+		// anyway, so withdraw it rather than strand it half-submitted.
+		_ = s.queue.Remove(t.ID)
+		s.store.Delete(t.ID)
 		return 0, err
 	}
 	s.tasksSubmitted.Inc()
@@ -143,42 +157,46 @@ func (s *System) IsGold(id task.ID) bool {
 	return ok
 }
 
-// NextTask leases the best available task to workerID. It returns
-// queue.ErrEmpty when nothing is available.
-func (s *System) NextTask(workerID string) (*task.Task, queue.LeaseID, error) {
+// NextTask leases the best available task to workerID, returning an
+// immutable snapshot of it. It returns queue.ErrEmpty when nothing is
+// available.
+func (s *System) NextTask(workerID string) (task.View, queue.LeaseID, error) {
 	if workerID == "" {
-		return nil, 0, errors.New("core: worker ID required")
+		return task.View{}, 0, errors.New("core: worker ID required")
 	}
 	return s.queue.Lease(workerID, s.clock.Now())
 }
 
 // SubmitAnswer records the leaseholder's answer. Gold probes additionally
-// update the worker's reputation.
+// update the worker's reputation. The journal record and the gold check
+// both use the answer the queue returned by value — core never re-reads
+// the task's answer list, so two interleaved submissions can never journal
+// or credit each other's answers.
 func (s *System) SubmitAnswer(lease queue.LeaseID, a task.Answer) error {
 	now := s.clock.Now()
-	t, err := s.queue.Complete(lease, a, now)
+	res, err := s.queue.Complete(lease, a, now)
 	if err != nil {
 		return err
 	}
-	recorded := t.Answers[len(t.Answers)-1]
-	if err := s.journal(store.Event{Kind: store.EventAnswer, At: now, TaskID: t.ID, Answer: &recorded}); err != nil {
+	recorded := res.Answer
+	if err := s.journal(store.Event{Kind: store.EventAnswer, At: now, TaskID: res.TaskID, Answer: &recorded}); err != nil {
 		return err
 	}
 	s.answersTotal.Inc()
-	s.checkGold(t)
+	s.checkGold(res)
 	return nil
 }
 
-// checkGold scores the newest answer of t against its gold expectation.
-func (s *System) checkGold(t *task.Task) {
+// checkGold scores a just-recorded answer against its task's gold
+// expectation, if any.
+func (s *System) checkGold(res queue.CompleteResult) {
 	s.mu.Lock()
-	expected, ok := s.gold[t.ID]
+	expected, ok := s.gold[res.TaskID]
 	s.mu.Unlock()
-	if !ok || len(t.Answers) == 0 {
+	if !ok {
 		return
 	}
-	a := t.Answers[len(t.Answers)-1]
-	s.rep.Record(a.WorkerID, AnswerMatches(t.Kind, expected, a))
+	s.rep.Record(res.Answer.WorkerID, AnswerMatches(res.Kind, expected, res.Answer))
 	s.goldChecked.Inc()
 }
 
@@ -226,7 +244,7 @@ func (s *System) CancelTask(id task.ID) error {
 	err := s.queue.Cancel(id, now)
 	if errors.Is(err, queue.ErrUnknownTask) {
 		// The queue drops finished tasks; the store remembers them.
-		if t, serr := s.store.Get(id); serr == nil && t.Status != task.Open {
+		if v, serr := s.store.View(id); serr == nil && v.Status != task.Open {
 			return task.ErrWrongStatus
 		}
 	}
@@ -236,8 +254,8 @@ func (s *System) CancelTask(id task.ID) error {
 	return s.journal(store.Event{Kind: store.EventCancel, At: now, TaskID: id})
 }
 
-// Task returns the stored task (any status).
-func (s *System) Task(id task.ID) (*task.Task, error) { return s.store.Get(id) }
+// Task returns an immutable snapshot of the stored task (any status).
+func (s *System) Task(id task.ID) (task.View, error) { return s.store.View(id) }
 
 // Store exposes the underlying store (snapshot/restore).
 func (s *System) Store() *store.Store { return s.store }
@@ -269,9 +287,10 @@ type ChoiceResult struct {
 var ErrWrongKind = errors.New("core: aggregation not defined for this task kind")
 
 // AggregateChoice combines the answers of a Compare/Judge task by
-// reputation-weighted vote.
+// reputation-weighted vote. It aggregates over a snapshot, so it can run
+// while workers keep answering.
 func (s *System) AggregateChoice(id task.ID) (ChoiceResult, error) {
-	t, err := s.store.Get(id)
+	t, err := s.store.View(id)
 	if err != nil {
 		return ChoiceResult{}, err
 	}
@@ -302,9 +321,10 @@ type WordCount struct {
 }
 
 // AggregateWords tallies the words submitted to a Label/Describe task,
-// most supported first.
+// most supported first. It aggregates over a snapshot, so it can run while
+// workers keep answering.
 func (s *System) AggregateWords(id task.ID) ([]WordCount, error) {
-	t, err := s.store.Get(id)
+	t, err := s.store.View(id)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"humancomp/internal/queue"
+	"humancomp/internal/store"
 	"humancomp/internal/task"
 	"humancomp/internal/vocab"
 )
@@ -338,5 +339,93 @@ func TestRequeueOpenAfterRestore(t *testing.T) {
 	// RequeueOpen is idempotent.
 	if err := s2.RequeueOpen(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCancelTaskEdgeCases(t *testing.T) {
+	s, _ := newSystem()
+
+	// Unknown ID: the system never saw it.
+	if err := s.CancelTask(42); !errors.Is(err, queue.ErrUnknownTask) {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+
+	// Done task: redundancy met, the queue dropped it, the store remembers.
+	id, _ := s.SubmitTask(task.Label, task.Payload{}, 1, 0)
+	_, lease, err := s.NextTask("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitAnswer(lease, task.Answer{Words: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CancelTask(id); !errors.Is(err, task.ErrWrongStatus) {
+		t.Fatalf("cancel done: %v", err)
+	}
+
+	// Double cancel: the second attempt sees a finished task.
+	id2, _ := s.SubmitTask(task.Label, task.Payload{}, 1, 0)
+	if err := s.CancelTask(id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CancelTask(id2); !errors.Is(err, task.ErrWrongStatus) {
+		t.Fatalf("double cancel: %v", err)
+	}
+
+	// Cancel while leased: cancellation wins and the in-flight answer
+	// bounces off the drained queue.
+	id3, _ := s.SubmitTask(task.Label, task.Payload{}, 1, 0)
+	_, lease3, err := s.NextTask("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CancelTask(id3); err != nil {
+		t.Fatalf("cancel while leased: %v", err)
+	}
+	got, err := s.Task(id3)
+	if err != nil || got.Status != task.Canceled {
+		t.Fatalf("status after cancel while leased: %+v, %v", got, err)
+	}
+	if err := s.SubmitAnswer(lease3, task.Answer{Words: []int{1}}); !errors.Is(err, queue.ErrUnknownTask) {
+		t.Fatalf("answer after cancel: %v", err)
+	}
+}
+
+// flakyJournal fails its first Append calls, then recovers.
+type flakyJournal struct{ failures int }
+
+func (j *flakyJournal) Append(store.Event) error {
+	if j.failures > 0 {
+		j.failures--
+		return errors.New("journal: disk full")
+	}
+	return nil
+}
+
+func TestSubmitTaskJournalErrorRollsBack(t *testing.T) {
+	clk := &fakeClock{now: t0}
+	cfg := DefaultConfig()
+	cfg.Clock = clk
+	cfg.Journal = &flakyJournal{failures: 1}
+	s := New(cfg)
+
+	if _, err := s.SubmitTask(task.Label, task.Payload{}, 1, 0); err == nil {
+		t.Fatal("submit with failing journal succeeded")
+	}
+	// The failed submit left no trace: nothing stored, nothing leasable,
+	// nothing counted.
+	if _, _, err := s.NextTask("w"); !errors.Is(err, queue.ErrEmpty) {
+		t.Fatalf("unjournaled task leasable: %v", err)
+	}
+	if st := s.Stats(); st.TasksSubmitted != 0 || st.StoredTasks != 0 {
+		t.Fatalf("failed submit counted: %+v", st)
+	}
+	// Once the journal recovers the system keeps working.
+	id, err := s.SubmitTask(task.Label, task.Payload{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Task(id); err != nil {
+		t.Fatalf("task after journal recovery: %v", err)
 	}
 }

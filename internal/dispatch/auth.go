@@ -30,10 +30,15 @@ type authLimiter struct {
 
 func newAuthLimiter(o Options) *authLimiter {
 	a := &authLimiter{}
+	// Blank keys are dropped, not registered: a list like "a,b," (a flag
+	// split artifact) must never let the empty bearer token through. A key
+	// list with only blanks fails closed — auth on, nothing accepted.
 	if len(o.APIKeys) > 0 {
 		a.keys = make(map[string]bool, len(o.APIKeys))
 		for _, k := range o.APIKeys {
-			a.keys[k] = true
+			if k = strings.TrimSpace(k); k != "" {
+				a.keys[k] = true
+			}
 		}
 	}
 	if o.RatePerSec > 0 && o.Burst >= 1 {
@@ -60,8 +65,11 @@ func (a *authLimiter) wrap(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		principal := r.RemoteAddr
 		if a.keys != nil {
+			// bearer() returns "" for an absent or malformed header; reject
+			// it before the map lookup so no key-set mishap (an empty string
+			// slipping into the keys) can ever open the server.
 			key := bearer(r)
-			if !a.keys[key] {
+			if key == "" || !a.keys[key] {
 				writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "dispatch: missing or invalid API key"})
 				return
 			}

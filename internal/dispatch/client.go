@@ -99,16 +99,16 @@ func (c *Client) SubmitGold(kind task.Kind, p task.Payload, redundancy, priority
 	return resp.ID, nil
 }
 
-// Next leases the next available task for workerID. It returns ErrNoTask
-// when nothing is available.
-func (c *Client) Next(workerID string) (*task.Task, queue.LeaseID, error) {
+// Next leases the next available task for workerID, returning a snapshot
+// of it. It returns ErrNoTask when nothing is available.
+func (c *Client) Next(workerID string) (task.View, queue.LeaseID, error) {
 	var resp NextResponse
 	status, err := c.do(http.MethodPost, "/v1/next", NextRequest{WorkerID: workerID}, &resp)
 	if err != nil {
-		return nil, 0, err
+		return task.View{}, 0, err
 	}
 	if status == http.StatusNoContent {
-		return nil, 0, ErrNoTask
+		return task.View{}, 0, ErrNoTask
 	}
 	return resp.Task, resp.Lease, nil
 }
@@ -125,13 +125,13 @@ func (c *Client) Release(lease queue.LeaseID) error {
 	return err
 }
 
-// Task fetches a task with its answers.
-func (c *Client) Task(id task.ID) (*task.Task, error) {
-	var t task.Task
+// Task fetches a snapshot of a task with its answers.
+func (c *Client) Task(id task.ID) (task.View, error) {
+	var t task.View
 	if _, err := c.do(http.MethodGet, fmt.Sprintf("/v1/tasks/%d", id), nil, &t); err != nil {
-		return nil, err
+		return task.View{}, err
 	}
-	return &t, nil
+	return t, nil
 }
 
 // Cancel cancels an open task.

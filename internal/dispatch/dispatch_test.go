@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"humancomp/internal/core"
+	"humancomp/internal/queue"
 	"humancomp/internal/task"
 	"humancomp/internal/vocab"
 )
@@ -470,5 +472,92 @@ func TestRateLimitPerKey(t *testing.T) {
 	c2 := NewClient(srv.URL, &http.Client{Transport: headerTransport{key: "k2"}})
 	if _, err := c2.Submit(task.Label, task.Payload{}, 1, 0); err != nil {
 		t.Fatalf("second key throttled by first: %v", err)
+	}
+}
+
+// TestWriteErrorTable pins the full domain-error → HTTP status mapping,
+// including wrapped errors and the generic fallback.
+func TestWriteErrorTable(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+	}{
+		{queue.ErrUnknownLease, http.StatusNotFound},
+		{queue.ErrUnknownTask, http.StatusNotFound},
+		{task.ErrWrongStatus, http.StatusConflict},
+		{task.ErrWorkerRepeat, http.StatusConflict},
+		{queue.ErrDuplicateID, http.StatusConflict},
+		{task.ErrEmptyAnswer, http.StatusUnprocessableEntity},
+		{task.ErrBadRedundancy, http.StatusUnprocessableEntity},
+		{task.ErrUnknownKind, http.StatusUnprocessableEntity},
+		{core.ErrWrongKind, http.StatusUnprocessableEntity},
+		{fmt.Errorf("answering: %w", task.ErrWorkerRepeat), http.StatusConflict},
+		{fmt.Errorf("aggregate: %w", core.ErrWrongKind), http.StatusUnprocessableEntity},
+		{errors.New("disk on fire"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, c.err)
+		if rec.Code != c.status {
+			t.Errorf("writeError(%v) = %d, want %d", c.err, rec.Code, c.status)
+		}
+		var body errorResponse
+		if err := json.NewDecoder(rec.Body).Decode(&body); err != nil || body.Error == "" {
+			t.Errorf("writeError(%v) body = %q, %v", c.err, rec.Body, err)
+		}
+	}
+	// ErrEmpty is the one bodyless mapping: 204, not an error envelope.
+	rec := httptest.NewRecorder()
+	writeError(rec, queue.ErrEmpty)
+	if rec.Code != http.StatusNoContent || rec.Body.Len() != 0 {
+		t.Errorf("writeError(ErrEmpty) = %d with %q, want bare 204", rec.Code, rec.Body)
+	}
+}
+
+// TestAuthEmptyBearerFailsClosed covers the flag-split artifacts: blank
+// entries in the key list must not admit the empty bearer token, and a key
+// list with only blanks locks the server rather than opening it.
+func TestAuthEmptyBearerFailsClosed(t *testing.T) {
+	sys := core.New(core.DefaultConfig())
+	// "sekret,," style flag value: one real key plus split artifacts.
+	srv := httptest.NewServer(NewServerWith(sys, Options{APIKeys: []string{"sekret", "", "  "}}))
+	defer srv.Close()
+
+	var apiErr *APIError
+	check401 := func(name string, c *Client) {
+		t.Helper()
+		if _, err := c.Submit(task.Label, task.Payload{}, 1, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	check401("missing header", NewClient(srv.URL, srv.Client()))
+	check401("empty bearer", NewClient(srv.URL, &http.Client{Transport: headerTransport{key: ""}}))
+	check401("whitespace bearer", NewClient(srv.URL, &http.Client{Transport: headerTransport{key: "   "}}))
+	if _, err := NewClient(srv.URL, &http.Client{Transport: headerTransport{key: "sekret"}}).Submit(task.Label, task.Payload{}, 1, 0); err != nil {
+		t.Fatalf("real key rejected: %v", err)
+	}
+
+	// Nothing but blanks: auth stays on and nobody gets in.
+	locked := httptest.NewServer(NewServerWith(core.New(core.DefaultConfig()), Options{APIKeys: []string{"", " "}}))
+	defer locked.Close()
+	check401("locked server, no key", NewClient(locked.URL, locked.Client()))
+	check401("locked server, empty bearer", NewClient(locked.URL, &http.Client{Transport: headerTransport{key: ""}}))
+}
+
+// TestMetricsRequiresAuth: the metrics endpoint sits behind the same guard
+// as the rest of the API.
+func TestMetricsRequiresAuth(t *testing.T) {
+	sys := core.New(core.DefaultConfig())
+	srv := httptest.NewServer(NewServerWith(sys, Options{APIKeys: []string{"sekret"}}))
+	defer srv.Close()
+
+	var apiErr *APIError
+	open := NewClient(srv.URL, srv.Client())
+	if _, err := open.Metrics(); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+		t.Fatalf("keyless metrics: %v", err)
+	}
+	authed := NewClient(srv.URL, &http.Client{Transport: headerTransport{key: "sekret"}})
+	if _, err := authed.Metrics(); err != nil {
+		t.Fatalf("keyed metrics: %v", err)
 	}
 }

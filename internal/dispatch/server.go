@@ -5,6 +5,7 @@
 // every handler is a thin translation onto core.
 //
 //	POST   /v1/tasks            submit a task (optionally gold)
+//	GET    /v1/tasks            list tasks (status filter, pagination)
 //	GET    /v1/tasks/{id}       fetch a task with its answers
 //	DELETE /v1/tasks/{id}       cancel an open task
 //	GET    /v1/tasks/{id}/words aggregated word votes (label/describe)
@@ -13,7 +14,14 @@
 //	POST   /v1/leases/{id}      submit the answer for a lease
 //	DELETE /v1/leases/{id}      release a lease unanswered
 //	GET    /v1/stats            system counters
+//	GET    /v1/metrics          per-endpoint request metrics
 //	GET    /healthz             liveness
+//
+// Read-path contract: handlers never serialize live *task.Task pointers.
+// Every task that crosses the wire is a task.View snapshot copied under
+// the owning lock, so reads can never race with the queue recording
+// answers. All /v1 routes — including /v1/metrics — sit behind the
+// auth/rate-limit middleware when one is configured.
 package dispatch
 
 import (
@@ -52,7 +60,7 @@ type NextRequest struct {
 
 // NextResponse is the body returned by POST /v1/next.
 type NextResponse struct {
-	Task  *task.Task    `json:"task"`
+	Task  task.View     `json:"task"`
 	Lease queue.LeaseID `json:"lease"`
 }
 
@@ -96,7 +104,7 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	route("POST /v1/leases/{id}", s.handleAnswer)
 	route("DELETE /v1/leases/{id}", s.handleRelease)
 	route("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/metrics", guard.wrap(s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
@@ -192,15 +200,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // TaskList is the body returned by GET /v1/tasks.
 type TaskList struct {
-	Tasks []*task.Task `json:"tasks"`
-	Total int          `json:"total"`
+	Tasks []task.View `json:"tasks"`
+	Total int         `json:"total"`
 }
 
 // handleListTasks serves GET /v1/tasks?status=open&offset=0&limit=50.
 // Tasks are ordered by ID; Total counts all matches before pagination.
 func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	var all []*task.Task
+	var all []task.View
 	if raw := q.Get("status"); raw != "" {
 		var st task.Status
 		switch raw {
@@ -214,9 +222,9 @@ func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
 			badRequest(w, "dispatch: unknown status %q", raw)
 			return
 		}
-		all = s.sys.Store().ByStatus(st)
+		all = s.sys.Store().ViewByStatus(st)
 	} else {
-		all = s.sys.Store().All()
+		all = s.sys.Store().ViewAll()
 	}
 
 	offset, limit := 0, 50
@@ -236,7 +244,7 @@ func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	out := TaskList{Total: len(all), Tasks: []*task.Task{}}
+	out := TaskList{Total: len(all), Tasks: []task.View{}}
 	if offset < len(all) {
 		end := offset + limit
 		if end > len(all) {

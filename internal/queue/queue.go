@@ -46,8 +46,14 @@ type entry struct {
 }
 
 // Queue is a redundancy-aware priority work queue with leases.
+//
+// The queue owns all mutation of task state while the system runs: Record
+// and Cancel are only ever called under q.mu (plus taskMu, when set), and
+// no method returns a live *task.Task — lookups hand out deep-copied
+// task.View snapshots instead.
 type Queue struct {
 	mu      sync.Mutex
+	taskMu  sync.Locker // extra lock held while mutating task state; nil for standalone queues
 	ttl     time.Duration
 	entries map[task.ID]*entry
 	heap    taskHeap
@@ -59,14 +65,38 @@ type Queue struct {
 
 // New returns an empty queue whose leases expire after ttl.
 // It panics if ttl is not positive.
-func New(ttl time.Duration) *Queue {
+func New(ttl time.Duration) *Queue { return NewLocked(ttl, nil) }
+
+// NewLocked returns an empty queue that additionally holds taskMu while
+// mutating task state (recording answers, canceling). Passing the store's
+// Locker here is what makes the store's view reads race-free: every writer
+// holds the store's write lock, every view reader copies under its read
+// lock. A nil taskMu behaves like New.
+func NewLocked(ttl time.Duration, taskMu sync.Locker) *Queue {
 	if ttl <= 0 {
 		panic("queue: lease TTL must be positive")
 	}
 	return &Queue{
 		ttl:     ttl,
+		taskMu:  taskMu,
 		entries: make(map[task.ID]*entry),
 		leases:  make(map[LeaseID]*Lease),
+	}
+}
+
+// lockTasks/unlockTasks bracket in-place task mutations with the shared
+// task-state lock, when one was configured. Lock order is always
+// q.mu → taskMu; the store never calls back into the queue, so this
+// ordering cannot deadlock.
+func (q *Queue) lockTasks() {
+	if q.taskMu != nil {
+		q.taskMu.Lock()
+	}
+}
+
+func (q *Queue) unlockTasks() {
+	if q.taskMu != nil {
+		q.taskMu.Unlock()
 	}
 }
 
@@ -91,8 +121,9 @@ func (q *Queue) Add(t *task.Task) error {
 // at now.Add(ttl). A task is available when it is Open, has not already been
 // answered by this worker, is not currently leased to this worker, and has
 // fewer outstanding leases than answers it still needs. Returns ErrEmpty
-// when nothing is eligible.
-func (q *Queue) Lease(workerID string, now time.Time) (*task.Task, LeaseID, error) {
+// when nothing is eligible. The returned view is a snapshot taken under the
+// queue lock; the caller can serialize it freely.
+func (q *Queue) Lease(workerID string, now time.Time) (task.View, LeaseID, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked(now)
@@ -121,9 +152,9 @@ func (q *Queue) Lease(workerID string, now time.Time) (*task.Task, LeaseID, erro
 		q.nextID++
 		l := &Lease{ID: q.nextID, TaskID: e.t.ID, WorkerID: workerID, Expiry: now.Add(q.ttl)}
 		q.leases[l.ID] = l
-		return e.t, l.ID, nil
+		return e.t.View(), l.ID, nil
 	}
-	return nil, 0, ErrEmpty
+	return task.View{}, 0, ErrEmpty
 }
 
 func (q *Queue) eligibleLocked(e *entry, workerID string) bool {
@@ -146,30 +177,53 @@ func (q *Queue) eligibleLocked(e *entry, workerID string) bool {
 	return true
 }
 
-// Complete records the leaseholder's answer and releases the lease,
-// returning the task the answer landed on. If the answer fulfills the
-// task's redundancy the task leaves the queue as Done.
-func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (*task.Task, error) {
+// CompleteResult reports the outcome of Complete without exposing the live
+// task: everything the caller needs — which task, what kind, the status
+// after recording, and the exact answer as recorded (worker stamped from
+// the lease) — is returned by value, so callers never re-read the task's
+// answer list unlocked.
+type CompleteResult struct {
+	TaskID task.ID
+	Kind   task.Kind
+	Status task.Status // status after recording; Done when redundancy is met
+	Answer task.Answer // the recorded answer, by value
+}
+
+// Complete records the leaseholder's answer and releases the lease. If the
+// answer fulfills the task's redundancy the task leaves the queue as Done.
+func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResult, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked(now)
 	l, ok := q.leases[id]
 	if !ok {
-		return nil, ErrUnknownLease
+		return CompleteResult{}, ErrUnknownLease
 	}
 	e, ok := q.entries[l.TaskID]
 	if !ok {
 		delete(q.leases, id)
-		return nil, ErrUnknownTask
+		return CompleteResult{}, ErrUnknownTask
 	}
 	a.WorkerID = l.WorkerID
-	if err := e.t.Record(a, now); err != nil {
-		return nil, err
+	q.lockTasks()
+	err := e.t.Record(a, now)
+	var res CompleteResult
+	if err == nil {
+		res = CompleteResult{
+			TaskID: e.t.ID,
+			Kind:   e.t.Kind,
+			Status: e.t.Status,
+			Answer: e.t.Answers[len(e.t.Answers)-1],
+		}
+	}
+	q.unlockTasks()
+	if err != nil {
+		return CompleteResult{}, err
 	}
 	delete(q.leases, id)
 	e.inFlight--
 	q.fixLocked(e)
-	return e.t, nil
+	return res, nil
 }
 
 // Release returns a leased task to the pool without an answer (the worker
@@ -198,10 +252,31 @@ func (q *Queue) Cancel(id task.ID, now time.Time) error {
 	if !ok {
 		return ErrUnknownTask
 	}
-	if err := e.t.Cancel(now); err != nil {
+	q.lockTasks()
+	err := e.t.Cancel(now)
+	q.unlockTasks()
+	if err != nil {
 		return err
 	}
 	q.fixLocked(e)
+	return nil
+}
+
+// Remove withdraws a task from the queue entirely without touching its
+// status — the rollback half of Add for submissions that fail partway.
+// Outstanding leases on the task (none exist on the submit path) are left
+// to expire.
+func (q *Queue) Remove(id task.ID) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[id]
+	if !ok {
+		return ErrUnknownTask
+	}
+	if e.index >= 0 {
+		heap.Remove(&q.heap, e.index)
+	}
+	delete(q.entries, id)
 	return nil
 }
 
@@ -245,16 +320,17 @@ func (q *Queue) fixLocked(e *entry) {
 	heap.Fix(&q.heap, e.index)
 }
 
-// Task returns the task with the given ID regardless of status, or
-// ErrUnknownTask if the queue never saw it or has already dropped it.
-func (q *Queue) Task(id task.ID) (*task.Task, error) {
+// Task returns a snapshot of the task with the given ID regardless of
+// status, or ErrUnknownTask if the queue never saw it or has already
+// dropped it.
+func (q *Queue) Task(id task.ID) (task.View, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	e, ok := q.entries[id]
 	if !ok {
-		return nil, ErrUnknownTask
+		return task.View{}, ErrUnknownTask
 	}
-	return e.t, nil
+	return e.t.View(), nil
 }
 
 // Stats is a snapshot of queue occupancy.

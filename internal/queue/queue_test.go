@@ -141,13 +141,25 @@ func TestCompleteStampsLeaseWorker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(tk.Answers) != 0 {
+		t.Fatalf("lease snapshot already has answers: %+v", tk)
+	}
 	a := answer(1)
 	a.WorkerID = "forged"
-	if _, err := q.Complete(lease, a, t0); err != nil {
+	res, err := q.Complete(lease, a, t0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if tk.Answers[0].WorkerID != "w" {
-		t.Fatalf("answer WorkerID = %q, want lease holder", tk.Answers[0].WorkerID)
+	if res.Answer.WorkerID != "w" {
+		t.Fatalf("answer WorkerID = %q, want lease holder", res.Answer.WorkerID)
+	}
+	if res.TaskID != 1 || res.Status != task.Done {
+		t.Fatalf("complete result = %+v", res)
+	}
+	// The lease-time snapshot is immutable: completing must not have
+	// appended to it.
+	if len(tk.Answers) != 0 {
+		t.Fatalf("lease snapshot mutated by Complete: %+v", tk.Answers)
 	}
 }
 

@@ -21,6 +21,14 @@ import (
 var ErrNotFound = errors.New("store: task not found")
 
 // Store is an in-memory task table. Safe for concurrent use.
+//
+// Locking discipline: mu guards the table itself AND the contents of every
+// stored task. Components that mutate stored tasks in place (the queue,
+// via Locker) take the write lock around each mutation, which lets View,
+// ViewAll, ViewByStatus and Snapshot hand out consistent deep copies under
+// the read lock. The live-pointer accessors (Get, All, ByStatus) exist for
+// ownership-transfer paths — enqueueing, recovery replay — and must not be
+// used to serve reads concurrent with a running queue.
 type Store struct {
 	mu     sync.RWMutex
 	tasks  map[task.ID]*task.Task
@@ -50,6 +58,59 @@ func (s *Store) Put(t *task.Task) {
 	}
 }
 
+// Delete removes a task; deleting an absent ID is a no-op. It is the
+// rollback half of Put for submissions that fail partway.
+func (s *Store) Delete(id task.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tasks, id)
+}
+
+// Locker exposes the write lock guarding stored task contents. The queue
+// holds it while recording answers or canceling, so that concurrent view
+// readers (which copy under the read lock) never race with a mutation.
+func (s *Store) Locker() sync.Locker { return &s.mu }
+
+// View returns an immutable deep-copy snapshot of the task with the given
+// ID, or ErrNotFound. This is the only safe way to read a task while the
+// queue is running.
+func (s *Store) View(id task.ID) (task.View, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return task.View{}, ErrNotFound
+	}
+	return t.View(), nil
+}
+
+// ViewAll returns a snapshot of every task, ordered by ID.
+func (s *Store) ViewAll() []task.View {
+	s.mu.RLock()
+	out := make([]task.View, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		out = append(out, t.View())
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ViewByStatus returns a snapshot of every task with the given status,
+// ordered by ID.
+func (s *Store) ViewByStatus(st task.Status) []task.View {
+	s.mu.RLock()
+	var out []task.View
+	for _, t := range s.tasks {
+		if t.Status == st {
+			out = append(out, t.View())
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Get returns the task with the given ID or ErrNotFound.
 func (s *Store) Get(id task.ID) (*task.Task, error) {
 	s.mu.RLock()
@@ -68,7 +129,8 @@ func (s *Store) Len() int {
 	return len(s.tasks)
 }
 
-// All returns every task ordered by ID.
+// All returns every live task ordered by ID. Ownership-transfer use only;
+// concurrent readers must use ViewAll.
 func (s *Store) All() []*task.Task {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -80,7 +142,9 @@ func (s *Store) All() []*task.Task {
 	return out
 }
 
-// ByStatus returns every task with the given status, ordered by ID.
+// ByStatus returns every live task with the given status, ordered by ID.
+// Ownership-transfer use only (e.g. re-enqueueing open tasks at recovery);
+// concurrent readers must use ViewByStatus.
 func (s *Store) ByStatus(st task.Status) []*task.Task {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -94,21 +158,33 @@ func (s *Store) ByStatus(st task.Status) []*task.Task {
 	return out
 }
 
-// snapshot is the JSON wire format of a store.
+// snapshot is the JSON wire format of a store (decode side).
 type snapshot struct {
 	Version int          `json:"version"`
 	NextID  task.ID      `json:"next_id"`
 	Tasks   []*task.Task `json:"tasks"`
 }
 
+// viewSnapshot is the encode-side twin of snapshot: it carries deep-copied
+// views so encoding happens entirely outside the lock, racing with nothing.
+// task.View marshals identically to task.Task, so the wire format is
+// unchanged.
+type viewSnapshot struct {
+	Version int         `json:"version"`
+	NextID  task.ID     `json:"next_id"`
+	Tasks   []task.View `json:"tasks"`
+}
+
 const snapshotVersion = 1
 
-// Snapshot writes the store as JSON to w.
+// Snapshot writes the store as JSON to w. Task state is deep-copied under
+// the lock and encoded after releasing it, so a snapshot can be taken
+// while the service keeps answering traffic.
 func (s *Store) Snapshot(w io.Writer) error {
 	s.mu.RLock()
-	snap := snapshot{Version: snapshotVersion, NextID: s.nextID, Tasks: make([]*task.Task, 0, len(s.tasks))}
+	snap := viewSnapshot{Version: snapshotVersion, NextID: s.nextID, Tasks: make([]task.View, 0, len(s.tasks))}
 	for _, t := range s.tasks {
-		snap.Tasks = append(snap.Tasks, t)
+		snap.Tasks = append(snap.Tasks, t.View())
 	}
 	s.mu.RUnlock()
 	sort.Slice(snap.Tasks, func(i, j int) bool { return snap.Tasks[i].ID < snap.Tasks[j].ID })

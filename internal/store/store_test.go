@@ -168,3 +168,52 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("Len = %d", s.Len())
 	}
 }
+
+func TestViewDeepCopy(t *testing.T) {
+	s := New()
+	tk := mk(t, s, task.Label)
+	if err := tk.Record(task.Answer{WorkerID: "a", Words: []int{5}}, t0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.View(tk.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Later task mutation is invisible to the already-taken view …
+	if err := tk.Record(task.Answer{WorkerID: "b", Words: []int{6}}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Answers) != 1 || v.Answers[0].Words[0] != 5 {
+		t.Fatalf("view not isolated: %+v", v)
+	}
+	// … and view mutation never reaches the store.
+	v.Answers[0].Words[0] = 99
+	got, _ := s.Get(tk.ID)
+	if got.Answers[0].Words[0] != 5 {
+		t.Fatalf("store sees view mutation: %+v", got)
+	}
+	if _, err := s.View(9999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("View(unknown): %v", err)
+	}
+}
+
+func TestViewAllAndByStatus(t *testing.T) {
+	s := New()
+	a := mk(t, s, task.Label)
+	b := mk(t, s, task.Judge)
+	if err := b.Cancel(t0); err != nil {
+		t.Fatal(err)
+	}
+	all := s.ViewAll()
+	if len(all) != 2 || all[0].ID != a.ID || all[1].ID != b.ID {
+		t.Fatalf("ViewAll = %+v", all)
+	}
+	open := s.ViewByStatus(task.Open)
+	if len(open) != 1 || open[0].ID != a.ID {
+		t.Fatalf("ViewByStatus(open) = %+v", open)
+	}
+	canceled := s.ViewByStatus(task.Canceled)
+	if len(canceled) != 1 || canceled[0].ID != b.ID {
+		t.Fatalf("ViewByStatus(canceled) = %+v", canceled)
+	}
+}

@@ -210,6 +210,38 @@ func (t *Task) Record(a Answer, now time.Time) error {
 	return nil
 }
 
+// View is an immutable deep copy of a Task taken at one instant. The
+// dispatch read path (HTTP handlers, snapshots, the journal) serializes
+// Views, never live *Task pointers, so readers can never observe — or
+// race with — the queue mutating a task. View has the same fields and
+// JSON encoding as Task but deliberately none of its methods.
+type View Task
+
+// View returns a deep copy of the task: the Answers slice, each answer's
+// Words, and the payload's Taboo list are all copied, so the view shares
+// no mutable memory with the task. Callers must hold whatever lock guards
+// the task's mutations while copying (the queue and store do).
+func (t *Task) View() View {
+	v := View(*t)
+	v.Payload.Taboo = append([]int(nil), t.Payload.Taboo...)
+	if t.Answers != nil {
+		v.Answers = make([]Answer, len(t.Answers))
+		for i, a := range t.Answers {
+			a.Words = append([]int(nil), a.Words...)
+			v.Answers[i] = a
+		}
+	}
+	return v
+}
+
+// Remaining returns how many more answers the viewed task needs.
+func (v View) Remaining() int {
+	if r := v.Redundancy - len(v.Answers); r > 0 {
+		return r
+	}
+	return 0
+}
+
 // Cancel transitions an Open task to Canceled; canceling a finished task
 // returns ErrWrongStatus.
 func (t *Task) Cancel(now time.Time) error {

@@ -160,3 +160,33 @@ func TestStatusString(t *testing.T) {
 		t.Error("unknown status should still stringify")
 	}
 }
+
+func TestViewIsDeepCopy(t *testing.T) {
+	tk := mustNew(t, Label, 2)
+	tk.Payload.Taboo = []int{10, 11}
+	if err := tk.Record(Answer{WorkerID: "a", Words: []int{1, 2}}, t0); err != nil {
+		t.Fatal(err)
+	}
+	v := tk.View()
+
+	// Mutating the live task does not reach the view.
+	if err := tk.Record(Answer{WorkerID: "b", Words: []int{3}}, t0); err != nil {
+		t.Fatal(err)
+	}
+	tk.Payload.Taboo[0] = 99
+	tk.Answers[0].Words[0] = 99
+	if len(v.Answers) != 1 || v.Answers[0].Words[0] != 1 || v.Payload.Taboo[0] != 10 {
+		t.Fatalf("view sees later mutation: %+v", v)
+	}
+
+	// Mutating the view does not reach the task.
+	v.Answers[0].Words[1] = 77
+	v.Payload.Taboo[1] = 77
+	if tk.Answers[0].Words[1] != 2 || tk.Payload.Taboo[1] != 11 {
+		t.Fatalf("task sees view mutation: %+v", tk)
+	}
+
+	if v.Remaining() != 1 {
+		t.Fatalf("view Remaining = %d, want 1", v.Remaining())
+	}
+}
