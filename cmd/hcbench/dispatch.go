@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"humancomp/internal/core"
+	"humancomp/internal/queue"
+	"humancomp/internal/store"
+	"humancomp/internal/task"
+)
+
+// The dispatch benchmark harness drives the dispatch data plane —
+// SubmitTask / NextTask (lease) / SubmitAnswer, the calls behind POST
+// /v1/tasks, /v1/next and /v1/leases/{id} — with b.RunParallel at rising
+// client concurrency, once over a single-shard core (the historical
+// global-lock configuration) and once over the auto-sharded core. It
+// writes the sweep as JSON so successive PRs accumulate a throughput
+// trajectory, and can gate CI on a committed baseline.
+
+// benchFile is the schema of BENCH_dispatch.json.
+type benchFile struct {
+	Schema     int           `json:"schema"`
+	Command    string        `json:"command"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	AutoShards int           `json:"auto_shards"`
+	Note       string        `json:"note"`
+	Results    []benchResult `json:"results"`
+}
+
+type benchResult struct {
+	Op         string  `json:"op"`
+	ShardMode  string  `json:"shard_mode"` // "1" (unsharded baseline) or "auto"
+	Shards     int     `json:"shards"`
+	Goroutines int     `json:"goroutines"` // requested client concurrency
+	ActualGs   int     `json:"actual_goroutines"`
+	Ops        int64   `json:"ops"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	ReqsPerSec float64 `json:"reqs_per_sec"` // API calls/s (3 per round trip, 1 per submit)
+}
+
+// requestsPerOp maps a benchmark op to how many dispatch API calls one
+// iteration performs.
+var requestsPerOp = map[string]int{
+	"submit":              1, // POST /v1/tasks
+	"submit_lease_answer": 3, // POST /v1/tasks + POST /v1/next + POST /v1/leases/{id}
+}
+
+// parallelism converts a requested goroutine count into the
+// b.SetParallelism factor (RunParallel spawns factor × GOMAXPROCS
+// goroutines) and reports the actual count that will run.
+func parallelism(goroutines int) (factor, actual int) {
+	gmp := runtime.GOMAXPROCS(0)
+	factor = (goroutines + gmp - 1) / gmp
+	if factor < 1 {
+		factor = 1
+	}
+	return factor, factor * gmp
+}
+
+// benchCore builds a fresh system with the given shard override.
+func benchCore(shards int) *core.System {
+	cfg := core.DefaultConfig()
+	cfg.Shards = shards
+	return core.New(cfg)
+}
+
+// runSubmit benchmarks SubmitTask alone: the ID allocator, store insert
+// and queue insert, with no lease traffic.
+func runSubmit(shards, goroutines int) testing.BenchmarkResult {
+	factor, _ := parallelism(goroutines)
+	return testing.Benchmark(func(b *testing.B) {
+		sys := benchCore(shards)
+		b.ReportAllocs()
+		b.SetParallelism(factor)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := sys.SubmitTask(task.Label, task.Payload{ImageID: 1}, 1, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// runSubmitLeaseAnswer benchmarks the full dispatch round trip: each
+// iteration submits one redundancy-1 task, leases the best available task
+// and answers it. Submissions and completions balance, so the queue stays
+// near-empty and every iteration exercises allocator, both shard tables,
+// the heap and the lease table.
+func runSubmitLeaseAnswer(shards, goroutines int) testing.BenchmarkResult {
+	factor, _ := parallelism(goroutines)
+	return testing.Benchmark(func(b *testing.B) {
+		sys := benchCore(shards)
+		var wid atomic.Int64
+		b.ReportAllocs()
+		b.SetParallelism(factor)
+		b.RunParallel(func(pb *testing.PB) {
+			worker := fmt.Sprintf("bench-w%d", wid.Add(1))
+			for pb.Next() {
+				if _, err := sys.SubmitTask(task.Label, task.Payload{ImageID: 1}, 1, 0); err != nil {
+					b.Fatal(err)
+				}
+				_, lease, err := sys.NextTask(worker)
+				if errors.Is(err, queue.ErrEmpty) {
+					// Another goroutine leased our submission first; the
+					// balance evens out over the run.
+					continue
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.SubmitAnswer(lease, task.Answer{Words: []int{1}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// runDispatchBench runs the sweep, writes outPath, and (when baseline is
+// readable) fails if sharded submit+lease throughput at 16 goroutines
+// regressed more than maxRegress against it. Returns an exit code.
+func runDispatchBench(outPath, baselinePath string, maxRegress float64) int {
+	goroutineSweep := []int{1, 4, 16, 64}
+	modes := []struct {
+		name   string
+		shards int
+	}{
+		{"1", 1},
+		{"auto", 0},
+	}
+	runners := []struct {
+		op  string
+		run func(shards, goroutines int) testing.BenchmarkResult
+	}{
+		{"submit", runSubmit},
+		{"submit_lease_answer", runSubmitLeaseAnswer},
+	}
+
+	out := benchFile{
+		Schema:     1,
+		Command:    "go run ./cmd/hcbench -dispatch",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		AutoShards: store.AutoShards(),
+		Note: "ops are in-process dispatch data-plane calls; reqs_per_sec counts the API " +
+			"calls one op performs (submit=1, submit_lease_answer=3). shard_mode=1 is the " +
+			"historical global-lock configuration, shard_mode=auto the sharded core. " +
+			"Parallel speedup requires a multi-core runner; single-core hosts measure " +
+			"lock overhead only.",
+	}
+
+	for _, r := range runners {
+		for _, m := range modes {
+			for _, g := range goroutineSweep {
+				_, actual := parallelism(g)
+				res := r.run(m.shards, g)
+				opsPerSec := 0.0
+				if ns := res.NsPerOp(); ns > 0 {
+					opsPerSec = 1e9 / float64(ns)
+				}
+				br := benchResult{
+					Op:          r.op,
+					ShardMode:   m.name,
+					Shards:      effectiveShards(m.shards),
+					Goroutines:  g,
+					ActualGs:    actual,
+					Ops:         int64(res.N),
+					NsPerOp:     float64(res.NsPerOp()),
+					AllocsPerOp: res.AllocsPerOp(),
+					ReqsPerSec:  opsPerSec * float64(requestsPerOp[r.op]),
+				}
+				out.Results = append(out.Results, br)
+				fmt.Printf("%-20s shards=%-4s g=%-3d  %12.0f ns/op  %6d allocs/op  %12.0f req/s\n",
+					r.op, m.name, g, br.NsPerOp, br.AllocsPerOp, br.ReqsPerSec)
+			}
+		}
+	}
+
+	code := 0
+	if baselinePath != "" {
+		if err := checkRegression(baselinePath, out, maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "hcbench: %v\n", err)
+			code = 1
+		}
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcbench: encoding results: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "hcbench: writing %s: %v\n", outPath, err)
+		return 1
+	}
+	fmt.Printf("hcbench: wrote %s\n", outPath)
+	return code
+}
+
+// effectiveShards resolves the shard override the same way core does.
+func effectiveShards(n int) int {
+	if n <= 0 {
+		return store.AutoShards()
+	}
+	return n
+}
+
+// checkRegression compares the canonical gate metric — submit_lease_answer
+// throughput, auto shards, 16 goroutines — against the committed baseline.
+// A missing or unreadable baseline is reported but does not fail the run
+// (first generation, or a fresh clone without artifacts).
+func checkRegression(path string, fresh benchFile, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("hcbench: no baseline at %s (%v); skipping regression gate\n", path, err)
+		return nil
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	find := func(f benchFile) *benchResult {
+		for i := range f.Results {
+			r := &f.Results[i]
+			if r.Op == "submit_lease_answer" && r.ShardMode == "auto" && r.Goroutines == 16 {
+				return r
+			}
+		}
+		return nil
+	}
+	old, now := find(base), find(fresh)
+	if old == nil || now == nil {
+		fmt.Println("hcbench: baseline lacks the gate metric; skipping regression gate")
+		return nil
+	}
+	floor := old.ReqsPerSec * (1 - maxRegress)
+	fmt.Printf("hcbench: regression gate: submit_lease_answer auto/16g %.0f req/s vs baseline %.0f req/s (floor %.0f)\n",
+		now.ReqsPerSec, old.ReqsPerSec, floor)
+	if now.ReqsPerSec < floor {
+		return fmt.Errorf("submit+lease throughput regressed >%.0f%%: %.0f req/s < floor %.0f req/s (baseline %.0f)",
+			maxRegress*100, now.ReqsPerSec, floor, old.ReqsPerSec)
+	}
+	return nil
+}

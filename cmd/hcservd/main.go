@@ -52,16 +52,19 @@ func main() {
 		apiKeys  = flag.String("api-keys", "", "comma-separated API keys; empty leaves the server open")
 		rate     = flag.Float64("rate", 0, "per-key request rate limit (req/s); 0 disables")
 		burst    = flag.Float64("burst", 20, "rate-limit burst size")
+		shards   = flag.Int("shards", 0, "store/queue lock shards, rounded up to a power of two; 0 = auto (GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.LeaseTTL = *leaseTTL
+	cfg.Shards = *shards
 
 	// Recovery order: snapshot first, then the WAL tail written after it,
 	// then a fresh snapshot so the WAL can start empty.
 	var walFile *os.File
 	sys := core.New(cfg)
+	log.Printf("hcservd: dispatch core sharded %d-way", sys.Shards())
 	if *snapshot != "" {
 		if err := restore(sys, *snapshot); err != nil {
 			log.Fatalf("hcservd: restoring snapshot: %v", err)

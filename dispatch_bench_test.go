@@ -1,0 +1,85 @@
+package humancomp_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"humancomp/internal/core"
+	"humancomp/internal/queue"
+	"humancomp/internal/task"
+)
+
+// Parallel dispatch data-plane benchmarks: every goroutine RunParallel
+// spawns is one dispatch client hammering submit / lease / answer. The
+// shards=1 variants pin the core to the historical single-lock layout;
+// shards=auto uses the sharded data plane. Run with -benchmem; the sweep
+// that varies client concurrency 1..64 and records BENCH_dispatch.json is
+// `go run ./cmd/hcbench -dispatch`.
+
+func benchSystem(shards int) *core.System {
+	cfg := core.DefaultConfig()
+	cfg.Shards = shards
+	return core.New(cfg)
+}
+
+func shardModes() []struct {
+	name   string
+	shards int
+} {
+	return []struct {
+		name   string
+		shards int
+	}{{"shards=1", 1}, {"shards=auto", 0}}
+}
+
+// BenchmarkDispatchSubmit measures task submission alone: atomic ID
+// allocation, store shard insert, queue shard insert.
+func BenchmarkDispatchSubmit(b *testing.B) {
+	for _, m := range shardModes() {
+		b.Run(m.name, func(b *testing.B) {
+			sys := benchSystem(m.shards)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := sys.SubmitTask(task.Label, task.Payload{ImageID: 1}, 1, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDispatchSubmitLeaseAnswer measures the full round trip behind
+// POST /v1/tasks + POST /v1/next + POST /v1/leases/{id}: submissions and
+// completions balance, so the queue stays near-empty while allocator,
+// shard tables, heap and lease table are all exercised every iteration.
+func BenchmarkDispatchSubmitLeaseAnswer(b *testing.B) {
+	for _, m := range shardModes() {
+		b.Run(m.name, func(b *testing.B) {
+			sys := benchSystem(m.shards)
+			var wid atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				worker := fmt.Sprintf("bench-w%d", wid.Add(1))
+				for pb.Next() {
+					if _, err := sys.SubmitTask(task.Label, task.Payload{ImageID: 1}, 1, 0); err != nil {
+						b.Fatal(err)
+					}
+					_, lease, err := sys.NextTask(worker)
+					if errors.Is(err, queue.ErrEmpty) {
+						continue // another goroutine leased our submission first
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.SubmitAnswer(lease, task.Answer{Words: []int{1}}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

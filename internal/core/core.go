@@ -39,6 +39,11 @@ type Config struct {
 	// that lets a crashed service recover snapshot + journal tail.
 	// *store.WAL satisfies it.
 	Journal Journal
+	// Shards selects how many lock shards the store and queue are split
+	// into (rounded up to a power of two). 0 selects the auto default:
+	// GOMAXPROCS rounded up. 1 reproduces the historical single-lock
+	// behavior exactly.
+	Shards int
 }
 
 // Journal is the event sink a System writes through (see store.WAL).
@@ -65,7 +70,7 @@ type System struct {
 	rep   *quality.Reputation
 	clock sim.Clock
 
-	mu   sync.Mutex
+	mu   sync.RWMutex // guards gold; read-mostly (checked on every answer)
 	gold map[task.ID]task.Answer
 
 	tasksSubmitted metrics.Counter
@@ -81,14 +86,17 @@ func New(cfg Config) *System {
 	if cfg.Clock == nil {
 		cfg.Clock = sim.WallClock{}
 	}
-	// The queue holds the store's write lock while mutating task state, so
-	// every store-side view read (handlers, snapshots, aggregators) is
-	// race-free under the store's read lock.
-	st := store.New()
+	// The queue holds the write lock of the store shard owning a task
+	// while mutating its state, so every store-side view read (handlers,
+	// snapshots, aggregators) is race-free under that shard's read lock.
+	// Store and queue use the same shard count and the same id&mask
+	// placement, so a task's queue entry, its leases and its stored
+	// record always live on the same shard index.
+	st := store.NewSharded(cfg.Shards)
 	return &System{
 		cfg:   cfg,
 		store: st,
-		queue: queue.NewLocked(cfg.LeaseTTL, st.Locker()),
+		queue: queue.NewSharded(cfg.LeaseTTL, st.Shards(), st),
 		rep:   quality.NewReputation(cfg.ReputationPrior, cfg.ReputationWeight),
 		clock: cfg.Clock,
 		gold:  make(map[task.ID]task.Answer),
@@ -151,11 +159,14 @@ func (s *System) SubmitGold(kind task.Kind, p task.Payload, redundancy, priority
 
 // IsGold reports whether id is a gold probe.
 func (s *System) IsGold(id task.ID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.gold[id]
 	return ok
 }
+
+// Shards returns the effective shard count of the dispatch data plane.
+func (s *System) Shards() int { return s.store.Shards() }
 
 // NextTask leases the best available task to workerID, returning an
 // immutable snapshot of it. It returns queue.ErrEmpty when nothing is
@@ -190,9 +201,9 @@ func (s *System) SubmitAnswer(lease queue.LeaseID, a task.Answer) error {
 // checkGold scores a just-recorded answer against its task's gold
 // expectation, if any.
 func (s *System) checkGold(res queue.CompleteResult) {
-	s.mu.Lock()
+	s.mu.RLock()
 	expected, ok := s.gold[res.TaskID]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return
 	}

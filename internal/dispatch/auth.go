@@ -21,11 +21,54 @@ type Options struct {
 	Burst      float64
 }
 
+// limiterStripes is the number of independently locked token-bucket
+// stripes. Keys are spread by FNV-1a hash, so one hot API key saturating
+// its own bucket contends only with the 1/limiterStripes of keys sharing
+// its stripe — it can no longer serialize every other key's requests
+// behind one mutex.
+const limiterStripes = 16
+
+// stripedLimiter shards a per-key token-bucket rate limiter. Each stripe
+// owns a disjoint set of keys (by key hash), so a key's bucket state
+// always lives on exactly one stripe and per-key accounting is exact.
+type stripedLimiter struct {
+	stripes [limiterStripes]struct {
+		mu  sync.Mutex
+		lim *antifraud.RateLimiter
+	}
+}
+
+func newStripedLimiter(rate, burst float64) *stripedLimiter {
+	l := &stripedLimiter{}
+	for i := range l.stripes {
+		l.stripes[i].lim = antifraud.NewRateLimiter(rate, burst)
+	}
+	return l
+}
+
+// fnv32a hashes a key without allocating (hash/fnv would force a []byte).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Allow reports whether key may act at time now, consuming a token if so.
+func (l *stripedLimiter) Allow(key string, now time.Time) bool {
+	s := &l.stripes[fnv32a(key)%limiterStripes]
+	s.mu.Lock()
+	ok := s.lim.Allow(key, now)
+	s.mu.Unlock()
+	return ok
+}
+
 // authLimiter implements the auth + rate-limit middleware.
 type authLimiter struct {
 	keys    map[string]bool
-	mu      sync.Mutex
-	limiter *antifraud.RateLimiter
+	limiter *stripedLimiter
 }
 
 func newAuthLimiter(o Options) *authLimiter {
@@ -42,7 +85,7 @@ func newAuthLimiter(o Options) *authLimiter {
 		}
 	}
 	if o.RatePerSec > 0 && o.Burst >= 1 {
-		a.limiter = antifraud.NewRateLimiter(o.RatePerSec, o.Burst)
+		a.limiter = newStripedLimiter(o.RatePerSec, o.Burst)
 	}
 	return a
 }
@@ -76,10 +119,7 @@ func (a *authLimiter) wrap(h http.HandlerFunc) http.HandlerFunc {
 			principal = key
 		}
 		if a.limiter != nil {
-			a.mu.Lock()
-			ok := a.limiter.Allow(principal, time.Now())
-			a.mu.Unlock()
-			if !ok {
+			if !a.limiter.Allow(principal, time.Now()) {
 				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "dispatch: rate limit exceeded"})
 				return
 			}

@@ -25,11 +25,13 @@
 package dispatch
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"humancomp/internal/core"
 	"humancomp/internal/queue"
@@ -115,11 +117,31 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// writeJSON encodes v with the given status.
+// jsonBufPool recycles response encoding buffers across requests, so the
+// hot path does not allocate a fresh encoder buffer per response. Buffers
+// that grew beyond maxPooledBuf (an oversized task listing) are dropped
+// rather than pinned in the pool forever.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 64 << 10
+
+// writeJSON encodes v with the given status. Encoding goes through a
+// pooled buffer, which also yields an exact Content-Length header.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		http.Error(w, `{"error":"dispatch: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		jsonBufPool.Put(buf)
+	}
 }
 
 // writeError maps domain errors onto HTTP status codes.

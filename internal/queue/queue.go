@@ -8,13 +8,25 @@
 // All methods take the current time explicitly, so the queue runs equally
 // well under the discrete-event simulator's virtual clock and the dispatch
 // service's wall clock. The queue is safe for concurrent use.
+//
+// Internally the queue is sharded by task ID across a power-of-two number
+// of independently locked shards (default: GOMAXPROCS rounded up). A
+// task's heap entry and every lease on it live on the shard id & mask
+// selects, and lease IDs carry the shard index in their low bits, so every
+// mutation touches exactly one shard lock. Lease scans shards one at a
+// time — never holding two shard locks at once — and picks the globally
+// best eligible task, so single-threaded lease order is identical to a
+// one-shard queue.
 package queue
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"humancomp/internal/task"
@@ -28,7 +40,9 @@ var (
 	ErrDuplicateID  = errors.New("queue: task ID already enqueued")
 )
 
-// LeaseID identifies one outstanding lease.
+// LeaseID identifies one outstanding lease. The shard index of the leased
+// task is packed into the low bits, so lease operations find their shard
+// without any global map.
 type LeaseID int64
 
 // Lease records that a worker holds a task until Expiry.
@@ -41,80 +55,157 @@ type Lease struct {
 
 type entry struct {
 	t        *task.Task
-	inFlight int // outstanding leases on this task
-	index    int // heap index, -1 when not in heap
+	inFlight int             // outstanding leases on this task
+	index    int             // heap index, -1 when not in heap
+	holders  map[string]bool // workers currently holding a lease on this task
+}
+
+// TaskLocks hands out the lock guarding a given task's stored contents.
+// *store.Store satisfies it; the queue holds the task's lock while
+// mutating task state so concurrent view readers never race with a
+// mutation. Lock order is always queue-shard → task lock (store shard),
+// and the queue never holds two task locks at once.
+type TaskLocks interface {
+	LockerFor(id task.ID) sync.Locker
+}
+
+// qshard is one independently locked slice of the queue: its own heap,
+// entry table and lease table. All tasks whose ID maps to this shard —
+// and all leases on them — live here.
+type qshard struct {
+	mu      sync.Mutex
+	entries map[task.ID]*entry
+	heap    taskHeap
+	leases  map[LeaseID]*Lease
+	seq     int64 // per-shard lease sequence, guarded by mu
 }
 
 // Queue is a redundancy-aware priority work queue with leases.
 //
 // The queue owns all mutation of task state while the system runs: Record
-// and Cancel are only ever called under q.mu (plus taskMu, when set), and
-// no method returns a live *task.Task — lookups hand out deep-copied
-// task.View snapshots instead.
+// and Cancel are only ever called under the owning shard's lock (plus the
+// task's store lock, when configured), and no method returns a live
+// *task.Task — lookups hand out deep-copied task.View snapshots instead.
 type Queue struct {
-	mu      sync.Mutex
-	taskMu  sync.Locker // extra lock held while mutating task state; nil for standalone queues
-	ttl     time.Duration
-	entries map[task.ID]*entry
-	heap    taskHeap
-	leases  map[LeaseID]*Lease
-	nextID  LeaseID
+	ttl       time.Duration
+	locks     TaskLocks // extra per-task lock held while mutating task state; nil for standalone queues
+	shards    []*qshard
+	mask      uint64
+	shardBits uint
 
-	expired int64 // total leases reclaimed by ExpireLeases
+	expired atomic.Int64 // total leases reclaimed by expiry
 }
 
-// New returns an empty queue whose leases expire after ttl.
-// It panics if ttl is not positive.
-func New(ttl time.Duration) *Queue { return NewLocked(ttl, nil) }
+// New returns an empty queue with the default (auto) shard count whose
+// leases expire after ttl. It panics if ttl is not positive.
+func New(ttl time.Duration) *Queue { return NewSharded(ttl, 0, nil) }
 
-// NewLocked returns an empty queue that additionally holds taskMu while
-// mutating task state (recording answers, canceling). Passing the store's
-// Locker here is what makes the store's view reads race-free: every writer
-// holds the store's write lock, every view reader copies under its read
-// lock. A nil taskMu behaves like New.
-func NewLocked(ttl time.Duration, taskMu sync.Locker) *Queue {
+// NewLocked returns an empty queue that additionally holds the task's
+// lock (locks.LockerFor) while mutating task state (recording answers,
+// canceling). Passing the store here is what makes the store's view reads
+// race-free: every writer holds the task's store-shard write lock, every
+// view reader copies under its read lock. A nil locks behaves like New.
+func NewLocked(ttl time.Duration, locks TaskLocks) *Queue { return NewSharded(ttl, 0, locks) }
+
+// NewSharded returns an empty queue with n shards, rounded up to a power
+// of two; n <= 0 selects the auto default (GOMAXPROCS rounded up, capped
+// at 64). NewSharded(ttl, 1, locks) behaves exactly like the historical
+// single-lock queue, including sequential lease IDs.
+func NewSharded(ttl time.Duration, n int, locks TaskLocks) *Queue {
 	if ttl <= 0 {
 		panic("queue: lease TTL must be positive")
 	}
-	return &Queue{
-		ttl:     ttl,
-		taskMu:  taskMu,
-		entries: make(map[task.ID]*entry),
-		leases:  make(map[LeaseID]*Lease),
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 64 {
+			n = 64
+		}
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	q := &Queue{
+		ttl:       ttl,
+		locks:     locks,
+		shards:    make([]*qshard, p),
+		mask:      uint64(p - 1),
+		shardBits: uint(bits.TrailingZeros(uint(p))),
+	}
+	for i := range q.shards {
+		q.shards[i] = &qshard{
+			entries: make(map[task.ID]*entry),
+			leases:  make(map[LeaseID]*Lease),
+		}
+	}
+	return q
+}
+
+// Shards returns the number of shards the queue was built with.
+func (q *Queue) Shards() int { return len(q.shards) }
+
+// shardFor returns the shard owning the given task ID.
+func (q *Queue) shardFor(id task.ID) *qshard { return q.shards[uint64(id)&q.mask] }
+
+// leaseShard returns the shard a lease ID was allocated on.
+func (q *Queue) leaseShard(id LeaseID) *qshard { return q.shards[uint64(id)&q.mask] }
+
+// lockTask/unlockTask bracket in-place task mutations with the task's
+// store-shard lock, when one was configured. Lock order is always
+// queue-shard → store-shard; the store never calls back into the queue,
+// so this ordering cannot deadlock.
+func (q *Queue) lockTask(id task.ID) {
+	if q.locks != nil {
+		q.locks.LockerFor(id).Lock()
 	}
 }
 
-// lockTasks/unlockTasks bracket in-place task mutations with the shared
-// task-state lock, when one was configured. Lock order is always
-// q.mu → taskMu; the store never calls back into the queue, so this
-// ordering cannot deadlock.
-func (q *Queue) lockTasks() {
-	if q.taskMu != nil {
-		q.taskMu.Lock()
-	}
-}
-
-func (q *Queue) unlockTasks() {
-	if q.taskMu != nil {
-		q.taskMu.Unlock()
+func (q *Queue) unlockTask(id task.ID) {
+	if q.locks != nil {
+		q.locks.LockerFor(id).Unlock()
 	}
 }
 
 // Add enqueues an open task. The queue takes ownership of the task; callers
 // must not mutate it afterwards except through queue methods.
 func (q *Queue) Add(t *task.Task) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if _, dup := q.entries[t.ID]; dup {
+	sh := q.shardFor(t.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[t.ID]; dup {
 		return ErrDuplicateID
 	}
 	if t.Status != task.Open {
 		return fmt.Errorf("queue: cannot enqueue task %d with status %v", t.ID, t.Status)
 	}
-	e := &entry{t: t, index: -1}
-	q.entries[t.ID] = e
-	heap.Push(&q.heap, e)
+	e := &entry{t: t, index: -1, holders: make(map[string]bool)}
+	sh.entries[t.ID] = e
+	heap.Push(&sh.heap, e)
 	return nil
+}
+
+// leaseKey is the heap ordering key of a candidate entry, captured under
+// its shard's lock so the global best can be chosen with no lock held.
+type leaseKey struct {
+	priority int
+	created  time.Time
+	id       task.ID
+}
+
+func keyOf(t *task.Task) leaseKey {
+	return leaseKey{priority: t.Priority, created: t.CreatedAt, id: t.ID}
+}
+
+// before mirrors taskHeap.Less: higher priority first, then older, then
+// smaller ID.
+func (k leaseKey) before(o leaseKey) bool {
+	if k.priority != o.priority {
+		return k.priority > o.priority
+	}
+	if !k.created.Equal(o.created) {
+		return k.created.Before(o.created)
+	}
+	return k.id < o.id
 }
 
 // Lease hands workerID the best available task and records a lease expiring
@@ -122,39 +213,125 @@ func (q *Queue) Add(t *task.Task) error {
 // answered by this worker, is not currently leased to this worker, and has
 // fewer outstanding leases than answers it still needs. Returns ErrEmpty
 // when nothing is eligible. The returned view is a snapshot taken under the
-// queue lock; the caller can serialize it freely.
+// owning shard's lock; the caller can serialize it freely.
+//
+// Candidate selection visits shards one at a time, peeking each shard's
+// best eligible entry under that shard's lock, then leases from the
+// globally best shard after re-verifying eligibility. Sequentially this
+// yields exactly the one-shard order; under concurrent mutation a
+// candidate can be taken between peek and lease, in which case the scan
+// retries, degrading to first-eligible order rather than blocking.
 func (q *Queue) Lease(workerID string, now time.Time) (task.View, LeaseID, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.expireLocked(now)
+	const exactAttempts = 4
+	for attempt := 0; ; attempt++ {
+		best := -1
+		var bestKey leaseKey
+		for i, sh := range q.shards {
+			sh.mu.Lock()
+			q.expireShardLocked(sh, now)
+			if attempt >= exactAttempts {
+				// Racing writers keep invalidating peeked candidates; take
+				// the first eligible task directly so Lease always
+				// terminates.
+				if v, id, ok := q.leaseBestLocked(sh, workerID, now); ok {
+					sh.mu.Unlock()
+					return v, id, nil
+				}
+				sh.mu.Unlock()
+				continue
+			}
+			if k, ok := q.peekEligibleLocked(sh, workerID); ok {
+				if best < 0 || k.before(bestKey) {
+					best, bestKey = i, k
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if attempt >= exactAttempts {
+			return task.View{}, 0, ErrEmpty
+		}
+		if best < 0 {
+			return task.View{}, 0, ErrEmpty
+		}
+		sh := q.shards[best]
+		sh.mu.Lock()
+		if e, ok := sh.entries[bestKey.id]; ok && q.eligibleLocked(e, workerID) {
+			v, id := q.leaseEntryLocked(sh, e, workerID, now)
+			sh.mu.Unlock()
+			return v, id, nil
+		}
+		sh.mu.Unlock()
+		// The peeked candidate was taken or finished between scans; retry.
+	}
+}
 
-	// Pop until an eligible entry is found; re-push skipped entries after.
+// peekEligibleLocked finds the shard's best eligible entry without leasing
+// it: entries are popped until one is eligible, then everything popped is
+// pushed back. Finished tasks encountered on the way are drained, exactly
+// as the historical single-heap code did.
+func (q *Queue) peekEligibleLocked(sh *qshard, workerID string) (leaseKey, bool) {
+	var popped []*entry
+	var found *entry
+	for sh.heap.Len() > 0 {
+		e := heap.Pop(&sh.heap).(*entry)
+		if q.eligibleLocked(e, workerID) {
+			popped = append(popped, e)
+			found = e
+			break
+		}
+		if e.t.Status == task.Open {
+			popped = append(popped, e)
+			continue
+		}
+		delete(sh.entries, e.t.ID) // finished task drained from heap
+	}
+	for _, e := range popped {
+		heap.Push(&sh.heap, e)
+	}
+	if found == nil {
+		return leaseKey{}, false
+	}
+	return keyOf(found.t), true
+}
+
+// leaseBestLocked pops until an eligible entry is found and leases it —
+// the historical single-shard algorithm, used as the guaranteed-progress
+// fallback when exact global selection keeps losing races.
+func (q *Queue) leaseBestLocked(sh *qshard, workerID string, now time.Time) (task.View, LeaseID, bool) {
 	var skipped []*entry
 	defer func() {
 		for _, e := range skipped {
-			heap.Push(&q.heap, e)
+			heap.Push(&sh.heap, e)
 		}
 	}()
-	for q.heap.Len() > 0 {
-		e := heap.Pop(&q.heap).(*entry)
+	for sh.heap.Len() > 0 {
+		e := heap.Pop(&sh.heap).(*entry)
 		if !q.eligibleLocked(e, workerID) {
 			if e.t.Status == task.Open {
 				skipped = append(skipped, e)
 				continue
 			}
-			delete(q.entries, e.t.ID) // finished task drained from heap
+			delete(sh.entries, e.t.ID)
 			continue
 		}
-		e.inFlight++
-		// Keep the entry in the heap while leased: other workers may take
-		// the remaining redundancy slots concurrently.
-		heap.Push(&q.heap, e)
-		q.nextID++
-		l := &Lease{ID: q.nextID, TaskID: e.t.ID, WorkerID: workerID, Expiry: now.Add(q.ttl)}
-		q.leases[l.ID] = l
-		return e.t.View(), l.ID, nil
+		heap.Push(&sh.heap, e)
+		v, id := q.leaseEntryLocked(sh, e, workerID, now)
+		return v, id, true
 	}
-	return task.View{}, 0, ErrEmpty
+	return task.View{}, 0, false
+}
+
+// leaseEntryLocked records a lease on e for workerID. The entry stays in
+// the heap while leased: other workers may take the remaining redundancy
+// slots concurrently, and the heap key does not depend on lease state.
+func (q *Queue) leaseEntryLocked(sh *qshard, e *entry, workerID string, now time.Time) (task.View, LeaseID) {
+	e.inFlight++
+	e.holders[workerID] = true
+	sh.seq++
+	id := LeaseID(sh.seq<<q.shardBits | int64(uint64(e.t.ID)&q.mask))
+	l := &Lease{ID: id, TaskID: e.t.ID, WorkerID: workerID, Expiry: now.Add(q.ttl)}
+	sh.leases[id] = l
+	return e.t.View(), id
 }
 
 func (q *Queue) eligibleLocked(e *entry, workerID string) bool {
@@ -164,13 +341,11 @@ func (q *Queue) eligibleLocked(e *entry, workerID string) bool {
 	if e.inFlight >= e.t.Remaining() {
 		return false
 	}
+	if e.holders[workerID] {
+		return false
+	}
 	for _, a := range e.t.Answers {
 		if a.WorkerID == workerID {
-			return false
-		}
-	}
-	for _, l := range q.leases {
-		if l.TaskID == e.t.ID && l.WorkerID == workerID {
 			return false
 		}
 	}
@@ -192,20 +367,21 @@ type CompleteResult struct {
 // Complete records the leaseholder's answer and releases the lease. If the
 // answer fulfills the task's redundancy the task leaves the queue as Done.
 func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResult, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.expireLocked(now)
-	l, ok := q.leases[id]
+	sh := q.leaseShard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q.expireShardLocked(sh, now)
+	l, ok := sh.leases[id]
 	if !ok {
 		return CompleteResult{}, ErrUnknownLease
 	}
-	e, ok := q.entries[l.TaskID]
+	e, ok := sh.entries[l.TaskID]
 	if !ok {
-		delete(q.leases, id)
+		delete(sh.leases, id)
 		return CompleteResult{}, ErrUnknownTask
 	}
 	a.WorkerID = l.WorkerID
-	q.lockTasks()
+	q.lockTask(e.t.ID)
 	err := e.t.Record(a, now)
 	var res CompleteResult
 	if err == nil {
@@ -216,49 +392,53 @@ func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResu
 			Answer: e.t.Answers[len(e.t.Answers)-1],
 		}
 	}
-	q.unlockTasks()
+	q.unlockTask(e.t.ID)
 	if err != nil {
 		return CompleteResult{}, err
 	}
-	delete(q.leases, id)
+	delete(sh.leases, id)
 	e.inFlight--
-	q.fixLocked(e)
+	delete(e.holders, l.WorkerID)
+	q.fixLocked(sh, e)
 	return res, nil
 }
 
 // Release returns a leased task to the pool without an answer (the worker
 // skipped or disconnected cleanly).
 func (q *Queue) Release(id LeaseID, now time.Time) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.expireLocked(now)
-	l, ok := q.leases[id]
+	sh := q.leaseShard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q.expireShardLocked(sh, now)
+	l, ok := sh.leases[id]
 	if !ok {
 		return ErrUnknownLease
 	}
-	delete(q.leases, id)
-	if e, ok := q.entries[l.TaskID]; ok {
+	delete(sh.leases, id)
+	if e, ok := sh.entries[l.TaskID]; ok {
 		e.inFlight--
-		q.fixLocked(e)
+		delete(e.holders, l.WorkerID)
+		q.fixLocked(sh, e)
 	}
 	return nil
 }
 
 // Cancel removes an open task from the queue.
 func (q *Queue) Cancel(id task.ID, now time.Time) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	e, ok := q.entries[id]
+	sh := q.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[id]
 	if !ok {
 		return ErrUnknownTask
 	}
-	q.lockTasks()
+	q.lockTask(id)
 	err := e.t.Cancel(now)
-	q.unlockTasks()
+	q.unlockTask(id)
 	if err != nil {
 		return err
 	}
-	q.fixLocked(e)
+	q.fixLocked(sh, e)
 	return nil
 }
 
@@ -267,66 +447,71 @@ func (q *Queue) Cancel(id task.ID, now time.Time) error {
 // Outstanding leases on the task (none exist on the submit path) are left
 // to expire.
 func (q *Queue) Remove(id task.ID) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	e, ok := q.entries[id]
+	sh := q.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[id]
 	if !ok {
 		return ErrUnknownTask
 	}
 	if e.index >= 0 {
-		heap.Remove(&q.heap, e.index)
+		heap.Remove(&sh.heap, e.index)
 	}
-	delete(q.entries, id)
+	delete(sh.entries, id)
 	return nil
 }
 
 // ExpireLeases reclaims all leases that expired at or before now and
-// returns how many were reclaimed. Lease and Complete call this implicitly;
-// it is exported for callers that want eager reclamation (e.g. a ticker in
-// the dispatch service).
+// returns how many were reclaimed. Lease and Complete call this implicitly
+// for the shards they touch; it is exported for callers that want eager
+// reclamation (e.g. a ticker in the dispatch service).
 func (q *Queue) ExpireLeases(now time.Time) int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	before := q.expired
-	q.expireLocked(now)
-	return int(q.expired - before)
+	before := q.expired.Load()
+	for _, sh := range q.shards {
+		sh.mu.Lock()
+		q.expireShardLocked(sh, now)
+		sh.mu.Unlock()
+	}
+	return int(q.expired.Load() - before)
 }
 
-func (q *Queue) expireLocked(now time.Time) {
-	for id, l := range q.leases {
+func (q *Queue) expireShardLocked(sh *qshard, now time.Time) {
+	for id, l := range sh.leases {
 		if l.Expiry.After(now) {
 			continue
 		}
-		delete(q.leases, id)
-		q.expired++
-		if e, ok := q.entries[l.TaskID]; ok {
+		delete(sh.leases, id)
+		q.expired.Add(1)
+		if e, ok := sh.entries[l.TaskID]; ok {
 			e.inFlight--
-			q.fixLocked(e)
+			delete(e.holders, l.WorkerID)
+			q.fixLocked(sh, e)
 		}
 	}
 }
 
 // fixLocked re-establishes heap order for e after its scheduling state
 // changed, removing it when it is no longer Open.
-func (q *Queue) fixLocked(e *entry) {
+func (q *Queue) fixLocked(sh *qshard, e *entry) {
 	if e.index < 0 {
 		return
 	}
 	if e.t.Status != task.Open {
-		heap.Remove(&q.heap, e.index)
-		delete(q.entries, e.t.ID)
+		heap.Remove(&sh.heap, e.index)
+		delete(sh.entries, e.t.ID)
 		return
 	}
-	heap.Fix(&q.heap, e.index)
+	heap.Fix(&sh.heap, e.index)
 }
 
 // Task returns a snapshot of the task with the given ID regardless of
 // status, or ErrUnknownTask if the queue never saw it or has already
 // dropped it.
 func (q *Queue) Task(id task.ID) (task.View, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	e, ok := q.entries[id]
+	sh := q.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[id]
 	if !ok {
 		return task.View{}, ErrUnknownTask
 	}
@@ -340,17 +525,23 @@ type Stats struct {
 	ExpiredLeases int64 // cumulative reclaimed leases
 }
 
-// Stats returns a snapshot of queue occupancy.
+// Stats returns a snapshot of queue occupancy. Shards are visited one at
+// a time, so counts are per-shard consistent (exact when the queue is
+// quiescent).
 func (q *Queue) Stats() Stats {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	open := 0
-	for _, e := range q.entries {
-		if e.t.Status == task.Open {
-			open++
+	var st Stats
+	for _, sh := range q.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.t.Status == task.Open {
+				st.Open++
+			}
 		}
+		st.InFlight += len(sh.leases)
+		sh.mu.Unlock()
 	}
-	return Stats{Open: open, InFlight: len(q.leases), ExpiredLeases: q.expired}
+	st.ExpiredLeases = q.expired.Load()
+	return st
 }
 
 // taskHeap orders entries by priority (desc), then creation time (asc),

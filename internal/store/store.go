@@ -4,6 +4,14 @@
 // up where it left off. The snapshot format is plain JSON — inspectable
 // with standard tools and stable across versions that do not change the
 // task schema.
+//
+// The table is sharded by task ID across a power-of-two number of
+// independently locked shards (default: GOMAXPROCS rounded up), so
+// concurrent writers on different tasks never contend on one global lock.
+// Whole-table reads (ViewAll, ViewByStatus, Snapshot) visit one shard at a
+// time — never holding two shard locks at once — and merge-sort the
+// per-shard snapshots by task ID, which keeps the snapshot wire format
+// byte-identical to a single-shard store over the same contents.
 package store
 
 import (
@@ -11,8 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"humancomp/internal/task"
 )
@@ -20,78 +30,139 @@ import (
 // ErrNotFound is returned by Get for unknown task IDs.
 var ErrNotFound = errors.New("store: task not found")
 
-// Store is an in-memory task table. Safe for concurrent use.
+// AutoShards returns the default shard count: GOMAXPROCS rounded up to the
+// next power of two, capped at 64.
+func AutoShards() int {
+	n := shardCount(runtime.GOMAXPROCS(0))
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// shardCount rounds n up to a power of two, with a floor of 1.
+func shardCount(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shard is one independently locked slice of the task table.
 //
-// Locking discipline: mu guards the table itself AND the contents of every
-// stored task. Components that mutate stored tasks in place (the queue,
-// via Locker) take the write lock around each mutation, which lets View,
-// ViewAll, ViewByStatus and Snapshot hand out consistent deep copies under
-// the read lock. The live-pointer accessors (Get, All, ByStatus) exist for
-// ownership-transfer paths — enqueueing, recovery replay — and must not be
-// used to serve reads concurrent with a running queue.
+// Locking discipline: mu guards the shard's map AND the contents of every
+// task stored in it. Components that mutate stored tasks in place (the
+// queue, via LockerFor) take the shard's write lock around each mutation,
+// which lets View, ViewAll, ViewByStatus and Snapshot hand out consistent
+// deep copies under the read lock. Tasks are placed by id & mask, so a
+// task's stored record and the lock guarding it are determined by its ID
+// alone.
+type shard struct {
+	mu    sync.RWMutex
+	tasks map[task.ID]*task.Task
+}
+
+// Store is an in-memory task table. Safe for concurrent use.
 type Store struct {
-	mu     sync.RWMutex
-	tasks  map[task.ID]*task.Task
-	nextID task.ID
+	shards []*shard
+	mask   uint64
+	nextID atomic.Int64
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{tasks: make(map[task.ID]*task.Task)}
+// New returns an empty store with the default (auto) shard count.
+func New() *Store { return NewSharded(0) }
+
+// NewSharded returns an empty store with n shards, rounded up to a power
+// of two; n <= 0 selects the auto default. NewSharded(1) behaves exactly
+// like the historical single-lock store.
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = AutoShards()
+	}
+	n = shardCount(n)
+	s := &Store{shards: make([]*shard, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = &shard{tasks: make(map[task.ID]*task.Task)}
+	}
+	return s
 }
 
-// NextID allocates a fresh task ID.
-func (s *Store) NextID() task.ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	return s.nextID
+// Shards returns the number of shards the store was built with.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor returns the shard owning the given task ID.
+func (s *Store) shardFor(id task.ID) *shard { return s.shards[uint64(id)&s.mask] }
+
+// NextID allocates a fresh task ID. The allocator is a single atomic
+// word — no lock is taken on the submit path.
+func (s *Store) NextID() task.ID { return task.ID(s.nextID.Add(1)) }
+
+// advanceNextID moves the allocator past id so future NextID calls never
+// collide with an explicitly inserted or restored task.
+func (s *Store) advanceNextID(id task.ID) {
+	for {
+		cur := s.nextID.Load()
+		if int64(id) <= cur || s.nextID.CompareAndSwap(cur, int64(id)) {
+			return
+		}
+	}
 }
 
 // Put inserts or replaces a task.
 func (s *Store) Put(t *task.Task) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tasks[t.ID] = t
-	if t.ID > s.nextID {
-		s.nextID = t.ID
-	}
+	sh := s.shardFor(t.ID)
+	sh.mu.Lock()
+	sh.tasks[t.ID] = t
+	sh.mu.Unlock()
+	s.advanceNextID(t.ID)
 }
 
 // Delete removes a task; deleting an absent ID is a no-op. It is the
 // rollback half of Put for submissions that fail partway.
 func (s *Store) Delete(id task.ID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.tasks, id)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.tasks, id)
+	sh.mu.Unlock()
 }
 
-// Locker exposes the write lock guarding stored task contents. The queue
-// holds it while recording answers or canceling, so that concurrent view
-// readers (which copy under the read lock) never race with a mutation.
-func (s *Store) Locker() sync.Locker { return &s.mu }
+// LockerFor exposes the write lock of the shard guarding the given task's
+// contents. The queue holds it while recording answers or canceling, so
+// that concurrent view readers (which copy under the shard's read lock)
+// never race with a mutation. Callers must never hold two shard locks at
+// once; each mutation touches exactly one task, hence exactly one shard.
+func (s *Store) LockerFor(id task.ID) sync.Locker { return &s.shardFor(id).mu }
 
 // View returns an immutable deep-copy snapshot of the task with the given
 // ID, or ErrNotFound. This is the only safe way to read a task while the
 // queue is running.
 func (s *Store) View(id task.ID) (task.View, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tasks[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.tasks[id]
 	if !ok {
 		return task.View{}, ErrNotFound
 	}
 	return t.View(), nil
 }
 
-// ViewAll returns a snapshot of every task, ordered by ID.
+// ViewAll returns a snapshot of every task, ordered by ID. Shards are
+// visited one at a time (no stop-the-world lock); the merged result is
+// sorted by ID afterwards, matching the single-shard ordering exactly.
 func (s *Store) ViewAll() []task.View {
-	s.mu.RLock()
-	out := make([]task.View, 0, len(s.tasks))
-	for _, t := range s.tasks {
-		out = append(out, t.View())
+	var out []task.View
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, t := range sh.tasks {
+			out = append(out, t.View())
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -99,23 +170,26 @@ func (s *Store) ViewAll() []task.View {
 // ViewByStatus returns a snapshot of every task with the given status,
 // ordered by ID.
 func (s *Store) ViewByStatus(st task.Status) []task.View {
-	s.mu.RLock()
 	var out []task.View
-	for _, t := range s.tasks {
-		if t.Status == st {
-			out = append(out, t.View())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, t := range sh.tasks {
+			if t.Status == st {
+				out = append(out, t.View())
+			}
 		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // Get returns the task with the given ID or ErrNotFound.
 func (s *Store) Get(id task.ID) (*task.Task, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tasks[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.tasks[id]
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -124,19 +198,25 @@ func (s *Store) Get(id task.ID) (*task.Task, error) {
 
 // Len returns the number of stored tasks.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.tasks)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.tasks)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // All returns every live task ordered by ID. Ownership-transfer use only;
 // concurrent readers must use ViewAll.
 func (s *Store) All() []*task.Task {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*task.Task, 0, len(s.tasks))
-	for _, t := range s.tasks {
-		out = append(out, t)
+	var out []*task.Task
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, t := range sh.tasks {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -146,13 +226,15 @@ func (s *Store) All() []*task.Task {
 // Ownership-transfer use only (e.g. re-enqueueing open tasks at recovery);
 // concurrent readers must use ViewByStatus.
 func (s *Store) ByStatus(st task.Status) []*task.Task {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []*task.Task
-	for _, t := range s.tasks {
-		if t.Status == st {
-			out = append(out, t)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, t := range sh.tasks {
+			if t.Status == st {
+				out = append(out, t)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -166,9 +248,9 @@ type snapshot struct {
 }
 
 // viewSnapshot is the encode-side twin of snapshot: it carries deep-copied
-// views so encoding happens entirely outside the lock, racing with nothing.
-// task.View marshals identically to task.Task, so the wire format is
-// unchanged.
+// views so encoding happens entirely outside the locks, racing with
+// nothing. task.View marshals identically to task.Task, so the wire format
+// is unchanged.
 type viewSnapshot struct {
 	Version int         `json:"version"`
 	NextID  task.ID     `json:"next_id"`
@@ -177,22 +259,32 @@ type viewSnapshot struct {
 
 const snapshotVersion = 1
 
-// Snapshot writes the store as JSON to w. Task state is deep-copied under
-// the lock and encoded after releasing it, so a snapshot can be taken
-// while the service keeps answering traffic.
+// Snapshot writes the store as JSON to w. Task state is deep-copied one
+// shard at a time under each shard's read lock and encoded after releasing
+// them, so a snapshot can be taken while the service keeps answering
+// traffic, and no global stop-the-world lock exists. The post-merge sort
+// by task ID keeps the wire format byte-identical to a one-shard store
+// over the same contents.
 func (s *Store) Snapshot(w io.Writer) error {
-	s.mu.RLock()
-	snap := viewSnapshot{Version: snapshotVersion, NextID: s.nextID, Tasks: make([]task.View, 0, len(s.tasks))}
-	for _, t := range s.tasks {
-		snap.Tasks = append(snap.Tasks, t.View())
+	snap := viewSnapshot{Version: snapshotVersion, NextID: task.ID(s.nextID.Load())}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, t := range sh.tasks {
+			snap.Tasks = append(snap.Tasks, t.View())
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
+	if snap.Tasks == nil {
+		snap.Tasks = []task.View{}
+	}
 	sort.Slice(snap.Tasks, func(i, j int) bool { return snap.Tasks[i].ID < snap.Tasks[j].ID })
 	enc := json.NewEncoder(w)
 	return enc.Encode(snap)
 }
 
-// Restore replaces the store's contents with the snapshot read from r.
+// Restore replaces the store's contents with the snapshot read from r and
+// seeds the ID allocator past both the snapshot's recorded next_id and the
+// largest restored task ID, so post-restore NextID calls never collide.
 func (s *Store) Restore(r io.Reader) error {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -201,20 +293,27 @@ func (s *Store) Restore(r io.Reader) error {
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
 	}
-	tasks := make(map[task.ID]*task.Task, len(snap.Tasks))
+	fresh := make([]map[task.ID]*task.Task, len(s.shards))
+	for i := range fresh {
+		fresh[i] = make(map[task.ID]*task.Task)
+	}
 	nextID := snap.NextID
+	seen := make(map[task.ID]bool, len(snap.Tasks))
 	for _, t := range snap.Tasks {
-		if _, dup := tasks[t.ID]; dup {
+		if seen[t.ID] {
 			return fmt.Errorf("store: duplicate task ID %d in snapshot", t.ID)
 		}
-		tasks[t.ID] = t
+		seen[t.ID] = true
+		fresh[uint64(t.ID)&s.mask][t.ID] = t
 		if t.ID > nextID {
 			nextID = t.ID
 		}
 	}
-	s.mu.Lock()
-	s.tasks = tasks
-	s.nextID = nextID
-	s.mu.Unlock()
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		sh.tasks = fresh[i]
+		sh.mu.Unlock()
+	}
+	s.nextID.Store(int64(nextID))
 	return nil
 }
