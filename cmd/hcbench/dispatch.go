@@ -36,15 +36,15 @@ type benchFile struct {
 }
 
 type benchResult struct {
-	Op         string  `json:"op"`
-	ShardMode  string  `json:"shard_mode"` // "1" (unsharded baseline) or "auto"
-	Shards     int     `json:"shards"`
-	Goroutines int     `json:"goroutines"` // requested client concurrency
-	ActualGs   int     `json:"actual_goroutines"`
-	Ops        int64   `json:"ops"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	ReqsPerSec float64 `json:"reqs_per_sec"` // API calls/s (3 per round trip, 1 per submit)
+	Op          string  `json:"op"`
+	ShardMode   string  `json:"shard_mode"` // "1" (unsharded baseline) or "auto"
+	Shards      int     `json:"shards"`
+	Goroutines  int     `json:"goroutines"` // requested client concurrency
+	ActualGs    int     `json:"actual_goroutines"`
+	Ops         int64   `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	ReqsPerSec  float64 `json:"reqs_per_sec"` // API calls/s (3 per round trip, 1 per submit)
 }
 
 // requestsPerOp maps a benchmark op to how many dispatch API calls one

@@ -4,7 +4,11 @@
 // answers. State can be checkpointed to a JSON snapshot and restored on
 // restart.
 //
-//	hcservd -addr :8080 -snapshot state.json -lease-ttl 2m
+// A second, optional listener (-admin-addr) serves the operational
+// surface — Prometheus metrics, health/readiness probes and pprof — kept
+// off the public API address so it can be bound to loopback.
+//
+//	hcservd -addr :8080 -admin-addr 127.0.0.1:9090 -snapshot state.json -lease-ttl 2m
 package main
 
 import (
@@ -12,11 +16,12 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -26,48 +31,89 @@ import (
 	"humancomp/internal/task"
 )
 
+// logger is the process-wide structured logger, configured from flags in
+// main before anything logs.
+var logger = slog.Default()
+
+// fatal logs at error level and exits; the slog replacement for log.Fatalf.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+// newLogger builds the process logger from the -log-json/-log-level flags.
+func newLogger(json bool, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
+}
+
 // swapStore moves recovered state into the journaled system by
 // snapshotting through memory — store contents are the only state that
 // must survive (leases are ephemeral by design).
 func swapStore(dst, src *core.System) {
 	var buf bytes.Buffer
 	if err := src.Store().Snapshot(&buf); err != nil {
-		log.Fatalf("hcservd: adopting recovered state: %v", err)
+		fatal("adopting recovered state", "err", err)
 	}
 	if err := dst.Store().Restore(&buf); err != nil {
-		log.Fatalf("hcservd: adopting recovered state: %v", err)
+		fatal("adopting recovered state", "err", err)
 	}
 	if err := dst.RequeueOpen(); err != nil {
-		log.Fatalf("hcservd: requeueing recovered tasks: %v", err)
+		fatal("requeueing recovered tasks", "err", err)
 	}
 }
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		snapshot = flag.String("snapshot", "", "snapshot file to restore on start and write on shutdown")
-		walPath  = flag.String("wal", "", "write-ahead log file: replayed after the snapshot on start, appended to while running")
-		leaseTTL = flag.Duration("lease-ttl", 2*time.Minute, "worker lease duration")
-		expiry   = flag.Duration("expiry-interval", 10*time.Second, "how often expired leases are reclaimed")
-		apiKeys  = flag.String("api-keys", "", "comma-separated API keys; empty leaves the server open")
-		rate     = flag.Float64("rate", 0, "per-key request rate limit (req/s); 0 disables")
-		burst    = flag.Float64("burst", 20, "rate-limit burst size")
-		shards   = flag.Int("shards", 0, "store/queue lock shards, rounded up to a power of two; 0 = auto (GOMAXPROCS)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		adminAddr = flag.String("admin-addr", "", "admin listen address for /metrics, /healthz, /readyz and /debug/pprof; empty disables")
+		snapshot  = flag.String("snapshot", "", "snapshot file to restore on start and write on shutdown")
+		walPath   = flag.String("wal", "", "write-ahead log file: replayed after the snapshot on start, appended to while running")
+		leaseTTL  = flag.Duration("lease-ttl", 2*time.Minute, "worker lease duration")
+		expiry    = flag.Duration("expiry-interval", 10*time.Second, "how often expired leases are reclaimed")
+		apiKeys   = flag.String("api-keys", "", "comma-separated API keys; empty leaves the server open")
+		rate      = flag.Float64("rate", 0, "per-key request rate limit (req/s); 0 disables")
+		burst     = flag.Float64("burst", 20, "rate-limit burst size")
+		shards    = flag.Int("shards", 0, "store/queue lock shards, rounded up to a power of two; 0 = auto (GOMAXPROCS)")
+		traceCap  = flag.Int("trace-capacity", 0, "lifecycle trace ring capacity in events; 0 = default, negative disables tracing")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	l, err := newLogger(*logJSON, *logLevel)
+	if err != nil {
+		fatal("invalid -log-level", "level", *logLevel, "err", err)
+	}
+	logger = l.With("service", "hcservd")
+	slog.SetDefault(logger)
 
 	cfg := core.DefaultConfig()
 	cfg.LeaseTTL = *leaseTTL
 	cfg.Shards = *shards
+	cfg.TraceCapacity = *traceCap
 
 	// Recovery order: snapshot first, then the WAL tail written after it,
 	// then a fresh snapshot so the WAL can start empty.
-	var walFile *os.File
+	var (
+		wal     *store.WAL
+		walFile *os.File
+	)
 	sys := core.New(cfg)
-	log.Printf("hcservd: dispatch core sharded %d-way", sys.Shards())
+	logger.Info("dispatch core ready", "shards", sys.Shards())
 	if *snapshot != "" {
 		if err := restore(sys, *snapshot); err != nil {
-			log.Fatalf("hcservd: restoring snapshot: %v", err)
+			fatal("restoring snapshot", "err", err)
 		}
 	}
 	if *walPath != "" {
@@ -75,29 +121,29 @@ func main() {
 			applied, rerr := store.ReplayWAL(tail, sys.Store())
 			tail.Close()
 			if rerr != nil {
-				log.Fatalf("hcservd: replaying wal: %v", rerr)
+				fatal("replaying wal", "err", rerr)
 			}
 			if applied > 0 {
-				log.Printf("hcservd: replayed %d wal events", applied)
+				logger.Info("replayed wal events", "events", applied)
 				if err := sys.RequeueOpen(); err != nil {
-					log.Fatalf("hcservd: requeueing after wal replay: %v", err)
+					fatal("requeueing after wal replay", "err", err)
 				}
 			}
 		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatalf("hcservd: opening wal: %v", err)
+			fatal("opening wal", "err", err)
 		}
 		if *snapshot != "" {
 			if err := save(sys, *snapshot); err != nil {
-				log.Fatalf("hcservd: checkpointing after replay: %v", err)
+				fatal("checkpointing after replay", "err", err)
 			}
 		}
-		var err error
 		walFile, err = os.Create(*walPath) // truncate: the snapshot covers history
 		if err != nil {
-			log.Fatalf("hcservd: creating wal: %v", err)
+			fatal("creating wal", "err", err)
 		}
 		defer walFile.Close()
-		cfg.Journal = store.NewWAL(walFile)
+		wal = store.NewWAL(walFile)
+		cfg.Journal = wal
 		// Rebuild the system with the journal attached, re-adopting the
 		// recovered store contents.
 		recovered := sys
@@ -113,7 +159,7 @@ func main() {
 			select {
 			case <-t.C:
 				if n := sys.ExpireLeases(); n > 0 {
-					log.Printf("hcservd: reclaimed %d expired leases", n)
+					logger.Info("reclaimed expired leases", "leases", n)
 				}
 			case <-stopExpiry:
 				return
@@ -121,7 +167,7 @@ func main() {
 		}
 	}()
 
-	opts := dispatch.Options{RatePerSec: *rate, Burst: *burst}
+	opts := dispatch.Options{RatePerSec: *rate, Burst: *burst, Logger: logger}
 	if *apiKeys != "" {
 		// Trim and drop empty entries so "a,b," never registers the empty
 		// string as a valid key (which would admit unauthenticated requests).
@@ -131,33 +177,69 @@ func main() {
 			}
 		}
 		if len(opts.APIKeys) == 0 {
-			log.Fatal("hcservd: -api-keys contains no usable keys")
+			fatal("-api-keys contains no usable keys")
 		}
 	}
-	srv := &http.Server{Addr: *addr, Handler: dispatch.NewServerWith(sys, opts)}
+	api := dispatch.NewServerWith(sys, opts)
+	srv := &http.Server{Addr: *addr, Handler: api}
+
+	// ready flips once the API listener is up; /readyz serves 503 before.
+	var ready atomic.Bool
+	var admin *http.Server
+	if *adminAddr != "" {
+		admin = &http.Server{
+			Addr: *adminAddr,
+			Handler: dispatch.NewAdminHandler(sys, api, dispatch.AdminOptions{
+				WAL:   wal,
+				Ready: ready.Load,
+			}),
+		}
+		go func() {
+			logger.Info("admin listening", "addr", *adminAddr)
+			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fatal("admin server failed", "err", err)
+			}
+		}()
+	}
+
 	go func() {
-		log.Printf("hcservd: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
+		ready.Store(true)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("hcservd: %v", err)
+			fatal("server failed", "err", err)
 		}
 	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("hcservd: shutting down")
+	logger.Info("shutting down")
+	ready.Store(false)
 	close(stopExpiry)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("hcservd: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
+	}
+	if admin != nil {
+		if err := admin.Shutdown(ctx); err != nil {
+			logger.Warn("admin shutdown", "err", err)
+		}
 	}
 	if *snapshot != "" {
 		if err := save(sys, *snapshot); err != nil {
-			log.Fatalf("hcservd: writing snapshot: %v", err)
+			fatal("writing snapshot", "err", err)
 		}
-		log.Printf("hcservd: snapshot written to %s", *snapshot)
+		logger.Info("snapshot written", "path", *snapshot)
+		// The shutdown snapshot now covers everything the WAL recorded;
+		// truncate it so the next boot does not replay submits the
+		// snapshot already contains (which would fail as duplicates).
+		if walFile != nil {
+			if err := walFile.Truncate(0); err != nil {
+				logger.Warn("truncating wal after snapshot", "err", err)
+			}
+		}
 	}
 }
 
@@ -176,7 +258,7 @@ func restore(sys *core.System, path string) error {
 		return err
 	}
 	open := sys.Store().ViewByStatus(task.Open)
-	log.Printf("hcservd: restored %d tasks (%d open)", sys.Store().Len(), len(open))
+	logger.Info("restored snapshot", "tasks", sys.Store().Len(), "open", len(open))
 	return sys.RequeueOpen()
 }
 

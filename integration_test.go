@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,6 +24,7 @@ import (
 	"humancomp/internal/sim"
 	"humancomp/internal/store"
 	"humancomp/internal/task"
+	"humancomp/internal/trace"
 	"humancomp/internal/vocab"
 	"humancomp/internal/worker"
 )
@@ -618,5 +622,130 @@ func TestSnapshotJournalCheckpointCycle(t *testing.T) {
 	got2, err := recovered.Task(id2)
 	if err != nil || got2.Status != task.Open {
 		t.Fatalf("task 2 after cycle: %+v, %v", got2, err)
+	}
+}
+
+// TestObservabilityOverHTTP drives a full task lifecycle through the public
+// API, then reads it back through the observability surface: the per-task
+// trace endpoint must return the ordered lifecycle, and the admin listener
+// must serve well-formed Prometheus exposition covering queue depth, stage
+// latencies, GWAP rates and WAL growth.
+func TestObservabilityOverHTTP(t *testing.T) {
+	var journal bytes.Buffer
+	wal := store.NewWAL(&journal)
+	cfg := core.DefaultConfig()
+	cfg.Journal = wal
+	sys := core.New(cfg)
+	api := dispatch.NewServer(sys)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	client := dispatch.NewClient(srv.URL, srv.Client())
+
+	admin := httptest.NewServer(dispatch.NewAdminHandler(sys, api, dispatch.AdminOptions{
+		WAL:   wal,
+		Ready: func() bool { return true },
+	}))
+	defer admin.Close()
+
+	// Redundancy 2: two workers answer before the task completes.
+	id, err := client.Submit(task.Label, task.Payload{ImageID: 7}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"ann", "bob"} {
+		_, lease, err := client.Next(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Answer(lease, task.Answer{Words: []int{5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := client.Task(id)
+	if err != nil || got.Status != task.Done {
+		t.Fatalf("task after answers: %+v, %v", got, err)
+	}
+
+	// The trace endpoint returns the full ordered lifecycle.
+	tr, err := client.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []trace.Stage{
+		trace.StageSubmit, trace.StagePersist, trace.StageEnqueue,
+		trace.StageLease, trace.StageAnswer,
+		trace.StageLease, trace.StageAnswer, trace.StageComplete,
+	}
+	if len(tr.Events) != len(wantStages) {
+		t.Fatalf("trace = %d events (%+v), want %d", len(tr.Events), tr.Events, len(wantStages))
+	}
+	var prevSeq uint64
+	for i, e := range tr.Events {
+		if e.Stage != wantStages[i] {
+			t.Errorf("trace[%d] stage = %q, want %q", i, e.Stage, wantStages[i])
+		}
+		if e.Seq <= prevSeq {
+			t.Errorf("trace[%d] seq %d not strictly increasing", i, e.Seq)
+		}
+		prevSeq = e.Seq
+	}
+
+	// The admin exposition is well-formed and carries the expected families.
+	resp, err := admin.Client().Get(admin.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", resp.StatusCode)
+	}
+	sampleLine := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$`)
+	values := map[string]string{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		fields := strings.Fields(line)
+		values[fields[0]] = fields[1]
+	}
+	for name, want := range map[string]string{
+		"hc_tasks_submitted_total": "1",
+		"hc_answers_total":         "2",
+		"hc_queue_open_tasks":      "0",
+		"hc_inflight_leases":       "0",
+		"hc_gwap_outputs_total":    "1",
+		"hc_gwap_sessions_total":   "2",
+		"hc_wal_events_total":      "3", // 1 submit + 2 answers
+	} {
+		if got := values[name]; got != want {
+			t.Errorf("%s = %q, want %q", name, got, want)
+		}
+	}
+	if v, ok := values["hc_wal_bytes_total"]; !ok || v == "0" {
+		t.Errorf("hc_wal_bytes_total = %q, want non-zero", v)
+	}
+	for _, name := range []string{
+		"hc_gwap_throughput_per_hour",
+		"hc_gwap_alp_minutes",
+		"hc_gwap_expected_contribution",
+		`hc_task_time_in_queue_seconds{quantile="0.5"}`,
+		"hc_task_lease_to_answer_seconds_count",
+		"hc_task_answers_to_completion_seconds_count",
+		`hc_queue_shard_lock_acquisitions_total{shard="0"}`,
+	} {
+		if _, ok := values[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+
+	// The readiness probe follows the Ready callback.
+	if resp, err := admin.Client().Get(admin.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %v, %v", resp, err)
+	} else {
+		resp.Body.Close()
 	}
 }

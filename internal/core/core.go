@@ -20,6 +20,7 @@ import (
 	"humancomp/internal/sim"
 	"humancomp/internal/store"
 	"humancomp/internal/task"
+	"humancomp/internal/trace"
 )
 
 // Config parameterizes a System.
@@ -44,6 +45,10 @@ type Config struct {
 	// GOMAXPROCS rounded up. 1 reproduces the historical single-lock
 	// behavior exactly.
 	Shards int
+	// TraceCapacity bounds the lifecycle trace ring buffer (total events
+	// retained). 0 selects trace.DefaultCapacity; negative disables
+	// tracing entirely.
+	TraceCapacity int
 }
 
 // Journal is the event sink a System writes through (see store.WAL).
@@ -73,6 +78,9 @@ type System struct {
 	mu   sync.RWMutex // guards gold; read-mostly (checked on every answer)
 	gold map[task.ID]task.Answer
 
+	trace *trace.Recorder      // lifecycle event ring; nil when disabled
+	gwap  *metrics.ShardedGWAP // live play metrics derived from leases
+
 	tasksSubmitted metrics.Counter
 	answersTotal   metrics.Counter
 	goldChecked    metrics.Counter
@@ -93,14 +101,25 @@ func New(cfg Config) *System {
 	// placement, so a task's queue entry, its leases and its stored
 	// record always live on the same shard index.
 	st := store.NewSharded(cfg.Shards)
-	return &System{
+	s := &System{
 		cfg:   cfg,
 		store: st,
 		queue: queue.NewSharded(cfg.LeaseTTL, st.Shards(), st),
 		rep:   quality.NewReputation(cfg.ReputationPrior, cfg.ReputationWeight),
 		clock: cfg.Clock,
 		gold:  make(map[task.ID]task.Answer),
+		gwap:  metrics.NewShardedGWAP(),
 	}
+	// Lifecycle tracing is on by default: the ring is bounded and every
+	// append is one striped lock, cheap enough for the hot path. A
+	// negative capacity opts out (the recorder stays nil; every emit
+	// site is nil-safe).
+	if cfg.TraceCapacity >= 0 {
+		s.trace = trace.NewRecorder(cfg.TraceCapacity)
+		s.store.SetRecorder(s.trace)
+		s.queue.SetRecorder(s.trace)
+	}
+	return s
 }
 
 // Reputation exposes the worker reputation tracker.
@@ -116,6 +135,7 @@ func (s *System) SubmitTask(kind task.Kind, p task.Payload, redundancy, priority
 		return 0, err
 	}
 	t.Priority = priority
+	s.emit(trace.StageSubmit, t.ID, "", now)
 	// Snapshot for the journal before the task becomes leasable: once Add
 	// succeeds a concurrent worker may already be mutating t.
 	clean := task.Task(t.View())
@@ -141,6 +161,16 @@ func (s *System) journal(e store.Event) error {
 		return nil
 	}
 	return s.cfg.Journal.Append(e)
+}
+
+// emit appends one lifecycle event to the trace recorder, if tracing is on.
+// Core-level events carry the task's store-shard index, which matches the
+// queue-shard index by construction (same count, same id&mask placement).
+func (s *System) emit(stage trace.Stage, id task.ID, worker string, at time.Time) {
+	s.trace.Append(trace.Event{
+		TaskID: id, Stage: stage, At: at, Worker: worker,
+		Shard: int(id) & (s.store.Shards() - 1),
+	})
 }
 
 // SubmitGold creates a gold probe: a task whose answer is already known.
@@ -194,6 +224,14 @@ func (s *System) SubmitAnswer(lease queue.LeaseID, a task.Answer) error {
 		return err
 	}
 	s.answersTotal.Inc()
+	// Live GWAP accounting: the lease-to-answer span is this worker's play
+	// time for the round, and a task reaching redundancy is one solved
+	// problem instance. Throughput, ALP and expected contribution on the
+	// admin /metrics endpoint derive from exactly these two records.
+	s.gwap.RecordSession(res.Answer.WorkerID, now.Sub(res.LeasedAt))
+	if res.Status == task.Done {
+		s.gwap.RecordOutputs(1)
+	}
 	s.checkGold(res)
 	return nil
 }
@@ -209,6 +247,7 @@ func (s *System) checkGold(res queue.CompleteResult) {
 	}
 	s.rep.Record(res.Answer.WorkerID, AnswerMatches(res.Kind, expected, res.Answer))
 	s.goldChecked.Inc()
+	s.emit(trace.StageGold, res.TaskID, res.Answer.WorkerID, res.Answer.At)
 }
 
 // AnswerMatches reports whether a matches the expected gold answer for a
@@ -271,6 +310,24 @@ func (s *System) Task(id task.ID) (task.View, error) { return s.store.View(id) }
 // Store exposes the underlying store (snapshot/restore).
 func (s *System) Store() *store.Store { return s.store }
 
+// Trace exposes the lifecycle trace recorder; nil when tracing is disabled.
+func (s *System) Trace() *trace.Recorder { return s.trace }
+
+// TaskTrace returns the retained lifecycle events for a task, oldest
+// first, or nil when tracing is disabled or nothing is retained.
+func (s *System) TaskTrace(id task.ID) []trace.Event { return s.trace.TaskEvents(id) }
+
+// GWAP returns the live play metrics derived from dispatch traffic:
+// lease-to-answer spans as play time, completed tasks as outputs.
+func (s *System) GWAP() metrics.Report { return s.gwap.Report() }
+
+// ShardLockCounts returns the per-shard lock-acquisition counts of the
+// queue and the store, the raw material of the contention gauges on the
+// admin /metrics endpoint.
+func (s *System) ShardLockCounts() (queueLocks, storeLocks []int64) {
+	return s.queue.ShardLockCounts(), s.store.ShardLockCounts()
+}
+
 // RequeueOpen re-enqueues every open task in the store. It is used after a
 // snapshot restore to rebuild the dispatch queue; tasks already enqueued
 // are left alone.
@@ -322,6 +379,7 @@ func (s *System) AggregateChoice(id task.ID) (ChoiceResult, error) {
 		totalW += w
 	}
 	class, weight, _ := quality.Weighted(votes, s.rep.Weight)
+	s.emit(trace.StageAggregate, id, "", s.clock.Now())
 	return ChoiceResult{Choice: class, Confidence: weight / totalW, Votes: len(votes)}, nil
 }
 
@@ -362,6 +420,7 @@ func (s *System) AggregateWords(id task.ID) ([]WordCount, error) {
 		}
 		return out[i].Word < out[j].Word
 	})
+	s.emit(trace.StageAggregate, id, "", s.clock.Now())
 	return out, nil
 }
 

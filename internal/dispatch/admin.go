@@ -1,0 +1,197 @@
+package dispatch
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"humancomp/internal/core"
+	"humancomp/internal/metrics"
+	"humancomp/internal/store"
+)
+
+// AdminOptions configures the admin/debug handler.
+type AdminOptions struct {
+	// WAL, when set, contributes write-ahead log growth metrics
+	// (hc_wal_events_total, hc_wal_bytes_total).
+	WAL *store.WAL
+	// Ready gates /readyz: the probe returns 200 once Ready reports true
+	// and 503 before. Nil means always ready.
+	Ready func() bool
+}
+
+// NewAdminHandler returns the admin/debug surface served on a separate
+// listener from the public API:
+//
+//	GET /metrics       Prometheus text exposition (0.0.4)
+//	GET /healthz       liveness (always 200 while serving)
+//	GET /readyz        readiness (503 until AdminOptions.Ready)
+//	    /debug/pprof/* runtime profiles
+//
+// The handler is deliberately unauthenticated — it must only be bound to
+// a loopback or otherwise trusted address (hcservd -admin-addr). api may
+// be nil when no HTTP API server is running; its per-route request
+// metrics are then omitted.
+func NewAdminHandler(sys *core.System, api *Server, opts AdminOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		serveProm(w, sys, api, opts)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Ready != nil && !opts.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveProm assembles every metric family and writes the exposition.
+func serveProm(w http.ResponseWriter, sys *core.System, api *Server, opts AdminOptions) {
+	fams := promFamilies(sys, api, opts)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WriteProm(w, fams)
+}
+
+// promFamilies gathers the system's observable state into Prometheus
+// families: lifecycle counters, queue/store occupancy, per-shard lock
+// acquisitions, stage-latency summaries from the trace recorder, live
+// GWAP throughput, WAL growth and per-route HTTP request stats.
+func promFamilies(sys *core.System, api *Server, opts AdminOptions) []metrics.PromFamily {
+	st := sys.Stats()
+	fams := []metrics.PromFamily{
+		metrics.PromCounterFamily("hc_tasks_submitted_total",
+			"Tasks accepted by SubmitTask/SubmitGold.", st.TasksSubmitted),
+		metrics.PromCounterFamily("hc_answers_total",
+			"Worker answers recorded.", st.AnswersTotal),
+		metrics.PromCounterFamily("hc_gold_checked_total",
+			"Gold (reputation probe) answers scored.", st.GoldChecked),
+		metrics.PromGaugeFamily("hc_queue_open_tasks",
+			"Tasks still collecting answers.", float64(st.Queue.Open)),
+		metrics.PromGaugeFamily("hc_inflight_leases",
+			"Outstanding leases.", float64(st.Queue.InFlight)),
+		metrics.PromCounterFamily("hc_leases_expired_total",
+			"Leases reclaimed after their deadline.", st.Queue.ExpiredLeases),
+		metrics.PromGaugeFamily("hc_store_tasks",
+			"Tasks held in the store, any status.", float64(sys.Store().Len())),
+	}
+
+	qLocks, sLocks := sys.ShardLockCounts()
+	fams = append(fams,
+		metrics.PromShardCounterFamily("hc_queue_shard_lock_acquisitions_total",
+			"Queue shard mutex acquisitions on the dispatch write path.", qLocks),
+		metrics.PromShardCounterFamily("hc_store_shard_lock_acquisitions_total",
+			"Store shard write-lock acquisitions.", sLocks),
+	)
+
+	if rec := sys.Trace(); rec != nil {
+		inQueue, leaseToAnswer, toCompletion := rec.Latencies()
+		fams = append(fams,
+			metrics.PromGaugeFamily("hc_trace_events_retained",
+				"Lifecycle trace events currently held in the ring.", float64(rec.Len())),
+			metrics.PromGaugeFamily("hc_trace_ring_capacity",
+				"Lifecycle trace ring capacity in events.", float64(rec.Capacity())),
+			metrics.PromSummaryFamily("hc_task_time_in_queue_seconds",
+				"Enqueue to first lease.", inQueue),
+			metrics.PromSummaryFamily("hc_task_lease_to_answer_seconds",
+				"Lease grant to that worker's answer.", leaseToAnswer),
+			metrics.PromSummaryFamily("hc_task_answers_to_completion_seconds",
+				"First answer to task completion.", toCompletion),
+		)
+	}
+
+	gwap := sys.GWAP()
+	fams = append(fams,
+		metrics.PromGaugeFamily("hc_gwap_players",
+			"Distinct players observed.", float64(gwap.Players)),
+		metrics.PromCounterFamily("hc_gwap_sessions_total",
+			"Play sessions recorded.", gwap.Sessions),
+		metrics.PromCounterFamily("hc_gwap_outputs_total",
+			"Completed task outputs attributed to play.", gwap.Outputs),
+		metrics.PromGaugeFamily("hc_gwap_throughput_per_hour",
+			"Outputs per human-hour of play.", gwap.ThroughputPerHour),
+		metrics.PromGaugeFamily("hc_gwap_alp_minutes",
+			"Average lifetime play per player, minutes.", gwap.ALPMinutes),
+		metrics.PromGaugeFamily("hc_gwap_expected_contribution",
+			"Expected outputs per player: throughput x ALP.", gwap.ExpectedContribution),
+	)
+
+	if opts.WAL != nil {
+		fams = append(fams,
+			metrics.PromCounterFamily("hc_wal_events_total",
+				"Events appended to the write-ahead log since open.", opts.WAL.Len()),
+			metrics.PromCounterFamily("hc_wal_bytes_total",
+				"Bytes appended to the write-ahead log since open.", opts.WAL.Size()),
+		)
+	}
+
+	if api != nil {
+		fams = append(fams, routeFamilies(api.stats.snapshot())...)
+	}
+	return fams
+}
+
+// routeFamilies renders per-route HTTP stats. The exposition encoder is
+// label-free by design, so the route pattern is folded into the metric
+// name (POST /v1/tasks -> hc_http_requests_total_post_v1_tasks) instead
+// of a route label.
+func routeFamilies(snap map[string]*routeStats) []metrics.PromFamily {
+	routes := make([]string, 0, len(snap))
+	for r := range snap {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	fams := make([]metrics.PromFamily, 0, 3*len(routes))
+	for _, route := range routes {
+		rs := snap[route]
+		suffix := promRouteName(route)
+		fams = append(fams,
+			metrics.PromCounterFamily("hc_http_requests_total_"+suffix,
+				"Requests served: "+route, rs.requests.Value()),
+			metrics.PromCounterFamily("hc_http_request_errors_total_"+suffix,
+				"Responses with status >= 400: "+route, rs.errors.Value()),
+			metrics.PromSummaryFamily("hc_http_request_duration_seconds_"+suffix,
+				"Request latency: "+route, rs.latency),
+		)
+	}
+	return fams
+}
+
+// promRouteName folds a mux pattern into a metric-name fragment:
+// lowercase, every run of non-[a-z0-9] characters collapsed to one '_'.
+// "GET /v1/tasks/{id}/trace" becomes "get_v1_tasks_id_trace".
+func promRouteName(route string) string {
+	out := make([]byte, 0, len(route))
+	pendingSep := false
+	for i := 0; i < len(route); i++ {
+		c := route[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+			fallthrough
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			if pendingSep && len(out) > 0 {
+				out = append(out, '_')
+			}
+			pendingSep = false
+			out = append(out, c)
+		default:
+			pendingSep = true
+		}
+	}
+	if len(out) == 0 {
+		return "unknown"
+	}
+	return string(out)
+}

@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -19,6 +20,9 @@ type Options struct {
 	// (or per remote address on an open server).
 	RatePerSec float64
 	Burst      float64
+	// Logger receives structured request and error logs. Nil discards
+	// them, which keeps tests and embedded uses quiet by default.
+	Logger *slog.Logger
 }
 
 // limiterStripes is the number of independently locked token-bucket
@@ -113,14 +117,16 @@ func (a *authLimiter) wrap(h http.HandlerFunc) http.HandlerFunc {
 			// slipping into the keys) can ever open the server.
 			key := bearer(r)
 			if key == "" || !a.keys[key] {
-				writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "dispatch: missing or invalid API key"})
+				writeJSON(w, http.StatusUnauthorized, errorResponse{
+					Error: "dispatch: missing or invalid API key", RequestID: requestIDOf(r)})
 				return
 			}
 			principal = key
 		}
 		if a.limiter != nil {
 			if !a.limiter.Allow(principal, time.Now()) {
-				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "dispatch: rate limit exceeded"})
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{
+					Error: "dispatch: rate limit exceeded", RequestID: requestIDOf(r)})
 				return
 			}
 		}

@@ -16,21 +16,32 @@ import (
 // ErrNoTask is returned by Next when the queue has nothing for the worker.
 var ErrNoTask = errors.New("dispatch: no task available")
 
-// APIError is a non-2xx response from the service.
+// APIError is a non-2xx response from the service. RequestID is the
+// X-Request-Id the failing exchange ran under — quote it when reporting
+// the failure and the server-side log line is one grep away.
 type APIError struct {
-	Status  int
-	Message string
+	Status    int
+	Message   string
+	RequestID string
 }
 
 // Error implements the error interface.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("dispatch: server returned %d: %s (request %s)", e.Status, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("dispatch: server returned %d: %s", e.Status, e.Message)
 }
 
-// Client is a typed client for the dispatch API.
+// Client is a typed client for the dispatch API. Every request carries a
+// generated X-Request-Id, so client- and server-side records of one
+// exchange can be joined.
 type Client struct {
 	baseURL string
 	http    *http.Client
+	// newID overrides request-ID generation; tests pin it for
+	// deterministic propagation checks.
+	newID func() string
 }
 
 // NewClient returns a client for the service at baseURL (no trailing
@@ -39,7 +50,7 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{baseURL: baseURL, http: httpClient}
+	return &Client{baseURL: baseURL, http: httpClient, newID: newRequestID}
 }
 
 func (c *Client) do(method, path string, in, out any) (int, error) {
@@ -58,6 +69,7 @@ func (c *Client) do(method, path string, in, out any) (int, error) {
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set(requestIDHeader, c.newID())
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return 0, err
@@ -66,7 +78,11 @@ func (c *Client) do(method, path string, in, out any) (int, error) {
 	if resp.StatusCode >= 400 {
 		var apiErr errorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
-		return resp.StatusCode, &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		rid := apiErr.RequestID
+		if rid == "" {
+			rid = resp.Header.Get(requestIDHeader)
+		}
+		return resp.StatusCode, &APIError{Status: resp.StatusCode, Message: apiErr.Error, RequestID: rid}
 	}
 	if out != nil && resp.StatusCode != http.StatusNoContent {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -138,6 +154,15 @@ func (c *Client) Task(id task.ID) (task.View, error) {
 func (c *Client) Cancel(id task.ID) error {
 	_, err := c.do(http.MethodDelete, fmt.Sprintf("/v1/tasks/%d", id), nil, nil)
 	return err
+}
+
+// Trace fetches the retained lifecycle events of a task, oldest first.
+func (c *Client) Trace(id task.ID) (TraceResponse, error) {
+	var out TraceResponse
+	if _, err := c.do(http.MethodGet, fmt.Sprintf("/v1/tasks/%d/trace", id), nil, &out); err != nil {
+		return TraceResponse{}, err
+	}
+	return out, nil
 }
 
 // Words fetches the aggregated word votes of a label/describe task.

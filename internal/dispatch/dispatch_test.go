@@ -497,7 +497,7 @@ func TestWriteErrorTable(t *testing.T) {
 	}
 	for _, c := range cases {
 		rec := httptest.NewRecorder()
-		writeError(rec, c.err)
+		writeError(rec, nil, c.err)
 		if rec.Code != c.status {
 			t.Errorf("writeError(%v) = %d, want %d", c.err, rec.Code, c.status)
 		}
@@ -508,7 +508,7 @@ func TestWriteErrorTable(t *testing.T) {
 	}
 	// ErrEmpty is the one bodyless mapping: 204, not an error envelope.
 	rec := httptest.NewRecorder()
-	writeError(rec, queue.ErrEmpty)
+	writeError(rec, nil, queue.ErrEmpty)
 	if rec.Code != http.StatusNoContent || rec.Body.Len() != 0 {
 		t.Errorf("writeError(ErrEmpty) = %d with %q, want bare 204", rec.Code, rec.Body)
 	}

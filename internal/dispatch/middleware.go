@@ -1,7 +1,12 @@
 package dispatch
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -39,32 +44,170 @@ func (s *endpointStats) get(route string) *routeStats {
 	return rs
 }
 
+// snapshot copies the route table under one lock acquisition. The
+// *routeStats values are internally synchronized, so readers work the
+// copy without ever re-taking the registration mutex.
+func (s *endpointStats) snapshot() map[string]*routeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := make(map[string]*routeStats, len(s.byRoute))
+	for r, rs := range s.byRoute {
+		snap[r] = rs
+	}
+	return snap
+}
+
+// requestIDHeader is the header request IDs arrive and leave on.
+const requestIDHeader = "X-Request-Id"
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDFromContext returns the request ID the middleware attached to
+// the context, or "" outside a request.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// requestIDOf is RequestIDFromContext tolerant of a nil request.
+func requestIDOf(r *http.Request) string {
+	if r == nil {
+		return ""
+	}
+	return RequestIDFromContext(r.Context())
+}
+
+// newRequestID returns a fresh 16-hex-digit request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; degrade to a
+		// constant rather than panicking in the serving path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// usableRequestID reports whether a client-supplied ID is safe to adopt:
+// non-empty, bounded, and printable ASCII without spaces, so it can be
+// echoed into headers and logs verbatim.
+func usableRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// withRequestID accepts or generates the request ID, echoes it on the
+// response, and attaches it to the request context. It wraps the whole
+// mux, so even 404s and auth rejections carry an ID.
+func withRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if !usableRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
 // statusRecorder captures the response status for the metrics middleware.
+// It passes http.Flusher through so streaming handlers keep working, and
+// records the implicit 200 a first Write sends, so large or streamed
+// responses are counted with the status that actually went out.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool // header sent (explicitly or via first Write)
 }
 
 func (r *statusRecorder) WriteHeader(status int) {
-	r.status = status
+	if !r.wrote {
+		r.status = status
+		r.wrote = true
+	}
 	r.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps a handler with per-route metrics. The routeStats is
-// resolved once, at registration, so the per-request path touches only
-// atomics and the striped latency histogram.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		// net/http sends an implicit 200 on the first Write.
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with per-route metrics, panic recovery and
+// the structured request log. The routeStats is resolved once, at
+// registration, so the per-request path touches only atomics and the
+// striped latency histogram.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	rs := s.stats.get(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(rec, r)
+		s.serveRecovered(rec, r, route, h)
+		dur := time.Since(start)
 		rs.requests.Inc()
 		if rec.status >= 400 {
 			rs.errors.Inc()
 		}
-		rs.latency.Observe(time.Since(start).Seconds())
+		rs.latency.Observe(dur.Seconds())
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", dur),
+			slog.String("request_id", RequestIDFromContext(r.Context())),
+			slog.String("remote", r.RemoteAddr),
+		)
 	}
+}
+
+// serveRecovered runs the handler, converting a panic into a logged JSON
+// 500. The recorder is marked 500 even when the handler panicked after
+// writing its header, so mid-response panics still count as route errors.
+func (s *Server) serveRecovered(rec *statusRecorder, r *http.Request, route string, h http.HandlerFunc) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if p == http.ErrAbortHandler {
+			// The sentinel net/http itself uses to abort a response;
+			// suppressing it would hide the abort from the server.
+			panic(p)
+		}
+		s.logger.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+			slog.String("route", route),
+			slog.Any("panic", p),
+			slog.String("request_id", RequestIDFromContext(r.Context())),
+			slog.String("stack", string(debug.Stack())),
+		)
+		if rec.wrote {
+			rec.status = http.StatusInternalServerError
+			return
+		}
+		writeJSON(rec, http.StatusInternalServerError,
+			errorResponse{Error: "dispatch: internal server error", RequestID: requestIDOf(r)})
+	}()
+	h(rec, r)
 }
 
 // RouteMetrics is the per-endpoint block of GET /v1/metrics.
@@ -79,17 +222,16 @@ type RouteMetrics struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.stats.mu.Lock()
-	routes := make([]string, 0, len(s.stats.byRoute))
-	for r := range s.stats.byRoute {
+	snap := s.stats.snapshot()
+	routes := make([]string, 0, len(snap))
+	for r := range snap {
 		routes = append(routes, r)
 	}
-	s.stats.mu.Unlock()
 	sort.Strings(routes)
 
 	out := make([]RouteMetrics, 0, len(routes))
 	for _, route := range routes {
-		rs := s.stats.get(route)
+		rs := snap[route]
 		out = append(out, RouteMetrics{
 			Route:    route,
 			Requests: rs.requests.Value(),

@@ -1,0 +1,358 @@
+package dispatch
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"humancomp/internal/core"
+	"humancomp/internal/task"
+	"humancomp/internal/trace"
+)
+
+// memHandler is a slog.Handler capturing records for assertions.
+type memHandler struct {
+	mu      sync.Mutex
+	records []map[string]string
+}
+
+func (h *memHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h *memHandler) WithAttrs([]slog.Attr) slog.Handler       { return h }
+func (h *memHandler) WithGroup(string) slog.Handler            { return h }
+func (h *memHandler) Handle(_ context.Context, r slog.Record) error {
+	rec := map[string]string{"msg": r.Message, "level": r.Level.String()}
+	r.Attrs(func(a slog.Attr) bool {
+		rec[a.Key] = fmt.Sprint(a.Value.Any())
+		return true
+	})
+	h.mu.Lock()
+	h.records = append(h.records, rec)
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *memHandler) find(msg string) []map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []map[string]string
+	for _, r := range h.records {
+		if r["msg"] == msg {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	sys := core.New(core.DefaultConfig())
+	srv := httptest.NewServer(NewServer(sys))
+	t.Cleanup(srv.Close)
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	id := resp.Header.Get(requestIDHeader)
+	if len(id) != 16 {
+		t.Fatalf("generated request ID = %q, want 16 hex chars", id)
+	}
+}
+
+func TestRequestIDPropagationEndToEnd(t *testing.T) {
+	logs := &memHandler{}
+	sys := core.New(core.DefaultConfig())
+	srv := httptest.NewServer(NewServerWith(sys, Options{Logger: slog.New(logs)}))
+	t.Cleanup(srv.Close)
+
+	// Pin the client's generator so the ID is known in advance.
+	c := NewClient(srv.URL, srv.Client())
+	const pinned = "e2e-test-request-1"
+	c.newID = func() string { return pinned }
+
+	// An error response must carry the ID in the envelope and the APIError.
+	_, err := c.Task(999999)
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("Task(unknown) error = %v, want *APIError", err)
+	}
+	if apiErr.RequestID != pinned {
+		t.Errorf("APIError.RequestID = %q, want %q", apiErr.RequestID, pinned)
+	}
+	if !strings.Contains(apiErr.Error(), pinned) {
+		t.Errorf("APIError.Error() = %q, missing request ID", apiErr.Error())
+	}
+
+	// The server-side structured log line carries the same ID.
+	reqs := logs.find("request")
+	if len(reqs) == 0 {
+		t.Fatal("no request log records captured")
+	}
+	last := reqs[len(reqs)-1]
+	if last["request_id"] != pinned {
+		t.Errorf("logged request_id = %q, want %q", last["request_id"], pinned)
+	}
+	if last["status"] != "404" {
+		t.Errorf("logged status = %q, want 404", last["status"])
+	}
+}
+
+func TestMalformedClientRequestIDReplaced(t *testing.T) {
+	sys := core.New(core.DefaultConfig())
+	srv := httptest.NewServer(NewServer(sys))
+	t.Cleanup(srv.Close)
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/stats", nil)
+	bad := strings.Repeat("x", 65) // too long to adopt
+	req.Header.Set(requestIDHeader, bad)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(requestIDHeader); got == bad || got == "" {
+		t.Errorf("oversized client ID echoed back (%q); want a generated replacement", got)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	logs := &memHandler{}
+	sys := core.New(core.DefaultConfig())
+	s := NewServerWith(sys, Options{Logger: slog.New(logs)})
+	// Register a panicking route through the same instrumentation chain.
+	s.mux.HandleFunc("GET /v1/boom", s.instrument("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/boom")
+	if err != nil {
+		t.Fatalf("request failed instead of returning 500: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var body errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding 500 body: %v", err)
+	}
+	if body.Error == "" || body.RequestID == "" {
+		t.Errorf("500 body = %+v, want error and request_id set", body)
+	}
+
+	panics := logs.find("handler panic")
+	if len(panics) != 1 {
+		t.Fatalf("captured %d panic log records, want 1", len(panics))
+	}
+	if panics[0]["panic"] != "kaboom" || !strings.Contains(panics[0]["stack"], "goroutine") {
+		t.Errorf("panic record = %+v, want panic value and stack", panics[0])
+	}
+
+	// The route error counter saw the 500.
+	rs := s.stats.get("GET /v1/boom")
+	if rs.errors.Value() != 1 {
+		t.Errorf("route errors = %d, want 1", rs.errors.Value())
+	}
+}
+
+func TestStatusRecorderImplicitWriteAndFlush(t *testing.T) {
+	inner := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: inner, status: http.StatusOK}
+	if _, err := rec.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.wrote || rec.status != http.StatusOK {
+		t.Errorf("after implicit Write: wrote=%v status=%d, want true/200", rec.wrote, rec.status)
+	}
+	// A late WriteHeader must not overwrite the recorded status.
+	rec.WriteHeader(http.StatusTeapot)
+	if rec.status != http.StatusOK {
+		t.Errorf("late WriteHeader changed recorded status to %d", rec.status)
+	}
+	// The recorder must implement http.Flusher over a flushable writer.
+	var f http.Flusher = rec
+	f.Flush()
+	if !inner.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	id, err := c.Submit(task.Label, task.Payload{ImageID: 1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := c.Next("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Answer(lease, task.Answer{Words: []int{3}}); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := c.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TaskID != id {
+		t.Fatalf("trace task_id = %d, want %d", tr.TaskID, id)
+	}
+	want := []trace.Stage{trace.StageSubmit, trace.StagePersist, trace.StageEnqueue,
+		trace.StageLease, trace.StageAnswer, trace.StageComplete}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("trace has %d events (%+v), want %d", len(tr.Events), tr.Events, len(want))
+	}
+	var prevSeq uint64
+	for i, e := range tr.Events {
+		if e.Stage != want[i] {
+			t.Errorf("event %d stage = %q, want %q", i, e.Stage, want[i])
+		}
+		if e.Seq <= prevSeq {
+			t.Errorf("event %d seq %d not increasing", i, e.Seq)
+		}
+		prevSeq = e.Seq
+	}
+	if tr.Events[3].Worker != "w1" || tr.Events[4].Worker != "w1" {
+		t.Errorf("lease/answer events missing worker: %+v", tr.Events[3:5])
+	}
+
+	// Unknown task: 404.
+	if _, err := c.Trace(424242); err == nil {
+		t.Error("Trace(unknown) should 404")
+	}
+}
+
+// promLine matches one valid exposition sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$`)
+
+func TestAdminHandlerMetricsAndProbes(t *testing.T) {
+	sys := core.New(core.DefaultConfig())
+	api := NewServer(sys)
+	apiSrv := httptest.NewServer(api)
+	t.Cleanup(apiSrv.Close)
+	c := NewClient(apiSrv.URL, apiSrv.Client())
+
+	// Drive a small lifecycle so every family has signal.
+	id, err := c.Submit(task.Label, task.Payload{ImageID: 9}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lease, err := c.Next("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Answer(lease, task.Answer{Words: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	_ = id
+
+	ready := false
+	admin := httptest.NewServer(NewAdminHandler(sys, api, AdminOptions{Ready: func() bool { return ready }}))
+	t.Cleanup(admin.Close)
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := admin.Client().Get(admin.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready = %d, want 503", resp.StatusCode)
+	}
+	ready = true
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after ready = %d, want 200", resp.StatusCode)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+
+	// Every non-comment line must be a well-formed sample.
+	values := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		fields := strings.Fields(line)
+		values[fields[0]] = fields[1]
+	}
+	for name, want := range map[string]string{
+		"hc_tasks_submitted_total": "1",
+		"hc_answers_total":         "1",
+		"hc_queue_open_tasks":      "0",
+		"hc_inflight_leases":       "0",
+		"hc_store_tasks":           "1",
+		"hc_gwap_outputs_total":    "1",
+		"hc_gwap_sessions_total":   "1",
+	} {
+		if got := values[name]; got != want {
+			t.Errorf("%s = %q, want %q", name, got, want)
+		}
+	}
+	// Families that must be present with any value.
+	for _, name := range []string{
+		"hc_gwap_throughput_per_hour",
+		"hc_gwap_alp_minutes",
+		"hc_gwap_expected_contribution",
+		"hc_trace_events_retained",
+		`hc_queue_shard_lock_acquisitions_total{shard="0"}`,
+		`hc_store_shard_lock_acquisitions_total{shard="0"}`,
+		`hc_task_time_in_queue_seconds{quantile="0.5"}`,
+		"hc_task_lease_to_answer_seconds_count",
+		"hc_task_answers_to_completion_seconds_count",
+		"hc_http_requests_total_post_v1_tasks",
+		"hc_http_request_duration_seconds_post_v1_next_count",
+	} {
+		if _, ok := values[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+
+	// pprof index answers on the same listener.
+	if resp, _ := get("/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestPromRouteName(t *testing.T) {
+	cases := map[string]string{
+		"POST /v1/tasks":           "post_v1_tasks",
+		"GET /v1/tasks/{id}/trace": "get_v1_tasks_id_trace",
+		"DELETE /v1/leases/{id}":   "delete_v1_leases_id",
+		"///":                      "unknown",
+	}
+	for in, want := range cases {
+		if got := promRouteName(in); got != want {
+			t.Errorf("promRouteName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	DELETE /v1/tasks/{id}       cancel an open task
 //	GET    /v1/tasks/{id}/words aggregated word votes (label/describe)
 //	GET    /v1/tasks/{id}/choice aggregated choice (compare/judge)
+//	GET    /v1/tasks/{id}/trace ordered lifecycle trace events
 //	POST   /v1/next             lease the next task for a worker
 //	POST   /v1/leases/{id}      submit the answer for a lease
 //	DELETE /v1/leases/{id}      release a lease unanswered
@@ -22,13 +23,21 @@
 // the owning lock, so reads can never race with the queue recording
 // answers. All /v1 routes — including /v1/metrics — sit behind the
 // auth/rate-limit middleware when one is configured.
+//
+// Every request carries an ID: the server adopts a well-formed
+// X-Request-Id from the client or generates one, echoes it on the
+// response, threads it through the request context into the structured
+// log line, and includes it in JSON error envelopes, so a failing call
+// can be matched to its server-side log entry from either end.
 package dispatch
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -36,6 +45,7 @@ import (
 	"humancomp/internal/core"
 	"humancomp/internal/queue"
 	"humancomp/internal/task"
+	"humancomp/internal/trace"
 )
 
 // SubmitRequest is the body of POST /v1/tasks.
@@ -71,16 +81,40 @@ type AnswerRequest struct {
 	Answer task.Answer `json:"answer"`
 }
 
+// TraceResponse is the body returned by GET /v1/tasks/{id}/trace: the
+// task's retained lifecycle events in emission order.
+type TraceResponse struct {
+	TaskID task.ID       `json:"task_id"`
+	Events []trace.Event `json:"events"`
+}
+
 // errorResponse is the JSON error envelope.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
+
+// discardHandler drops every record. (slog's stock discard handler
+// arrived after the Go release this module declares, so the few callers
+// that want a no-op logger get this one.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// DiscardLogger returns a logger that drops everything — the default when
+// Options.Logger is nil, and what tests pass to silence request logs.
+func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }
 
 // Server wires a core.System into an http.Handler.
 type Server struct {
-	sys   *core.System
-	mux   *http.ServeMux
-	stats *endpointStats
+	sys     *core.System
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped with the request-ID middleware
+	stats   *endpointStats
+	logger  *slog.Logger
 }
 
 // NewServer returns a ready-to-serve open dispatch server over sys. Every
@@ -91,7 +125,11 @@ func NewServer(sys *core.System) *Server { return NewServerWith(sys, Options{}) 
 // NewServerWith returns a dispatch server with optional API-key auth and
 // per-key rate limiting on all /v1 routes (the health probe stays open).
 func NewServerWith(sys *core.System, opts Options) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), stats: newEndpointStats()}
+	logger := opts.Logger
+	if logger == nil {
+		logger = DiscardLogger()
+	}
+	s := &Server{sys: sys, mux: http.NewServeMux(), stats: newEndpointStats(), logger: logger}
 	guard := newAuthLimiter(opts)
 	route := func(pattern string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, guard.wrap(s.instrument(pattern, h)))
@@ -102,6 +140,7 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	route("DELETE /v1/tasks/{id}", s.handleCancel)
 	route("GET /v1/tasks/{id}/words", s.handleWords)
 	route("GET /v1/tasks/{id}/choice", s.handleChoice)
+	route("GET /v1/tasks/{id}/trace", s.handleTrace)
 	route("POST /v1/next", s.handleNext)
 	route("POST /v1/leases/{id}", s.handleAnswer)
 	route("DELETE /v1/leases/{id}", s.handleRelease)
@@ -111,11 +150,12 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
+	s.handler = withRequestID(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // jsonBufPool recycles response encoding buffers across requests, so the
 // hot path does not allocate a fresh encoder buffer per response. Buffers
@@ -144,8 +184,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError maps domain errors onto HTTP status codes.
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps domain errors onto HTTP status codes. The request (nil
+// tolerated) supplies the ID echoed in the error envelope.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, queue.ErrEmpty):
@@ -165,11 +206,12 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, core.ErrWrongKind):
 		status = http.StatusUnprocessableEntity
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: requestIDOf(r)})
 }
 
-func badRequest(w http.ResponseWriter, format string, args ...any) {
-	writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
+func badRequest(w http.ResponseWriter, r *http.Request, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest,
+		errorResponse{Error: fmt.Sprintf(format, args...), RequestID: requestIDOf(r)})
 }
 
 func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
@@ -177,7 +219,7 @@ func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&v); err != nil {
-		badRequest(w, "dispatch: invalid request body: %v", err)
+		badRequest(w, r, "dispatch: invalid request body: %v", err)
 		return v, false
 	}
 	return v, true
@@ -187,7 +229,7 @@ func pathID[T ~int64](w http.ResponseWriter, r *http.Request) (T, bool) {
 	raw := r.PathValue("id")
 	n, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil || n < 0 {
-		badRequest(w, "dispatch: invalid id %q", raw)
+		badRequest(w, r, "dispatch: invalid id %q", raw)
 		return 0, false
 	}
 	return T(n), true
@@ -200,13 +242,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	kind, err := task.ParseKind(req.Kind)
 	if err != nil {
-		badRequest(w, "%v", err)
+		badRequest(w, r, "%v", err)
 		return
 	}
 	var id task.ID
 	if req.Gold {
 		if req.Expected == nil {
-			badRequest(w, "dispatch: gold task requires expected answer")
+			badRequest(w, r, "dispatch: gold task requires expected answer")
 			return
 		}
 		id, err = s.sys.SubmitGold(kind, req.Payload, req.Redundancy, req.Priority, *req.Expected)
@@ -214,7 +256,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id, err = s.sys.SubmitTask(kind, req.Payload, req.Redundancy, req.Priority)
 	}
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id})
@@ -241,7 +283,7 @@ func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
 		case task.Canceled.String():
 			st = task.Canceled
 		default:
-			badRequest(w, "dispatch: unknown status %q", raw)
+			badRequest(w, r, "dispatch: unknown status %q", raw)
 			return
 		}
 		all = s.sys.Store().ViewByStatus(st)
@@ -253,7 +295,7 @@ func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("offset"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 0 {
-			badRequest(w, "dispatch: invalid offset %q", raw)
+			badRequest(w, r, "dispatch: invalid offset %q", raw)
 			return
 		}
 		offset = n
@@ -261,7 +303,7 @@ func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 1 || n > 1000 {
-			badRequest(w, "dispatch: invalid limit %q (1..1000)", raw)
+			badRequest(w, r, "dispatch: invalid limit %q (1..1000)", raw)
 			return
 		}
 		limit = n
@@ -284,10 +326,30 @@ func (s *Server) handleGetTask(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := s.sys.Task(id)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error(), RequestID: requestIDOf(r)})
 		return
 	}
 	writeJSON(w, http.StatusOK, t)
+}
+
+// handleTrace serves GET /v1/tasks/{id}/trace: the retained lifecycle
+// events for one task, oldest first. A task the ring has fully evicted
+// returns an empty event list (not 404) as long as the task itself
+// exists; an unknown task is 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID[task.ID](w, r)
+	if !ok {
+		return
+	}
+	events := s.sys.TaskTrace(id)
+	if len(events) == 0 {
+		if _, err := s.sys.Task(id); err != nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error(), RequestID: requestIDOf(r)})
+			return
+		}
+		events = []trace.Event{}
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{TaskID: id, Events: events})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -296,7 +358,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.CancelTask(id); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -309,7 +371,7 @@ func (s *Server) handleWords(w http.ResponseWriter, r *http.Request) {
 	}
 	words, err := s.sys.AggregateWords(id)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, words)
@@ -322,7 +384,7 @@ func (s *Server) handleChoice(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.sys.AggregateChoice(id)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -334,12 +396,12 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.WorkerID == "" {
-		badRequest(w, "dispatch: worker_id required")
+		badRequest(w, r, "dispatch: worker_id required")
 		return
 	}
 	t, lease, err := s.sys.NextTask(req.WorkerID)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, NextResponse{Task: t, Lease: lease})
@@ -355,7 +417,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.SubmitAnswer(id, req.Answer); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -367,7 +429,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.ReleaseTask(id); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -1,0 +1,78 @@
+package metrics
+
+import "time"
+
+// gwapStripes is the number of independent GWAP accumulators a ShardedGWAP
+// spreads players over. Power of two so stripe selection is a mask.
+const gwapStripes = 16
+
+// ShardedGWAP is a GWAP accumulator for the dispatch hot path: players are
+// striped by ID hash over independent GWAP instances, so concurrent answer
+// submissions from different workers never serialize on one mutex. Each
+// player's play time lives on exactly one stripe, which keeps the distinct-
+// player count and per-player totals exact under the merge.
+type ShardedGWAP struct {
+	stripes [gwapStripes]*GWAP
+	outputs Counter
+}
+
+// NewShardedGWAP returns an empty sharded accumulator.
+func NewShardedGWAP() *ShardedGWAP {
+	g := &ShardedGWAP{}
+	for i := range g.stripes {
+		g.stripes[i] = NewGWAP()
+	}
+	return g
+}
+
+// fnv32a hashes a player ID without allocating.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// RecordSession adds one play session for the player; negative lengths
+// (virtual-clock artifacts) are clamped to zero.
+func (g *ShardedGWAP) RecordSession(playerID string, length time.Duration) {
+	if length < 0 {
+		length = 0
+	}
+	g.stripes[fnv32a(playerID)&(gwapStripes-1)].RecordSession(playerID, length)
+}
+
+// RecordOutputs adds n solved problem instances.
+func (g *ShardedGWAP) RecordOutputs(n int) { g.outputs.Add(int64(n)) }
+
+// Report merges the stripes into one GWAP snapshot. Players are disjoint
+// across stripes, so the merged player count and total play are exact.
+func (g *ShardedGWAP) Report() Report {
+	var (
+		players   int
+		sessions  int64
+		totalPlay time.Duration
+	)
+	for _, s := range g.stripes {
+		players += s.Players()
+		sessions += s.Sessions()
+		totalPlay += s.TotalPlay()
+	}
+	r := Report{
+		Players:        players,
+		Sessions:       sessions,
+		Outputs:        g.outputs.Value(),
+		TotalPlayHours: totalPlay.Hours(),
+	}
+	if hours := totalPlay.Hours(); hours > 0 {
+		r.ThroughputPerHour = float64(r.Outputs) / hours
+	}
+	if players > 0 {
+		alp := totalPlay / time.Duration(players)
+		r.ALPMinutes = alp.Minutes()
+		r.ExpectedContribution = r.ThroughputPerHour * alp.Hours()
+	}
+	return r
+}

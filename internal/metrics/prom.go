@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Gauge is a value that can go up and down — queue depth, in-flight
+// leases, bytes on disk. Like Counter it is a single atomic word, so the
+// hot path never takes a lock.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add moves the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.n.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.n.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// Prometheus text exposition (version 0.0.4). The encoder is label-free by
+// design: a sample is one "name value" line, with only the two structural
+// labels the format itself calls for — the quantile label on summaries and
+// an optional shard index on per-shard families. Anything richer belongs in
+// a real client library; this one exists so GET /metrics can be served from
+// the standard library alone.
+
+// PromKind is the TYPE annotation of a family.
+type PromKind string
+
+// Family kinds understood by WriteProm.
+const (
+	PromCounter PromKind = "counter"
+	PromGauge   PromKind = "gauge"
+	PromSummary PromKind = "summary"
+	PromUntyped PromKind = "untyped"
+)
+
+// PromSample is one exposition line within a family.
+type PromSample struct {
+	// Suffix is appended to the family name ("_sum", "_count"); empty for
+	// the plain sample.
+	Suffix string
+	// Quantile, when non-empty, emits a {quantile="..."} label (summaries).
+	Quantile string
+	// Shard, when >= 0, emits a {shard="N"} label. Use -1 for none.
+	Shard int
+	Value float64
+}
+
+// PromFamily is one metric family: a # HELP line, a # TYPE line, and its
+// samples in order.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Kind    PromKind
+	Samples []PromSample
+}
+
+// PromCounterFamily is a single-sample counter family.
+func PromCounterFamily(name, help string, v int64) PromFamily {
+	return PromFamily{Name: name, Help: help, Kind: PromCounter,
+		Samples: []PromSample{{Shard: -1, Value: float64(v)}}}
+}
+
+// PromGaugeFamily is a single-sample gauge family.
+func PromGaugeFamily(name, help string, v float64) PromFamily {
+	return PromFamily{Name: name, Help: help, Kind: PromGauge,
+		Samples: []PromSample{{Shard: -1, Value: v}}}
+}
+
+// PromShardCounterFamily spreads per-shard counts over {shard="i"} samples.
+func PromShardCounterFamily(name, help string, counts []int64) PromFamily {
+	f := PromFamily{Name: name, Help: help, Kind: PromCounter}
+	for i, c := range counts {
+		f.Samples = append(f.Samples, PromSample{Shard: i, Value: float64(c)})
+	}
+	return f
+}
+
+// PromSummaryFamily renders a histogram as a summary: p50/p90/p99 quantile
+// samples plus _sum and _count.
+func PromSummaryFamily(name, help string, h *Histogram) PromFamily {
+	count := h.Count()
+	return PromFamily{Name: name, Help: help, Kind: PromSummary, Samples: []PromSample{
+		{Quantile: "0.5", Shard: -1, Value: h.Quantile(0.5)},
+		{Quantile: "0.9", Shard: -1, Value: h.Quantile(0.9)},
+		{Quantile: "0.99", Shard: -1, Value: h.Quantile(0.99)},
+		{Suffix: "_sum", Shard: -1, Value: h.Mean() * float64(count)},
+		{Suffix: "_count", Shard: -1, Value: float64(count)},
+	}}
+}
+
+// validPromName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatPromValue renders v the way Prometheus expects: decimal notation,
+// with +Inf/-Inf/NaN spelled out.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the families to w in the Prometheus text exposition
+// format, in the order given. It returns an error on an invalid metric
+// name rather than emitting a line a scraper would reject.
+func WriteProm(w io.Writer, fams []PromFamily) error {
+	var b strings.Builder
+	for _, f := range fams {
+		if !validPromName(f.Name) {
+			return fmt.Errorf("metrics: invalid prometheus metric name %q", f.Name)
+		}
+		if f.Kind == "" {
+			f.Kind = PromUntyped
+		}
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Samples {
+			name := f.Name + s.Suffix
+			if !validPromName(name) {
+				return fmt.Errorf("metrics: invalid prometheus sample name %q", name)
+			}
+			b.WriteString(name)
+			switch {
+			case s.Quantile != "":
+				fmt.Fprintf(&b, "{quantile=%q}", s.Quantile)
+			case s.Shard >= 0:
+				fmt.Fprintf(&b, "{shard=%q}", strconv.Itoa(s.Shard))
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatPromValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	if b.Len() == 0 {
+		return errors.New("metrics: no families to write")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 12 {
+		t.Errorf("Gauge value = %d, want 12", got)
+	}
+}
+
+// TestWritePromGolden pins the exact exposition bytes: HELP/TYPE comments,
+// plain samples, shard and quantile labels, summary suffixes. Any format
+// drift that would break a scraper breaks this test first.
+func TestWritePromGolden(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 4; i++ {
+		h.Observe(0.25)
+	}
+	fams := []PromFamily{
+		PromCounterFamily("hc_tasks_submitted_total", "Tasks accepted.", 42),
+		PromGaugeFamily("hc_queue_open_tasks", "Tasks still collecting answers.", 7),
+		PromShardCounterFamily("hc_queue_shard_lock_acquisitions_total", "Lock grabs.", []int64{3, 0}),
+		PromSummaryFamily("hc_task_time_in_queue_seconds", "Enqueue to first lease.", h),
+		{Name: "hc_custom", Kind: PromUntyped, Samples: []PromSample{{Shard: -1, Value: 1.5}}},
+	}
+	var sb strings.Builder
+	if err := WriteProm(&sb, fams); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	want := `# HELP hc_tasks_submitted_total Tasks accepted.
+# TYPE hc_tasks_submitted_total counter
+hc_tasks_submitted_total 42
+# HELP hc_queue_open_tasks Tasks still collecting answers.
+# TYPE hc_queue_open_tasks gauge
+hc_queue_open_tasks 7
+# HELP hc_queue_shard_lock_acquisitions_total Lock grabs.
+# TYPE hc_queue_shard_lock_acquisitions_total counter
+hc_queue_shard_lock_acquisitions_total{shard="0"} 3
+hc_queue_shard_lock_acquisitions_total{shard="1"} 0
+# HELP hc_task_time_in_queue_seconds Enqueue to first lease.
+# TYPE hc_task_time_in_queue_seconds summary
+hc_task_time_in_queue_seconds{quantile="0.5"} 0.25
+hc_task_time_in_queue_seconds{quantile="0.9"} 0.25
+hc_task_time_in_queue_seconds{quantile="0.99"} 0.25
+hc_task_time_in_queue_seconds_sum 1
+hc_task_time_in_queue_seconds_count 4
+# TYPE hc_custom untyped
+hc_custom 1.5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("WriteProm output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePromSpecialValues(t *testing.T) {
+	fams := []PromFamily{{Name: "x", Kind: PromGauge, Samples: []PromSample{
+		{Shard: -1, Value: math.Inf(1)},
+		{Suffix: "_neg", Shard: -1, Value: math.Inf(-1)},
+		{Suffix: "_nan", Shard: -1, Value: math.NaN()},
+	}}}
+	var sb strings.Builder
+	if err := WriteProm(&sb, fams); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	want := "# TYPE x gauge\nx +Inf\nx_neg -Inf\nx_nan NaN\n"
+	if got := sb.String(); got != want {
+		t.Errorf("special values = %q, want %q", got, want)
+	}
+}
+
+func TestWritePromHelpEscaping(t *testing.T) {
+	fams := []PromFamily{{Name: "x", Help: "line\nbreak \\ slash", Kind: PromCounter,
+		Samples: []PromSample{{Shard: -1, Value: 0}}}}
+	var sb strings.Builder
+	if err := WriteProm(&sb, fams); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if want := `# HELP x line\nbreak \\ slash` + "\n"; !strings.HasPrefix(sb.String(), want) {
+		t.Errorf("help line = %q, want prefix %q", sb.String(), want)
+	}
+}
+
+func TestWritePromRejectsInvalidNames(t *testing.T) {
+	for _, name := range []string{"", "1bad", "has space", "has-dash", "sné"} {
+		err := WriteProm(&strings.Builder{}, []PromFamily{{Name: name, Kind: PromCounter}})
+		if err == nil {
+			t.Errorf("WriteProm accepted invalid name %q", name)
+		}
+	}
+	// A bad suffix must be caught too.
+	err := WriteProm(&strings.Builder{}, []PromFamily{{Name: "ok", Kind: PromCounter,
+		Samples: []PromSample{{Suffix: "-bad", Shard: -1}}}})
+	if err == nil {
+		t.Error("WriteProm accepted invalid sample suffix")
+	}
+}
+
+func TestWritePromEmptyErrors(t *testing.T) {
+	if err := WriteProm(&strings.Builder{}, nil); err == nil {
+		t.Error("WriteProm with no families should error")
+	}
+}
+
+func TestShardedGWAPMatchesPlainGWAP(t *testing.T) {
+	sharded := NewShardedGWAP()
+	plain := NewGWAP()
+	players := []string{"ann", "bob", "cat", "dee", "eve"}
+	for i, p := range players {
+		d := time.Duration(i+1) * 12 * time.Minute
+		sharded.RecordSession(p, d)
+		plain.RecordSession(p, d)
+		// Second session for some players exercises the per-player merge.
+		if i%2 == 0 {
+			sharded.RecordSession(p, d)
+			plain.RecordSession(p, d)
+		}
+	}
+	sharded.RecordOutputs(90)
+	plain.RecordOutputs(90)
+
+	got, want := sharded.Report(), plain.Report()
+	if got.Players != want.Players || got.Sessions != want.Sessions || got.Outputs != want.Outputs {
+		t.Errorf("counts: got %+v, want %+v", got, want)
+	}
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+	if !approx(got.TotalPlayHours, want.TotalPlayHours) ||
+		!approx(got.ThroughputPerHour, want.ThroughputPerHour) ||
+		!approx(got.ALPMinutes, want.ALPMinutes) ||
+		!approx(got.ExpectedContribution, want.ExpectedContribution) {
+		t.Errorf("rates: got %+v, want %+v", got, want)
+	}
+}
+
+func TestShardedGWAPClampsNegative(t *testing.T) {
+	g := NewShardedGWAP()
+	g.RecordSession("p", -time.Minute)
+	rep := g.Report()
+	if rep.TotalPlayHours != 0 || rep.Sessions != 1 || rep.Players != 1 {
+		t.Errorf("negative session report = %+v, want zero play, 1 session, 1 player", rep)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"humancomp/internal/task"
+	"humancomp/internal/trace"
 )
 
 // Errors returned by queue operations.
@@ -45,11 +46,14 @@ var (
 // without any global map.
 type LeaseID int64
 
-// Lease records that a worker holds a task until Expiry.
+// Lease records that a worker holds a task until Expiry. LeasedAt is when
+// the lease was granted; the dispatch core turns the lease-to-answer span
+// into live play-time metrics.
 type Lease struct {
 	ID       LeaseID
 	TaskID   task.ID
 	WorkerID string
+	LeasedAt time.Time
 	Expiry   time.Time
 }
 
@@ -78,6 +82,14 @@ type qshard struct {
 	heap    taskHeap
 	leases  map[LeaseID]*Lease
 	seq     int64 // per-shard lease sequence, guarded by mu
+	lockN   int64 // lock acquisitions through lock(), guarded by mu
+}
+
+// lock acquires the shard mutex and counts the acquisition; the counter
+// feeds the per-shard contention gauges on the admin /metrics endpoint.
+func (sh *qshard) lock() {
+	sh.mu.Lock()
+	sh.lockN++
 }
 
 // Queue is a redundancy-aware priority work queue with leases.
@@ -93,7 +105,8 @@ type Queue struct {
 	mask      uint64
 	shardBits uint
 
-	expired atomic.Int64 // total leases reclaimed by expiry
+	expired atomic.Int64    // total leases reclaimed by expiry
+	rec     *trace.Recorder // lifecycle event sink; nil records nothing
 }
 
 // New returns an empty queue with the default (auto) shard count whose
@@ -144,8 +157,33 @@ func NewSharded(ttl time.Duration, n int, locks TaskLocks) *Queue {
 // Shards returns the number of shards the queue was built with.
 func (q *Queue) Shards() int { return len(q.shards) }
 
+// SetRecorder attaches a lifecycle trace recorder. It must be called
+// before the queue sees traffic (the core does so at construction); a nil
+// recorder — the default — records nothing.
+func (q *Queue) SetRecorder(rec *trace.Recorder) { q.rec = rec }
+
+// ShardLockCounts returns how many times each shard's lock has been
+// acquired, indexed by shard.
+func (q *Queue) ShardLockCounts() []int64 {
+	out := make([]int64, len(q.shards))
+	for i, sh := range q.shards {
+		sh.mu.Lock()
+		out[i] = sh.lockN
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // shardFor returns the shard owning the given task ID.
 func (q *Queue) shardFor(id task.ID) *qshard { return q.shards[uint64(id)&q.mask] }
+
+// shardIndex returns the shard index a task ID maps to.
+func (q *Queue) shardIndex(id task.ID) int { return int(uint64(id) & q.mask) }
+
+// emit appends one lifecycle event to the attached recorder, if any.
+func (q *Queue) emit(stage trace.Stage, id task.ID, worker string, at time.Time) {
+	q.rec.Append(trace.Event{TaskID: id, Stage: stage, At: at, Shard: q.shardIndex(id), Worker: worker})
+}
 
 // leaseShard returns the shard a lease ID was allocated on.
 func (q *Queue) leaseShard(id LeaseID) *qshard { return q.shards[uint64(id)&q.mask] }
@@ -170,7 +208,7 @@ func (q *Queue) unlockTask(id task.ID) {
 // must not mutate it afterwards except through queue methods.
 func (q *Queue) Add(t *task.Task) error {
 	sh := q.shardFor(t.ID)
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	if _, dup := sh.entries[t.ID]; dup {
 		return ErrDuplicateID
@@ -181,6 +219,7 @@ func (q *Queue) Add(t *task.Task) error {
 	e := &entry{t: t, index: -1, holders: make(map[string]bool)}
 	sh.entries[t.ID] = e
 	heap.Push(&sh.heap, e)
+	q.emit(trace.StageEnqueue, t.ID, "", t.CreatedAt)
 	return nil
 }
 
@@ -227,7 +266,7 @@ func (q *Queue) Lease(workerID string, now time.Time) (task.View, LeaseID, error
 		best := -1
 		var bestKey leaseKey
 		for i, sh := range q.shards {
-			sh.mu.Lock()
+			sh.lock()
 			q.expireShardLocked(sh, now)
 			if attempt >= exactAttempts {
 				// Racing writers keep invalidating peeked candidates; take
@@ -254,7 +293,7 @@ func (q *Queue) Lease(workerID string, now time.Time) (task.View, LeaseID, error
 			return task.View{}, 0, ErrEmpty
 		}
 		sh := q.shards[best]
-		sh.mu.Lock()
+		sh.lock()
 		if e, ok := sh.entries[bestKey.id]; ok && q.eligibleLocked(e, workerID) {
 			v, id := q.leaseEntryLocked(sh, e, workerID, now)
 			sh.mu.Unlock()
@@ -329,8 +368,9 @@ func (q *Queue) leaseEntryLocked(sh *qshard, e *entry, workerID string, now time
 	e.holders[workerID] = true
 	sh.seq++
 	id := LeaseID(sh.seq<<q.shardBits | int64(uint64(e.t.ID)&q.mask))
-	l := &Lease{ID: id, TaskID: e.t.ID, WorkerID: workerID, Expiry: now.Add(q.ttl)}
+	l := &Lease{ID: id, TaskID: e.t.ID, WorkerID: workerID, LeasedAt: now, Expiry: now.Add(q.ttl)}
 	sh.leases[id] = l
+	q.emit(trace.StageLease, e.t.ID, workerID, now)
 	return e.t.View(), id
 }
 
@@ -358,17 +398,18 @@ func (q *Queue) eligibleLocked(e *entry, workerID string) bool {
 // the lease) — is returned by value, so callers never re-read the task's
 // answer list unlocked.
 type CompleteResult struct {
-	TaskID task.ID
-	Kind   task.Kind
-	Status task.Status // status after recording; Done when redundancy is met
-	Answer task.Answer // the recorded answer, by value
+	TaskID   task.ID
+	Kind     task.Kind
+	Status   task.Status // status after recording; Done when redundancy is met
+	Answer   task.Answer // the recorded answer, by value
+	LeasedAt time.Time   // when the completing lease was granted
 }
 
 // Complete records the leaseholder's answer and releases the lease. If the
 // answer fulfills the task's redundancy the task leaves the queue as Done.
 func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResult, error) {
 	sh := q.leaseShard(id)
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	q.expireShardLocked(sh, now)
 	l, ok := sh.leases[id]
@@ -386,10 +427,11 @@ func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResu
 	var res CompleteResult
 	if err == nil {
 		res = CompleteResult{
-			TaskID: e.t.ID,
-			Kind:   e.t.Kind,
-			Status: e.t.Status,
-			Answer: e.t.Answers[len(e.t.Answers)-1],
+			TaskID:   e.t.ID,
+			Kind:     e.t.Kind,
+			Status:   e.t.Status,
+			Answer:   e.t.Answers[len(e.t.Answers)-1],
+			LeasedAt: l.LeasedAt,
 		}
 	}
 	q.unlockTask(e.t.ID)
@@ -400,6 +442,10 @@ func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResu
 	e.inFlight--
 	delete(e.holders, l.WorkerID)
 	q.fixLocked(sh, e)
+	q.emit(trace.StageAnswer, res.TaskID, l.WorkerID, now)
+	if res.Status == task.Done {
+		q.emit(trace.StageComplete, res.TaskID, "", now)
+	}
 	return res, nil
 }
 
@@ -407,7 +453,7 @@ func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResu
 // skipped or disconnected cleanly).
 func (q *Queue) Release(id LeaseID, now time.Time) error {
 	sh := q.leaseShard(id)
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	q.expireShardLocked(sh, now)
 	l, ok := sh.leases[id]
@@ -420,13 +466,14 @@ func (q *Queue) Release(id LeaseID, now time.Time) error {
 		delete(e.holders, l.WorkerID)
 		q.fixLocked(sh, e)
 	}
+	q.emit(trace.StageRelease, l.TaskID, l.WorkerID, now)
 	return nil
 }
 
 // Cancel removes an open task from the queue.
 func (q *Queue) Cancel(id task.ID, now time.Time) error {
 	sh := q.shardFor(id)
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.entries[id]
 	if !ok {
@@ -439,6 +486,7 @@ func (q *Queue) Cancel(id task.ID, now time.Time) error {
 		return err
 	}
 	q.fixLocked(sh, e)
+	q.emit(trace.StageCancel, id, "", now)
 	return nil
 }
 
@@ -448,7 +496,7 @@ func (q *Queue) Cancel(id task.ID, now time.Time) error {
 // to expire.
 func (q *Queue) Remove(id task.ID) error {
 	sh := q.shardFor(id)
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.entries[id]
 	if !ok {
@@ -468,7 +516,7 @@ func (q *Queue) Remove(id task.ID) error {
 func (q *Queue) ExpireLeases(now time.Time) int {
 	before := q.expired.Load()
 	for _, sh := range q.shards {
-		sh.mu.Lock()
+		sh.lock()
 		q.expireShardLocked(sh, now)
 		sh.mu.Unlock()
 	}
@@ -487,6 +535,7 @@ func (q *Queue) expireShardLocked(sh *qshard, now time.Time) {
 			delete(e.holders, l.WorkerID)
 			q.fixLocked(sh, e)
 		}
+		q.emit(trace.StageExpire, l.TaskID, l.WorkerID, now)
 	}
 }
 

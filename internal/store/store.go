@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"humancomp/internal/task"
+	"humancomp/internal/trace"
 )
 
 // ErrNotFound is returned by Get for unknown task IDs.
@@ -62,15 +63,34 @@ func shardCount(n int) int {
 // task's stored record and the lock guarding it are determined by its ID
 // alone.
 type shard struct {
-	mu    sync.RWMutex
-	tasks map[task.ID]*task.Task
+	mu     sync.RWMutex
+	tasks  map[task.ID]*task.Task
+	lockN  int64 // write-lock acquisitions, guarded by mu
+	locker shardLocker
 }
+
+// shardLocker is the sync.Locker LockerFor hands out: the shard's write
+// lock plus the acquisition counter behind the per-shard contention
+// metrics. One lives inside each shard, so LockerFor never allocates.
+type shardLocker struct {
+	sh *shard
+}
+
+// Lock acquires the shard's write lock and counts the acquisition.
+func (l *shardLocker) Lock() {
+	l.sh.mu.Lock()
+	l.sh.lockN++
+}
+
+// Unlock releases the shard's write lock.
+func (l *shardLocker) Unlock() { l.sh.mu.Unlock() }
 
 // Store is an in-memory task table. Safe for concurrent use.
 type Store struct {
 	shards []*shard
 	mask   uint64
 	nextID atomic.Int64
+	rec    *trace.Recorder // lifecycle event sink; nil records nothing
 }
 
 // New returns an empty store with the default (auto) shard count.
@@ -86,13 +106,33 @@ func NewSharded(n int) *Store {
 	n = shardCount(n)
 	s := &Store{shards: make([]*shard, n), mask: uint64(n - 1)}
 	for i := range s.shards {
-		s.shards[i] = &shard{tasks: make(map[task.ID]*task.Task)}
+		sh := &shard{tasks: make(map[task.ID]*task.Task)}
+		sh.locker.sh = sh
+		s.shards[i] = sh
 	}
 	return s
 }
 
 // Shards returns the number of shards the store was built with.
 func (s *Store) Shards() int { return len(s.shards) }
+
+// SetRecorder attaches a lifecycle trace recorder. It must be called
+// before the store sees traffic (the core does so at construction); a nil
+// recorder — the default — records nothing.
+func (s *Store) SetRecorder(rec *trace.Recorder) { s.rec = rec }
+
+// ShardLockCounts returns how many times each shard's write lock has been
+// acquired for a mutation (Put, Delete, or through LockerFor), indexed by
+// shard.
+func (s *Store) ShardLockCounts() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		out[i] = sh.lockN
+		sh.mu.RUnlock()
+	}
+	return out
+}
 
 // shardFor returns the shard owning the given task ID.
 func (s *Store) shardFor(id task.ID) *shard { return s.shards[uint64(id)&s.mask] }
@@ -116,9 +156,14 @@ func (s *Store) advanceNextID(id task.ID) {
 func (s *Store) Put(t *task.Task) {
 	sh := s.shardFor(t.ID)
 	sh.mu.Lock()
+	sh.lockN++
 	sh.tasks[t.ID] = t
 	sh.mu.Unlock()
 	s.advanceNextID(t.ID)
+	s.rec.Append(trace.Event{
+		TaskID: t.ID, Stage: trace.StagePersist, At: t.CreatedAt,
+		Shard: int(uint64(t.ID) & s.mask),
+	})
 }
 
 // Delete removes a task; deleting an absent ID is a no-op. It is the
@@ -126,6 +171,7 @@ func (s *Store) Put(t *task.Task) {
 func (s *Store) Delete(id task.ID) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
+	sh.lockN++
 	delete(sh.tasks, id)
 	sh.mu.Unlock()
 }
@@ -135,7 +181,7 @@ func (s *Store) Delete(id task.ID) {
 // that concurrent view readers (which copy under the shard's read lock)
 // never race with a mutation. Callers must never hold two shard locks at
 // once; each mutation touches exactly one task, hence exactly one shard.
-func (s *Store) LockerFor(id task.ID) sync.Locker { return &s.shardFor(id).mu }
+func (s *Store) LockerFor(id task.ID) sync.Locker { return &s.shardFor(id).locker }
 
 // View returns an immutable deep-copy snapshot of the task with the given
 // ID, or ErrNotFound. This is the only safe way to read a task while the

@@ -18,9 +18,10 @@ import (
 // snapshot. Snapshots (Store.Snapshot) bound replay length; the WAL covers
 // the tail.
 type WAL struct {
-	mu sync.Mutex
-	w  *bufio.Writer
-	n  int64
+	mu    sync.Mutex
+	w     *bufio.Writer
+	n     int64
+	bytes int64
 }
 
 // EventKind tags a WAL record.
@@ -67,6 +68,7 @@ func (l *WAL) Append(e Event) error {
 		return err
 	}
 	l.n++
+	l.bytes += int64(len(enc)) + 1
 	return nil
 }
 
@@ -75,6 +77,15 @@ func (l *WAL) Len() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.n
+}
+
+// Size returns the number of bytes appended through this WAL instance
+// (newlines included). It measures log growth since open, not the size of
+// any pre-existing file contents.
+func (l *WAL) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
 }
 
 func validateEvent(e Event) error {

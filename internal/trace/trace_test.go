@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"humancomp/internal/task"
+)
+
+var t0 = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Append(Event{TaskID: 1, Stage: StageSubmit, At: t0})
+	if got := r.TaskEvents(1); got != nil {
+		t.Errorf("nil recorder TaskEvents = %v, want nil", got)
+	}
+	if r.Len() != 0 || r.Capacity() != 0 {
+		t.Errorf("nil recorder Len/Capacity = %d/%d, want 0/0", r.Len(), r.Capacity())
+	}
+	a, b, c := r.Latencies()
+	if a != nil || b != nil || c != nil {
+		t.Error("nil recorder Latencies should be all nil")
+	}
+}
+
+func TestAppendOrderAndSeq(t *testing.T) {
+	r := NewRecorder(0)
+	if r.Capacity() != DefaultCapacity {
+		t.Fatalf("Capacity = %d, want %d", r.Capacity(), DefaultCapacity)
+	}
+	stages := []Stage{StageSubmit, StagePersist, StageEnqueue, StageLease, StageAnswer, StageComplete}
+	for i, st := range stages {
+		r.Append(Event{TaskID: 7, Stage: st, At: t0.Add(time.Duration(i) * time.Second), Worker: "w"})
+	}
+	// An event for another task on the same stripe (7+16 hashes identically)
+	// must not appear in task 7's timeline.
+	r.Append(Event{TaskID: 7 + traceStripes, Stage: StageSubmit, At: t0})
+
+	got := r.TaskEvents(7)
+	if len(got) != len(stages) {
+		t.Fatalf("TaskEvents returned %d events, want %d", len(got), len(stages))
+	}
+	var prevSeq uint64
+	for i, e := range got {
+		if e.Stage != stages[i] {
+			t.Errorf("event %d stage = %q, want %q", i, e.Stage, stages[i])
+		}
+		if e.Seq <= prevSeq {
+			t.Errorf("event %d seq %d not increasing past %d", i, e.Seq, prevSeq)
+		}
+		prevSeq = e.Seq
+	}
+}
+
+func TestRingEvictionKeepsSuffix(t *testing.T) {
+	// Tiny ring: one slot per stripe.
+	r := NewRecorder(traceStripes)
+	id := task.ID(3)
+	for i := 0; i < 5; i++ {
+		r.Append(Event{TaskID: id, Stage: StageLease, At: t0.Add(time.Duration(i) * time.Second)})
+	}
+	got := r.TaskEvents(id)
+	if len(got) != 1 {
+		t.Fatalf("retained %d events, want 1 (stripe capacity)", len(got))
+	}
+	// Eviction trims oldest first: the survivor is the newest append.
+	if want := t0.Add(4 * time.Second); !got[0].At.Equal(want) {
+		t.Errorf("survivor At = %v, want %v", got[0].At, want)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRingEvictionOrderAfterWrap(t *testing.T) {
+	// Three slots per stripe; six events for one task: the retained three
+	// must be the newest three, still oldest-first.
+	r := NewRecorder(3 * traceStripes)
+	id := task.ID(5)
+	for i := 0; i < 6; i++ {
+		r.Append(Event{TaskID: id, Stage: StageLease, At: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	got := r.TaskEvents(id)
+	if len(got) != 3 {
+		t.Fatalf("retained %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		want := t0.Add(time.Duration(3+i) * time.Minute)
+		if !e.At.Equal(want) {
+			t.Errorf("event %d At = %v, want %v", i, e.At, want)
+		}
+		if i > 0 && e.Seq <= got[i-1].Seq {
+			t.Errorf("event %d seq %d out of order", i, e.Seq)
+		}
+	}
+}
+
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	const (
+		writers       = 8
+		perWriter     = 500
+		tasksPerSweep = 32
+	)
+	r := NewRecorder(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := task.ID(i % tasksPerSweep)
+				r.Append(Event{TaskID: id, Stage: StageLease, At: t0, Worker: "w"})
+				if i%16 == 0 {
+					r.TaskEvents(id)
+					r.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, capTotal := r.Len(), r.Capacity(); got > capTotal {
+		t.Fatalf("Len %d exceeds capacity %d", got, capTotal)
+	}
+	// Per-task sequence numbers must be strictly increasing even after the
+	// concurrent storm wrapped the ring many times over.
+	for id := task.ID(0); id < tasksPerSweep; id++ {
+		events := r.TaskEvents(id)
+		for i := 1; i < len(events); i++ {
+			if events[i].Seq <= events[i-1].Seq {
+				t.Fatalf("task %d events out of seq order at %d: %d then %d",
+					id, i, events[i-1].Seq, events[i].Seq)
+			}
+		}
+	}
+}
+
+func TestStageLatencies(t *testing.T) {
+	r := NewRecorder(0)
+	id := task.ID(9)
+	r.Append(Event{TaskID: id, Stage: StageEnqueue, At: t0})
+	r.Append(Event{TaskID: id, Stage: StageLease, At: t0.Add(2 * time.Second), Worker: "a"})
+	r.Append(Event{TaskID: id, Stage: StageAnswer, At: t0.Add(5 * time.Second), Worker: "a"})
+	r.Append(Event{TaskID: id, Stage: StageLease, At: t0.Add(6 * time.Second), Worker: "b"})
+	r.Append(Event{TaskID: id, Stage: StageAnswer, At: t0.Add(10 * time.Second), Worker: "b"})
+	r.Append(Event{TaskID: id, Stage: StageComplete, At: t0.Add(10 * time.Second)})
+
+	inQueue, leaseToAnswer, toCompletion := r.Latencies()
+	if got := inQueue.Count(); got != 1 {
+		t.Errorf("inQueue count = %d, want 1 (first lease only)", got)
+	}
+	if got := inQueue.Max(); got != 2 {
+		t.Errorf("inQueue = %vs, want 2s", got)
+	}
+	if got := leaseToAnswer.Count(); got != 2 {
+		t.Errorf("leaseToAnswer count = %d, want 2", got)
+	}
+	if got := leaseToAnswer.Max(); got != 4 {
+		t.Errorf("leaseToAnswer max = %vs, want 4s", got)
+	}
+	// First answer at +5s, completion at +10s.
+	if got := toCompletion.Max(); got != 5 {
+		t.Errorf("toCompletion = %vs, want 5s", got)
+	}
+	// Completion closes the pending entry: later events observe nothing.
+	r.Append(Event{TaskID: id, Stage: StageLease, At: t0.Add(20 * time.Second), Worker: "c"})
+	if got := inQueue.Count(); got != 1 {
+		t.Errorf("inQueue count after completion = %d, want 1", got)
+	}
+}
+
+func TestReleaseAndExpireDropLeaseSpans(t *testing.T) {
+	r := NewRecorder(0)
+	id := task.ID(11)
+	r.Append(Event{TaskID: id, Stage: StageEnqueue, At: t0})
+	r.Append(Event{TaskID: id, Stage: StageLease, At: t0.Add(time.Second), Worker: "a"})
+	r.Append(Event{TaskID: id, Stage: StageRelease, At: t0.Add(2 * time.Second), Worker: "a"})
+	// The worker answers long after releasing: no lease span may be recorded.
+	r.Append(Event{TaskID: id, Stage: StageAnswer, At: t0.Add(90 * time.Second), Worker: "a"})
+	_, leaseToAnswer, _ := r.Latencies()
+	if got := leaseToAnswer.Count(); got != 0 {
+		t.Errorf("leaseToAnswer count after release = %d, want 0", got)
+	}
+}
