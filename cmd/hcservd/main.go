@@ -2,13 +2,15 @@
 // server that accepts tasks, leases them to workers with redundancy
 // control, scores gold probes into worker reputations, and aggregates
 // answers. State can be checkpointed to a JSON snapshot and restored on
-// restart.
+// restart; a write-ahead log covers the tail between snapshots, with
+// checksummed records that recover cleanly from a crash mid-write.
 //
 // A second, optional listener (-admin-addr) serves the operational
 // surface — Prometheus metrics, health/readiness probes and pprof — kept
 // off the public API address so it can be bound to loopback.
 //
-//	hcservd -addr :8080 -admin-addr 127.0.0.1:9090 -snapshot state.json -lease-ttl 2m
+//	hcservd -addr :8080 -admin-addr 127.0.0.1:9090 -snapshot state.json \
+//	  -wal wal.log -wal-sync interval -lease-ttl 2m
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -78,7 +81,9 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		adminAddr = flag.String("admin-addr", "", "admin listen address for /metrics, /healthz, /readyz and /debug/pprof; empty disables")
 		snapshot  = flag.String("snapshot", "", "snapshot file to restore on start and write on shutdown")
-		walPath   = flag.String("wal", "", "write-ahead log file: replayed after the snapshot on start, appended to while running")
+		walPath   = flag.String("wal", "", "write-ahead log file: recovered after the snapshot on start, appended to while running")
+		walSync   = flag.String("wal-sync", "interval", "WAL durability: always (fsync per append, group-committed), interval (background fsync), never")
+		walSyncIv = flag.Duration("wal-sync-interval", 100*time.Millisecond, "background fsync period under -wal-sync=interval")
 		leaseTTL  = flag.Duration("lease-ttl", 2*time.Minute, "worker lease duration")
 		expiry    = flag.Duration("expiry-interval", 10*time.Second, "how often expired leases are reclaimed")
 		apiKeys   = flag.String("api-keys", "", "comma-separated API keys; empty leaves the server open")
@@ -88,6 +93,13 @@ func main() {
 		traceCap  = flag.Int("trace-capacity", 0, "lifecycle trace ring capacity in events; 0 = default, negative disables tracing")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		readHeaderTO = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard); 0 disables")
+		readTO       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout; 0 disables")
+		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections; 0 disables")
+		requestTO    = flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (503 past it); 0 disables")
+		maxInflight  = flag.Int("max-inflight", 1024, "per-route concurrent request cap; excess is shed with 429; 0 disables")
+		idemCap      = flag.Int("idempotency-capacity", 0, "Idempotency-Key replay cache entries; 0 = default (4096), negative disables")
 	)
 	flag.Parse()
 
@@ -98,16 +110,23 @@ func main() {
 	logger = l.With("service", "hcservd")
 	slog.SetDefault(logger)
 
+	syncPolicy, err := store.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fatal("invalid -wal-sync", "err", err)
+	}
+
 	cfg := core.DefaultConfig()
 	cfg.LeaseTTL = *leaseTTL
 	cfg.Shards = *shards
 	cfg.TraceCapacity = *traceCap
 
-	// Recovery order: snapshot first, then the WAL tail written after it,
-	// then a fresh snapshot so the WAL can start empty.
+	// Recovery order: snapshot first, then the WAL tail written after it
+	// (torn or corrupt tails are truncated, not fatal), then a fresh
+	// snapshot so the WAL can start empty.
 	var (
-		wal     *store.WAL
-		walFile *os.File
+		wal      *store.WAL
+		walFile  *os.File
+		walStats *store.ReplayStats
 	)
 	sys := core.New(cfg)
 	logger.Info("dispatch core ready", "shards", sys.Shards())
@@ -117,14 +136,20 @@ func main() {
 		}
 	}
 	if *walPath != "" {
-		if tail, err := os.Open(*walPath); err == nil {
-			applied, rerr := store.ReplayWAL(tail, sys.Store())
+		if tail, err := os.OpenFile(*walPath, os.O_RDWR, 0); err == nil {
+			st, rerr := store.RecoverWAL(tail, sys.Store())
 			tail.Close()
 			if rerr != nil {
-				fatal("replaying wal", "err", rerr)
+				fatal("recovering wal", "err", rerr)
 			}
-			if applied > 0 {
-				logger.Info("replayed wal events", "events", applied)
+			walStats = &st
+			if st.TruncatedBytes > 0 {
+				logger.Warn("truncated damaged wal tail",
+					"bytes", st.TruncatedBytes, "good_bytes", st.GoodBytes)
+			}
+			if st.Applied > 0 {
+				logger.Info("replayed wal events",
+					"events", st.Applied, "legacy_v1", st.LegacyEvents)
 				if err := sys.RequeueOpen(); err != nil {
 					fatal("requeueing after wal replay", "err", err)
 				}
@@ -142,8 +167,13 @@ func main() {
 			fatal("creating wal", "err", err)
 		}
 		defer walFile.Close()
-		wal = store.NewWAL(walFile)
+		wal = store.NewWALWith(walFile, store.WALOptions{
+			Policy:   syncPolicy,
+			Interval: *walSyncIv,
+		})
+		defer wal.Close()
 		cfg.Journal = wal
+		logger.Info("wal open", "path", *walPath, "sync", syncPolicy.String())
 		// Rebuild the system with the journal attached, re-adopting the
 		// recovered store contents.
 		recovered := sys
@@ -167,7 +197,14 @@ func main() {
 		}
 	}()
 
-	opts := dispatch.Options{RatePerSec: *rate, Burst: *burst, Logger: logger}
+	opts := dispatch.Options{
+		RatePerSec:          *rate,
+		Burst:               *burst,
+		Logger:              logger,
+		RequestTimeout:      *requestTO,
+		MaxInFlight:         *maxInflight,
+		IdempotencyCapacity: *idemCap,
+	}
 	if *apiKeys != "" {
 		// Trim and drop empty entries so "a,b," never registers the empty
 		// string as a valid key (which would admit unauthenticated requests).
@@ -181,18 +218,36 @@ func main() {
 		}
 	}
 	api := dispatch.NewServerWith(sys, opts)
-	srv := &http.Server{Addr: *addr, Handler: api}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: *readHeaderTO,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
+	}
 
-	// ready flips once the API listener is up; /readyz serves 503 before.
+	// ready flips once the API listener is up; /readyz serves 503 before —
+	// and degrades again if the WAL write path starts failing, pulling the
+	// instance out of rotation before it can lose acknowledged work.
 	var ready atomic.Bool
+	readyProbe := func() bool {
+		if !ready.Load() {
+			return false
+		}
+		return wal == nil || wal.Healthy()
+	}
 	var admin *http.Server
 	if *adminAddr != "" {
 		admin = &http.Server{
 			Addr: *adminAddr,
 			Handler: dispatch.NewAdminHandler(sys, api, dispatch.AdminOptions{
-				WAL:   wal,
-				Ready: ready.Load,
+				WAL:         wal,
+				WALRecovery: walStats,
+				Ready:       readyProbe,
 			}),
+			ReadHeaderTimeout: *readHeaderTO,
+			ReadTimeout:       *readTO,
+			IdleTimeout:       *idleTO,
 		}
 		go func() {
 			logger.Info("admin listening", "addr", *adminAddr)
@@ -225,6 +280,11 @@ func main() {
 	if admin != nil {
 		if err := admin.Shutdown(ctx); err != nil {
 			logger.Warn("admin shutdown", "err", err)
+		}
+	}
+	if wal != nil {
+		if err := wal.Close(); err != nil {
+			logger.Warn("closing wal", "err", err)
 		}
 	}
 	if *snapshot != "" {
@@ -262,6 +322,10 @@ func restore(sys *core.System, path string) error {
 	return sys.RequeueOpen()
 }
 
+// save checkpoints atomically: write to a temp file, fsync it, rename
+// over the target, fsync the directory. A crash at any point leaves
+// either the old snapshot or the new one — never a truncated file that
+// would poison the next boot.
 func save(sys *core.System, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -272,8 +336,25 @@ func save(sys *core.System, path string) error {
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	// Persist the rename itself; without this a power loss can forget the
+	// directory entry even though both files were written.
+	if err := dir.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
 }

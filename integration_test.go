@@ -98,12 +98,12 @@ func TestServiceLifecycleWithJournalRecovery(t *testing.T) {
 
 	// Recovery: a brand-new system, journal replay only.
 	recovered := core.New(core.DefaultConfig())
-	applied, err := store.ReplayWAL(bytes.NewReader(journal.Bytes()), recovered.Store())
+	rep, err := store.ReplayWAL(bytes.NewReader(journal.Bytes()), recovered.Store())
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	if applied != nTasks+answered {
-		t.Fatalf("replayed %d events, want %d", applied, nTasks+answered)
+	if rep.Applied != nTasks+answered {
+		t.Fatalf("replayed %d events, want %d", rep.Applied, nTasks+answered)
 	}
 	if err := recovered.RequeueOpen(); err != nil {
 		t.Fatal(err)

@@ -12,11 +12,18 @@ import (
 
 // AdminOptions configures the admin/debug handler.
 type AdminOptions struct {
-	// WAL, when set, contributes write-ahead log growth metrics
-	// (hc_wal_events_total, hc_wal_bytes_total).
+	// WAL, when set, contributes write-ahead log growth and health
+	// metrics (hc_wal_events_total, hc_wal_bytes_total,
+	// hc_wal_append_failures_total, hc_wal_healthy).
 	WAL *store.WAL
+	// WALRecovery, when set, exports what boot-time recovery found:
+	// hc_wal_recovered_events (applied from the surviving log) and
+	// hc_wal_truncated_bytes (torn/corrupt tail cut off).
+	WALRecovery *store.ReplayStats
 	// Ready gates /readyz: the probe returns 200 once Ready reports true
-	// and 503 before. Nil means always ready.
+	// and 503 before. Wire WAL health into it (hcservd does) so a dying
+	// write path pulls the instance out of rotation before it loses
+	// acknowledged work. Nil means always ready.
 	Ready func() bool
 }
 
@@ -128,15 +135,36 @@ func promFamilies(sys *core.System, api *Server, opts AdminOptions) []metrics.Pr
 	)
 
 	if opts.WAL != nil {
+		healthy := 0.0
+		if opts.WAL.Healthy() {
+			healthy = 1.0
+		}
 		fams = append(fams,
 			metrics.PromCounterFamily("hc_wal_events_total",
 				"Events appended to the write-ahead log since open.", opts.WAL.Len()),
 			metrics.PromCounterFamily("hc_wal_bytes_total",
 				"Bytes appended to the write-ahead log since open.", opts.WAL.Size()),
+			metrics.PromCounterFamily("hc_wal_append_failures_total",
+				"WAL appends or fsyncs that returned an error.", opts.WAL.Failures()),
+			metrics.PromGaugeFamily("hc_wal_healthy",
+				"1 while the WAL write path works, 0 after a failure.", healthy),
+		)
+	}
+
+	if opts.WALRecovery != nil {
+		fams = append(fams,
+			metrics.PromCounterFamily("hc_wal_recovered_events",
+				"Events replayed from the write-ahead log at boot.", int64(opts.WALRecovery.Applied)),
+			metrics.PromCounterFamily("hc_wal_truncated_bytes",
+				"Torn or corrupt WAL tail bytes cut off at boot recovery.", opts.WALRecovery.TruncatedBytes),
 		)
 	}
 
 	if api != nil {
+		if api.idem != nil {
+			fams = append(fams, metrics.PromGaugeFamily("hc_idempotency_cached_responses",
+				"Completed responses retained for Idempotency-Key replay.", float64(api.idem.len())))
+		}
 		fams = append(fams, routeFamilies(api.stats.snapshot())...)
 	}
 	return fams

@@ -23,6 +23,17 @@ type Options struct {
 	// Logger receives structured request and error logs. Nil discards
 	// them, which keeps tests and embedded uses quiet by default.
 	Logger *slog.Logger
+	// RequestTimeout bounds each request end to end; a handler still
+	// running at the deadline is cut off with a 503. 0 disables.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing requests per route. Excess
+	// load is shed immediately with 429 + Retry-After instead of
+	// queueing. 0 disables.
+	MaxInFlight int
+	// IdempotencyCapacity bounds the completed-response LRU behind
+	// Idempotency-Key replay on submit/answer routes. 0 selects the
+	// default (4096 entries); negative disables replay.
+	IdempotencyCapacity int
 }
 
 // limiterStripes is the number of independently locked token-bucket
@@ -125,6 +136,9 @@ func (a *authLimiter) wrap(h http.HandlerFunc) http.HandlerFunc {
 		}
 		if a.limiter != nil {
 			if !a.limiter.Allow(principal, time.Now()) {
+				// The hint a well-behaved client (Client's retry loop
+				// included) waits out before trying again.
+				w.Header().Set("Retry-After", "1")
 				writeJSON(w, http.StatusTooManyRequests, errorResponse{
 					Error: "dispatch: rate limit exceeded", RequestID: requestIDOf(r)})
 				return

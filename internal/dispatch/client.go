@@ -2,11 +2,15 @@ package dispatch
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"time"
 
 	"humancomp/internal/core"
 	"humancomp/internal/queue"
@@ -23,6 +27,10 @@ type APIError struct {
 	Status    int
 	Message   string
 	RequestID string
+
+	// retryAfter carries the response's parsed Retry-After hint into the
+	// retry loop.
+	retryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -33,48 +41,220 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("dispatch: server returned %d: %s", e.Status, e.Message)
 }
 
+// RetryPolicy configures the client's retry loop. Retries fire only on
+// transport errors and on 429/502/503/504 responses — the statuses that
+// mean "not now", never on application errors — with exponential backoff,
+// full jitter, and the server's Retry-After honored as a lower bound.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values below 2 disable retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff; 0 selects 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep; 0 selects 5s.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy NewResilientClient installs: four attempts,
+// 100ms base, 5s cap.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+
+// ClientOptions configures optional client behavior.
+type ClientOptions struct {
+	// Retry selects the retry policy; the zero value performs exactly one
+	// attempt per call.
+	Retry RetryPolicy
+}
+
 // Client is a typed client for the dispatch API. Every request carries a
 // generated X-Request-Id, so client- and server-side records of one
-// exchange can be joined.
+// exchange can be joined. Submit and Answer calls additionally carry an
+// Idempotency-Key that stays constant across retries of one logical call,
+// so a retried submission can never create a second task and a retried
+// answer can never be double-counted.
 type Client struct {
 	baseURL string
 	http    *http.Client
+	retry   RetryPolicy
 	// newID overrides request-ID generation; tests pin it for
 	// deterministic propagation checks.
 	newID func() string
+	// newIdemKey overrides idempotency-key generation (one key per
+	// logical mutating call, constant across its retries).
+	newIdemKey func() string
+	// sleep waits between attempts; tests replace it to run instantly.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // NewClient returns a client for the service at baseURL (no trailing
-// slash). A nil httpClient uses http.DefaultClient.
+// slash). A nil httpClient uses http.DefaultClient. The client performs no
+// retries; see NewClientWith / NewResilientClient.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
+	return NewClientWith(baseURL, httpClient, ClientOptions{})
+}
+
+// NewResilientClient returns a client with the default retry policy.
+func NewResilientClient(baseURL string, httpClient *http.Client) *Client {
+	return NewClientWith(baseURL, httpClient, ClientOptions{Retry: DefaultRetry})
+}
+
+// NewClientWith returns a client with explicit options.
+func NewClientWith(baseURL string, httpClient *http.Client, opts ClientOptions) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{baseURL: baseURL, http: httpClient, newID: newRequestID}
+	return &Client{
+		baseURL:    baseURL,
+		http:       httpClient,
+		retry:      opts.Retry,
+		newID:      newRequestID,
+		newIdemKey: newRequestID,
+		sleep:      sleepCtx,
+	}
 }
 
-func (c *Client) do(method, path string, in, out any) (int, error) {
-	var body io.Reader
+// sleepCtx waits d or until the context ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryableStatus reports whether an HTTP status signals a transient
+// condition worth retrying.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter decodes a Retry-After header: delta-seconds or an HTTP
+// date. 0 means absent or unusable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// backoff computes the sleep before attempt number `next` (1-based over
+// retries): full jitter over an exponentially growing window, floored at
+// the server's Retry-After when one was given.
+func (c *Client) backoff(next int, retryAfter time.Duration) time.Duration {
+	base := c.retry.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := c.retry.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	window := base << (next - 1)
+	if window > maxd || window <= 0 {
+		window = maxd
+	}
+	d := time.Duration(rand.Float64() * float64(window))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// do runs one logical API call: marshal once, then attempt the exchange up
+// to MaxAttempts times. The request body is a rewindable bytes.Reader
+// rebuilt per attempt, and every response body is drained and closed so
+// the transport can reuse connections across retries.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idemKey string) (int, error) {
+	var payload []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
+		var err error
+		payload, err = json.Marshal(in)
 		if err != nil {
 			return 0, fmt.Errorf("dispatch: encoding request: %w", err)
 		}
-		body = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, c.baseURL+path, body)
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var (
+		status  int
+		lastErr error
+	)
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			retryAfter := time.Duration(0)
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) {
+				retryAfter = apiErr.retryAfter
+			}
+			if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+				// Joined so callers can match either the cancellation or
+				// the underlying failure that was being retried.
+				return status, errors.Join(err, lastErr)
+			}
+		}
+		var retryable bool
+		status, retryable, lastErr = c.attempt(ctx, method, path, payload, out, idemKey)
+		if lastErr == nil || !retryable {
+			return status, lastErr
+		}
+		if ctx.Err() != nil {
+			return status, lastErr
+		}
+	}
+	return status, lastErr
+}
+
+// attempt performs one HTTP exchange.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any, idemKey string) (status int, retryable bool, err error) {
+	var body io.Reader
+	if payload != nil {
+		// *bytes.Reader makes net/http set ContentLength and GetBody, so
+		// the transport can replay the body after a dropped connection.
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(requestIDHeader, c.newID())
+	if idemKey != "" {
+		req.Header.Set(idempotencyKeyHeader, idemKey)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return 0, err
+		// Transport-level failure: retryable unless the context ended.
+		return 0, ctx.Err() == nil, err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain before closing so the keep-alive connection is reusable
+		// by the next attempt.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
 	if resp.StatusCode >= 400 {
 		var apiErr errorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
@@ -82,21 +262,48 @@ func (c *Client) do(method, path string, in, out any) (int, error) {
 		if rid == "" {
 			rid = resp.Header.Get(requestIDHeader)
 		}
-		return resp.StatusCode, &APIError{Status: resp.StatusCode, Message: apiErr.Error, RequestID: rid}
+		e := &APIError{
+			Status:     resp.StatusCode,
+			Message:    apiErr.Error,
+			RequestID:  rid,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+		return resp.StatusCode, retryableStatus(resp.StatusCode), e
 	}
 	if out != nil && resp.StatusCode != http.StatusNoContent {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, fmt.Errorf("dispatch: decoding response: %w", err)
+			return resp.StatusCode, false, fmt.Errorf("dispatch: decoding response: %w", err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, false, nil
+}
+
+// SubmitContext creates a task and returns its ID. The call carries an
+// idempotency key: if it is retried (by this client or after a dropped
+// response), the service replays the original response instead of creating
+// a second task.
+func (c *Client) SubmitContext(ctx context.Context, kind task.Kind, p task.Payload, redundancy, priority int) (task.ID, error) {
+	req := SubmitRequest{Kind: kind.String(), Payload: p, Redundancy: redundancy, Priority: priority}
+	var resp SubmitResponse
+	if _, err := c.do(ctx, http.MethodPost, "/v1/tasks", req, &resp, c.newIdemKey()); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
 }
 
 // Submit creates a task and returns its ID.
 func (c *Client) Submit(kind task.Kind, p task.Payload, redundancy, priority int) (task.ID, error) {
-	req := SubmitRequest{Kind: kind.String(), Payload: p, Redundancy: redundancy, Priority: priority}
+	return c.SubmitContext(context.Background(), kind, p, redundancy, priority)
+}
+
+// SubmitGoldContext creates a gold probe task with a known expected answer.
+func (c *Client) SubmitGoldContext(ctx context.Context, kind task.Kind, p task.Payload, redundancy, priority int, expected task.Answer) (task.ID, error) {
+	req := SubmitRequest{
+		Kind: kind.String(), Payload: p, Redundancy: redundancy, Priority: priority,
+		Gold: true, Expected: &expected,
+	}
 	var resp SubmitResponse
-	if _, err := c.do(http.MethodPost, "/v1/tasks", req, &resp); err != nil {
+	if _, err := c.do(ctx, http.MethodPost, "/v1/tasks", req, &resp, c.newIdemKey()); err != nil {
 		return 0, err
 	}
 	return resp.ID, nil
@@ -104,22 +311,14 @@ func (c *Client) Submit(kind task.Kind, p task.Payload, redundancy, priority int
 
 // SubmitGold creates a gold probe task with a known expected answer.
 func (c *Client) SubmitGold(kind task.Kind, p task.Payload, redundancy, priority int, expected task.Answer) (task.ID, error) {
-	req := SubmitRequest{
-		Kind: kind.String(), Payload: p, Redundancy: redundancy, Priority: priority,
-		Gold: true, Expected: &expected,
-	}
-	var resp SubmitResponse
-	if _, err := c.do(http.MethodPost, "/v1/tasks", req, &resp); err != nil {
-		return 0, err
-	}
-	return resp.ID, nil
+	return c.SubmitGoldContext(context.Background(), kind, p, redundancy, priority, expected)
 }
 
-// Next leases the next available task for workerID, returning a snapshot
-// of it. It returns ErrNoTask when nothing is available.
-func (c *Client) Next(workerID string) (task.View, queue.LeaseID, error) {
+// NextContext leases the next available task for workerID, returning a
+// snapshot of it. It returns ErrNoTask when nothing is available.
+func (c *Client) NextContext(ctx context.Context, workerID string) (task.View, queue.LeaseID, error) {
 	var resp NextResponse
-	status, err := c.do(http.MethodPost, "/v1/next", NextRequest{WorkerID: workerID}, &resp)
+	status, err := c.do(ctx, http.MethodPost, "/v1/next", NextRequest{WorkerID: workerID}, &resp, "")
 	if err != nil {
 		return task.View{}, 0, err
 	}
@@ -129,72 +328,124 @@ func (c *Client) Next(workerID string) (task.View, queue.LeaseID, error) {
 	return resp.Task, resp.Lease, nil
 }
 
+// Next leases the next available task for workerID, returning a snapshot
+// of it. It returns ErrNoTask when nothing is available.
+func (c *Client) Next(workerID string) (task.View, queue.LeaseID, error) {
+	return c.NextContext(context.Background(), workerID)
+}
+
+// AnswerContext submits the answer for a lease, idempotently across
+// retries.
+func (c *Client) AnswerContext(ctx context.Context, lease queue.LeaseID, a task.Answer) error {
+	_, err := c.do(ctx, http.MethodPost, fmt.Sprintf("/v1/leases/%d", lease), AnswerRequest{Answer: a}, nil, c.newIdemKey())
+	return err
+}
+
 // Answer submits the answer for a lease.
 func (c *Client) Answer(lease queue.LeaseID, a task.Answer) error {
-	_, err := c.do(http.MethodPost, fmt.Sprintf("/v1/leases/%d", lease), AnswerRequest{Answer: a}, nil)
+	return c.AnswerContext(context.Background(), lease, a)
+}
+
+// ReleaseContext returns a lease unanswered.
+func (c *Client) ReleaseContext(ctx context.Context, lease queue.LeaseID) error {
+	_, err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/leases/%d", lease), nil, nil, "")
 	return err
 }
 
 // Release returns a lease unanswered.
 func (c *Client) Release(lease queue.LeaseID) error {
-	_, err := c.do(http.MethodDelete, fmt.Sprintf("/v1/leases/%d", lease), nil, nil)
-	return err
+	return c.ReleaseContext(context.Background(), lease)
 }
 
-// Task fetches a snapshot of a task with its answers.
-func (c *Client) Task(id task.ID) (task.View, error) {
+// TaskContext fetches a snapshot of a task with its answers.
+func (c *Client) TaskContext(ctx context.Context, id task.ID) (task.View, error) {
 	var t task.View
-	if _, err := c.do(http.MethodGet, fmt.Sprintf("/v1/tasks/%d", id), nil, &t); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/tasks/%d", id), nil, &t, ""); err != nil {
 		return task.View{}, err
 	}
 	return t, nil
 }
 
+// Task fetches a snapshot of a task with its answers.
+func (c *Client) Task(id task.ID) (task.View, error) {
+	return c.TaskContext(context.Background(), id)
+}
+
+// CancelContext cancels an open task.
+func (c *Client) CancelContext(ctx context.Context, id task.ID) error {
+	_, err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/tasks/%d", id), nil, nil, "")
+	return err
+}
+
 // Cancel cancels an open task.
 func (c *Client) Cancel(id task.ID) error {
-	_, err := c.do(http.MethodDelete, fmt.Sprintf("/v1/tasks/%d", id), nil, nil)
-	return err
+	return c.CancelContext(context.Background(), id)
+}
+
+// TraceContext fetches the retained lifecycle events of a task, oldest
+// first.
+func (c *Client) TraceContext(ctx context.Context, id task.ID) (TraceResponse, error) {
+	var out TraceResponse
+	if _, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/tasks/%d/trace", id), nil, &out, ""); err != nil {
+		return TraceResponse{}, err
+	}
+	return out, nil
 }
 
 // Trace fetches the retained lifecycle events of a task, oldest first.
 func (c *Client) Trace(id task.ID) (TraceResponse, error) {
-	var out TraceResponse
-	if _, err := c.do(http.MethodGet, fmt.Sprintf("/v1/tasks/%d/trace", id), nil, &out); err != nil {
-		return TraceResponse{}, err
+	return c.TraceContext(context.Background(), id)
+}
+
+// WordsContext fetches the aggregated word votes of a label/describe task.
+func (c *Client) WordsContext(ctx context.Context, id task.ID) ([]core.WordCount, error) {
+	var out []core.WordCount
+	if _, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/tasks/%d/words", id), nil, &out, ""); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Words fetches the aggregated word votes of a label/describe task.
 func (c *Client) Words(id task.ID) ([]core.WordCount, error) {
-	var out []core.WordCount
-	if _, err := c.do(http.MethodGet, fmt.Sprintf("/v1/tasks/%d/words", id), nil, &out); err != nil {
-		return nil, err
+	return c.WordsContext(context.Background(), id)
+}
+
+// ChoiceContext fetches the aggregated choice of a compare/judge task.
+func (c *Client) ChoiceContext(ctx context.Context, id task.ID) (core.ChoiceResult, error) {
+	var out core.ChoiceResult
+	if _, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/tasks/%d/choice", id), nil, &out, ""); err != nil {
+		return core.ChoiceResult{}, err
 	}
 	return out, nil
 }
 
 // Choice fetches the aggregated choice of a compare/judge task.
 func (c *Client) Choice(id task.ID) (core.ChoiceResult, error) {
-	var out core.ChoiceResult
-	if _, err := c.do(http.MethodGet, fmt.Sprintf("/v1/tasks/%d/choice", id), nil, &out); err != nil {
-		return core.ChoiceResult{}, err
+	return c.ChoiceContext(context.Background(), id)
+}
+
+// StatsContext fetches system counters.
+func (c *Client) StatsContext(ctx context.Context) (core.Stats, error) {
+	var out core.Stats
+	if _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out, ""); err != nil {
+		return core.Stats{}, err
 	}
 	return out, nil
 }
 
 // Stats fetches system counters.
 func (c *Client) Stats() (core.Stats, error) {
-	var out core.Stats
-	if _, err := c.do(http.MethodGet, "/v1/stats", nil, &out); err != nil {
-		return core.Stats{}, err
-	}
-	return out, nil
+	return c.StatsContext(context.Background())
 }
 
-// Healthy reports whether the service answers its liveness probe.
-func (c *Client) Healthy() bool {
-	resp, err := c.http.Get(c.baseURL + "/healthz")
+// HealthyContext reports whether the service answers its liveness probe.
+func (c *Client) HealthyContext(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return false
 	}
@@ -203,11 +454,33 @@ func (c *Client) Healthy() bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// Healthy reports whether the service answers its liveness probe.
+func (c *Client) Healthy() bool { return c.HealthyContext(context.Background()) }
+
+// MetricsContext fetches per-endpoint request metrics from the service.
+func (c *Client) MetricsContext(ctx context.Context) ([]RouteMetrics, error) {
+	var out []RouteMetrics
+	if _, err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out, ""); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Metrics fetches per-endpoint request metrics from the service.
 func (c *Client) Metrics() ([]RouteMetrics, error) {
-	var out []RouteMetrics
-	if _, err := c.do(http.MethodGet, "/v1/metrics", nil, &out); err != nil {
-		return nil, err
+	return c.MetricsContext(context.Background())
+}
+
+// ListTasksContext fetches a page of tasks, optionally filtered by status
+// ("open", "done", "canceled"; empty for all).
+func (c *Client) ListTasksContext(ctx context.Context, status string, offset, limit int) (TaskList, error) {
+	path := fmt.Sprintf("/v1/tasks?offset=%d&limit=%d", offset, limit)
+	if status != "" {
+		path += "&status=" + status
+	}
+	var out TaskList
+	if _, err := c.do(ctx, http.MethodGet, path, nil, &out, ""); err != nil {
+		return TaskList{}, err
 	}
 	return out, nil
 }
@@ -215,13 +488,5 @@ func (c *Client) Metrics() ([]RouteMetrics, error) {
 // ListTasks fetches a page of tasks, optionally filtered by status
 // ("open", "done", "canceled"; empty for all).
 func (c *Client) ListTasks(status string, offset, limit int) (TaskList, error) {
-	path := fmt.Sprintf("/v1/tasks?offset=%d&limit=%d", offset, limit)
-	if status != "" {
-		path += "&status=" + status
-	}
-	var out TaskList
-	if _, err := c.do(http.MethodGet, path, nil, &out); err != nil {
-		return TaskList{}, err
-	}
-	return out, nil
+	return c.ListTasksContext(context.Background(), status, offset, limit)
 }

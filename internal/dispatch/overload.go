@@ -1,0 +1,62 @@
+package dispatch
+
+import (
+	"net/http"
+	"time"
+)
+
+// shedder is a per-route concurrency limiter: requests beyond the cap are
+// shed immediately with 429 and a Retry-After hint instead of queueing,
+// so a traffic spike degrades into fast, retryable rejections rather than
+// a convoy of slow requests holding every connection open.
+type shedder struct {
+	sem chan struct{}
+}
+
+// newShedder returns a limiter admitting up to n concurrent requests, or
+// nil (no limiting) for n <= 0.
+func newShedder(n int) *shedder {
+	if n <= 0 {
+		return nil
+	}
+	return &shedder{sem: make(chan struct{}, n)}
+}
+
+// wrap guards h with the concurrency cap.
+func (s *shedder) wrap(h http.HandlerFunc) http.HandlerFunc {
+	if s == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{
+				Error: "dispatch: server overloaded, retry later", RequestID: requestIDOf(r)})
+		}
+	}
+}
+
+// inFlight returns the number of requests currently admitted.
+func (s *shedder) inFlight() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.sem)
+}
+
+// withTimeout bounds a handler's total run time. It leans on
+// http.TimeoutHandler, which runs the handler in a goroutine with a
+// buffered response and answers 503 itself when the deadline passes —
+// the only race-safe way to cut off a handler that is still writing.
+// d <= 0 disables the bound.
+func withTimeout(d time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	if d <= 0 {
+		return h
+	}
+	th := http.TimeoutHandler(h, d, `{"error":"dispatch: request timed out"}`)
+	return func(w http.ResponseWriter, r *http.Request) { th.ServeHTTP(w, r) }
+}

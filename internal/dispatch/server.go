@@ -115,6 +115,7 @@ type Server struct {
 	handler http.Handler // mux wrapped with the request-ID middleware
 	stats   *endpointStats
 	logger  *slog.Logger
+	idem    *idemCache // Idempotency-Key replay cache; nil when disabled
 }
 
 // NewServer returns a ready-to-serve open dispatch server over sys. Every
@@ -130,11 +131,23 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 		logger = DiscardLogger()
 	}
 	s := &Server{sys: sys, mux: http.NewServeMux(), stats: newEndpointStats(), logger: logger}
+	if opts.IdempotencyCapacity >= 0 {
+		s.idem = newIdemCache(opts.IdempotencyCapacity)
+	}
 	guard := newAuthLimiter(opts)
+	// Middleware order, outermost first: request ID (whole mux), auth/rate
+	// limit, metrics+log, concurrency shedding, request timeout, then —
+	// on the mutating routes — idempotency replay around the handler, so
+	// a replayed response is counted and logged like any other.
 	route := func(pattern string, h http.HandlerFunc) {
+		h = withTimeout(opts.RequestTimeout, h)
+		h = newShedder(opts.MaxInFlight).wrap(h) // one limiter per route
 		s.mux.HandleFunc(pattern, guard.wrap(s.instrument(pattern, h)))
 	}
-	route("POST /v1/tasks", s.handleSubmit)
+	routeIdem := func(pattern string, h http.HandlerFunc) {
+		route(pattern, s.idem.wrap(pattern, h))
+	}
+	routeIdem("POST /v1/tasks", s.handleSubmit)
 	route("GET /v1/tasks", s.handleListTasks)
 	route("GET /v1/tasks/{id}", s.handleGetTask)
 	route("DELETE /v1/tasks/{id}", s.handleCancel)
@@ -142,7 +155,7 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	route("GET /v1/tasks/{id}/choice", s.handleChoice)
 	route("GET /v1/tasks/{id}/trace", s.handleTrace)
 	route("POST /v1/next", s.handleNext)
-	route("POST /v1/leases/{id}", s.handleAnswer)
+	routeIdem("POST /v1/leases/{id}", s.handleAnswer)
 	route("DELETE /v1/leases/{id}", s.handleRelease)
 	route("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", guard.wrap(s.handleMetrics))

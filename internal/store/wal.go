@@ -2,26 +2,136 @@ package store
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"humancomp/internal/task"
 )
 
+// WAL format v2: an 8-byte file header (magic "HCWL", little-endian uint16
+// version, two reserved zero bytes) followed by length-prefixed,
+// CRC32C-checksummed records:
+//
+//	uint32 LE  payload length
+//	uint32 LE  CRC32C (Castagnoli) of the payload
+//	payload    one JSON-encoded Event
+//
+// The checksum makes every torn or bit-flipped record detectable, so
+// recovery scans forward, applies the longest valid prefix, and truncates
+// at the first record that fails to frame or verify — a crash mid-append
+// can only ever lose the one record that was never acknowledged. Legacy v1
+// logs (bare JSON lines, no header) are replayed transparently; a v1 file
+// that later gained a v2 section (an in-place upgrade) switches formats at
+// the header.
+var walMagic = [8]byte{'H', 'C', 'W', 'L', 2, 0, 0, 0}
+
+// walRecordHeader is the per-record framing overhead: length + checksum.
+const walRecordHeader = 8
+
+// maxWALRecord bounds a single record payload; a length prefix above it is
+// treated as corruption, not an allocation request.
+const maxWALRecord = 16 << 20
+
+// castagnoli is the CRC32C polynomial table, shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) acknowledges an append once the bytes are
+	// handed to the OS and fsyncs in the background every SyncInterval: a
+	// process crash loses nothing, a machine crash loses at most one
+	// interval.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs before acknowledging. Concurrent appends share one
+	// fsync (group commit): the first writer into the sync section flushes
+	// everything written so far, and the rest observe their record already
+	// durable and return without their own fsync.
+	SyncAlways
+	// SyncNever never fsyncs; durability is whatever the OS page cache
+	// provides. For benchmarks and tests.
+	SyncNever
+)
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown sync policy %q (want always, interval or never)", s)
+}
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// Syncer is the subset of *os.File the WAL needs for durability.
+type Syncer interface{ Sync() error }
+
+// WALOptions configures a write-ahead log writer.
+type WALOptions struct {
+	// Policy selects the fsync discipline. Without a Syncer (and the
+	// writer not being one), every policy degrades to flush-only.
+	Policy SyncPolicy
+	// Interval is the background fsync period under SyncInterval;
+	// 0 selects 100ms.
+	Interval time.Duration
+	// Syncer overrides fsync target detection; nil type-asserts the
+	// writer itself.
+	Syncer Syncer
+}
+
 // WAL is a write-ahead log of task events: every submission, answer and
-// cancellation is appended as one JSON line before it is acknowledged, so a
-// crashed service replays the log and loses nothing since the last
-// snapshot. Snapshots (Store.Snapshot) bound replay length; the WAL covers
-// the tail.
+// cancellation is appended as one checksummed record before it is
+// acknowledged, so a crashed service replays the log and loses nothing
+// since the last snapshot. Snapshots (Store.Snapshot) bound replay length;
+// the WAL covers the tail.
 type WAL struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
-	n     int64
-	bytes int64
+	mu       sync.Mutex
+	w        *bufio.Writer
+	n        int64
+	bytes    int64
+	wroteHdr bool
+	writeSeq int64 // appends flushed to the OS
+	lastErr  error // most recent append/sync failure; nil once healthy again
+
+	policy SyncPolicy
+	syncer Syncer
+
+	// syncMu serializes fsyncs for group commit; syncedSeq (guarded by it)
+	// is the highest writeSeq known durable.
+	syncMu    sync.Mutex
+	syncedSeq int64
+	dirty     bool // flushed bytes not yet fsynced, guarded by mu
+
+	failures atomic.Int64 // appends or syncs that returned an error
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 }
 
 // EventKind tags a WAL record.
@@ -44,16 +154,42 @@ type Event struct {
 	Answer *task.Answer `json:"answer,omitempty"`  // answer
 }
 
-// NewWAL returns a log appending to w.
-func NewWAL(w io.Writer) *WAL {
-	return &WAL{w: bufio.NewWriter(w)}
+// NewWAL returns a log appending v2 records to w with no fsync of its own
+// (w is usually a buffer or an already-durable sink). Use NewWALWith for a
+// file with a durability policy.
+func NewWAL(w io.Writer) *WAL { return NewWALWith(w, WALOptions{Policy: SyncNever}) }
+
+// NewWALWith returns a log appending to w under the given durability
+// options. When w is an *os.File (or anything with Sync), the policy's
+// fsyncs target it; otherwise fsync degrades to a no-op. Call Close to
+// stop the background sync loop and flush the tail.
+func NewWALWith(w io.Writer, opts WALOptions) *WAL {
+	l := &WAL{
+		w:      bufio.NewWriter(w),
+		policy: opts.Policy,
+		syncer: opts.Syncer,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if l.syncer == nil {
+		l.syncer, _ = w.(Syncer)
+	}
+	if l.syncer != nil && l.policy == SyncInterval {
+		interval := opts.Interval
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		go l.syncLoop(interval)
+	} else {
+		close(l.done)
+	}
+	return l
 }
 
-// Append writes one event and flushes it. The write is acknowledged only
-// after the buffered writer has handed the bytes to the underlying writer.
+// Append writes one event, flushes it to the OS and — under SyncAlways —
+// fsyncs (sharing the fsync with concurrent appends) before returning.
+// An event is acknowledged if and only if Append returns nil.
 func (l *WAL) Append(e Event) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if err := validateEvent(e); err != nil {
 		return err
 	}
@@ -61,15 +197,120 @@ func (l *WAL) Append(e Event) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding wal event: %w", err)
 	}
-	if _, err := l.w.Write(append(enc, '\n')); err != nil {
+	l.mu.Lock()
+	if err := l.writeRecord(enc); err != nil {
+		l.lastErr = err
+		l.mu.Unlock()
+		l.failures.Add(1)
+		return err
+	}
+	l.lastErr = nil
+	seq := l.writeSeq
+	l.mu.Unlock()
+	if l.policy == SyncAlways && l.syncer != nil {
+		if err := l.syncTo(seq); err != nil {
+			l.mu.Lock()
+			l.lastErr = err
+			l.mu.Unlock()
+			l.failures.Add(1)
+			return err
+		}
+	}
+	return nil
+}
+
+// writeRecord frames, writes and flushes one encoded event. Caller holds mu.
+func (l *WAL) writeRecord(payload []byte) error {
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("store: wal record of %d bytes exceeds limit", len(payload))
+	}
+	if !l.wroteHdr {
+		if _, err := l.w.Write(walMagic[:]); err != nil {
+			return err
+		}
+		l.wroteHdr = true
+		l.bytes += int64(len(walMagic))
+	}
+	var hdr [walRecordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
 		return err
 	}
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
 	l.n++
-	l.bytes += int64(len(enc)) + 1
+	l.writeSeq++
+	l.bytes += walRecordHeader + int64(len(payload))
+	l.dirty = true
 	return nil
+}
+
+// syncTo makes every append up to seq durable, batching concurrent callers
+// behind one fsync: whoever holds syncMu first syncs the current tail, and
+// later callers see syncedSeq already past their record.
+func (l *WAL) syncTo(seq int64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.syncedSeq >= seq {
+		return nil
+	}
+	l.mu.Lock()
+	cur := l.writeSeq
+	l.dirty = false
+	l.mu.Unlock()
+	if err := l.syncer.Sync(); err != nil {
+		return err
+	}
+	l.syncedSeq = cur
+	return nil
+}
+
+// syncLoop is the SyncInterval background fsync.
+func (l *WAL) syncLoop(interval time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			dirty := l.dirty
+			seq := l.writeSeq
+			l.mu.Unlock()
+			if !dirty {
+				continue
+			}
+			if err := l.syncTo(seq); err != nil {
+				l.mu.Lock()
+				l.lastErr = err
+				l.mu.Unlock()
+				l.failures.Add(1)
+			}
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Close stops the background sync loop and performs a final flush+fsync.
+// It does not close the underlying writer.
+func (l *WAL) Close() error {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+	l.mu.Lock()
+	err := l.w.Flush()
+	l.mu.Unlock()
+	if l.syncer != nil && l.policy != SyncNever {
+		if serr := l.syncer.Sync(); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // Len returns the number of events appended through this WAL instance.
@@ -80,13 +321,32 @@ func (l *WAL) Len() int64 {
 }
 
 // Size returns the number of bytes appended through this WAL instance
-// (newlines included). It measures log growth since open, not the size of
-// any pre-existing file contents.
+// (header and framing included). It measures log growth since open, not
+// the size of any pre-existing file contents.
 func (l *WAL) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.bytes
 }
+
+// Healthy reports whether the write path is working: true until an append
+// or fsync fails, true again once a later append succeeds. The service's
+// readiness probe degrades on false.
+func (l *WAL) Healthy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr == nil
+}
+
+// Err returns the most recent append/sync failure, or nil while healthy.
+func (l *WAL) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
+}
+
+// Failures returns how many appends or fsyncs have returned an error.
+func (l *WAL) Failures() int64 { return l.failures.Load() }
 
 func validateEvent(e Event) error {
 	switch e.Kind {
@@ -108,35 +368,213 @@ func validateEvent(e Event) error {
 	return nil
 }
 
-// ReplayWAL applies every event from r onto the store, in order. A record
-// that fails to apply (for example an answer to a task that already
-// finished in the snapshot) stops replay with an error describing the line;
-// a truncated trailing line — the usual crash artifact — is tolerated and
-// ends replay cleanly. It returns the number of applied events.
-func ReplayWAL(r io.Reader, s *Store) (int, error) {
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	applied := 0
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
+// ReplayStats describes one recovery pass over a log.
+type ReplayStats struct {
+	// Applied counts events replayed onto the store.
+	Applied int
+	// GoodBytes is the offset just past the last fully applied record —
+	// the truncation point when the tail is damaged.
+	GoodBytes int64
+	// TruncatedBytes counts bytes after GoodBytes that failed to frame,
+	// checksum or decode and were dropped. Non-zero means the log ended in
+	// a torn or corrupt record (the usual crash artifact).
+	TruncatedBytes int64
+	// LegacyEvents counts events applied from v1 JSON-line sections.
+	LegacyEvents int
+}
+
+// ReplayWAL applies every valid event from r onto the store, in order. It
+// reads both formats — v2 checksummed records and legacy v1 JSON lines —
+// switching at a v2 header if a v1 log was upgraded in place. Replay stops
+// at the first record that fails to frame, checksum or decode; everything
+// before it is applied, everything from it on is reported in
+// TruncatedBytes, and no error is returned for damage (an unacknowledged
+// tail is dropped by design). A structurally valid record that fails to
+// apply (an answer to a task the log never submitted, a duplicate submit)
+// is real inconsistency, not tearing, and fails replay with an error.
+func ReplayWAL(r io.Reader, s *Store) (ReplayStats, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var st ReplayStats
+	for {
+		head, err := br.Peek(len(walMagic))
+		if len(head) == 0 {
+			// Clean end of log (or an unreadable source; surface the
+			// latter).
+			if err != nil && err != io.EOF {
+				return st, err
+			}
+			return st, nil
+		}
+		if bytes.Equal(head, walMagic[:]) {
+			return replayV2(br, s, st)
+		}
+		if len(head) >= 4 && bytes.Equal(head[:4], walMagic[:4]) {
+			// A foreign or future "HCWL" header version: don't guess at
+			// its framing, treat the section as unreadable tail.
+			st, _, err := discardTail(br, st, 0)
+			return st, err
+		}
+		if v2RecordAt(br) {
+			// A v2 record stream without the file header: a log tail cut
+			// at a record boundary (snapshot + tail replay). The CRC has
+			// already vouched for the first record.
+			return replayV2Records(br, s, st)
+		}
+		if len(head) < len(walMagic) && !bytes.ContainsRune(head, '\n') {
+			// Short tail that is neither a complete header nor a complete
+			// v1 line: torn.
+			st, _, err := discardTail(br, st, 0)
+			return st, err
+		}
+		var ok bool
+		st, ok, err = replayV1Line(br, s, st)
+		if !ok || err != nil {
+			return st, err
+		}
+	}
+}
+
+// replayV1Line consumes one legacy JSON line. ok=false ends replay (stats
+// already account for the tail).
+func replayV1Line(br *bufio.Reader, s *Store, st ReplayStats) (ReplayStats, bool, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		// No trailing newline: torn final line, never acknowledged.
+		st.TruncatedBytes += int64(len(line))
+		return st, false, nil
+	}
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 {
+		st.GoodBytes += int64(len(line))
+		return st, true, nil
+	}
+	var e Event
+	if err := json.Unmarshal(trimmed, &e); err != nil {
+		// Corrupt line: stop here, drop it and everything after.
+		final, _, derr := discardTail(br, st, int64(len(line)))
+		return final, false, derr
+	}
+	if err := applyEvent(s, e); err != nil {
+		return st, false, fmt.Errorf("store: wal event %d: %w", st.Applied+1, err)
+	}
+	st.Applied++
+	st.LegacyEvents++
+	st.GoodBytes += int64(len(line))
+	return st, true, nil
+}
+
+// replayV2 consumes a v2 section: header then records until EOF or the
+// first damaged record.
+func replayV2(br *bufio.Reader, s *Store, st ReplayStats) (ReplayStats, error) {
+	if _, err := br.Discard(len(walMagic)); err != nil {
+		return st, err
+	}
+	st.GoodBytes += int64(len(walMagic))
+	return replayV2Records(br, s, st)
+}
+
+// replayV2Records decodes length-prefixed checksummed records until the
+// stream ends (cleanly or torn) or a record fails verification.
+func replayV2Records(br *bufio.Reader, s *Store, st ReplayStats) (ReplayStats, error) {
+	for {
+		var hdr [walRecordHeader]byte
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF {
+			return st, nil // clean end
+		}
+		if err == io.ErrUnexpectedEOF {
+			st.TruncatedBytes += int64(n)
+			return st, nil // torn record header
+		}
+		if err != nil {
+			return st, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxWALRecord {
+			st, _, err := discardTail(br, st, walRecordHeader)
+			return st, err
+		}
+		payload := make([]byte, length)
+		pn, err := io.ReadFull(br, payload)
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			st.TruncatedBytes += walRecordHeader + int64(pn)
+			return st, nil // torn payload
+		}
+		if err != nil {
+			return st, err
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			st, _, err := discardTail(br, st, walRecordHeader+int64(length))
+			return st, err
 		}
 		var e Event
-		if err := json.Unmarshal(line, &e); err != nil {
-			// A torn final line means the process died mid-append; the
-			// event was never acknowledged, so dropping it is correct.
-			return applied, nil
+		if err := json.Unmarshal(payload, &e); err != nil {
+			st, _, err := discardTail(br, st, walRecordHeader+int64(length))
+			return st, err
 		}
 		if err := applyEvent(s, e); err != nil {
-			return applied, fmt.Errorf("store: wal event %d: %w", applied+1, err)
+			return st, fmt.Errorf("store: wal event %d: %w", st.Applied+1, err)
 		}
-		applied++
+		st.Applied++
+		st.GoodBytes += walRecordHeader + int64(length)
 	}
-	if err := scanner.Err(); err != nil {
-		return applied, err
+}
+
+// v2RecordAt reports whether br is positioned at a verifiable v2 record:
+// a sane length prefix whose full payload fits the peek window and whose
+// checksum matches. Used to recognize headerless record streams; a false
+// answer only means "not provably v2", and replay falls back to the v1
+// path, which treats unparsable bytes as truncated tail.
+func v2RecordAt(br *bufio.Reader) bool {
+	hdr, err := br.Peek(walRecordHeader)
+	if err != nil {
+		return false
 	}
-	return applied, nil
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length == 0 || length > maxWALRecord {
+		return false
+	}
+	full, err := br.Peek(walRecordHeader + int(length))
+	if err != nil {
+		// Record longer than the buffered window (or stream ends inside
+		// it): cannot verify, don't guess.
+		return false
+	}
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	return crc32.Checksum(full[walRecordHeader:], castagnoli) == sum
+}
+
+// discardTail counts `consumed` already-read bytes plus everything left in
+// br as truncated and ends replay.
+func discardTail(br *bufio.Reader, st ReplayStats, consumed int64) (ReplayStats, bool, error) {
+	rest, err := io.Copy(io.Discard, br)
+	st.TruncatedBytes += consumed + rest
+	return st, false, err
+}
+
+// RecoverWAL replays f onto the store and truncates the file to the last
+// fully applied record, so the next append continues a clean log. This is
+// the boot path for a WAL that survived a crash: the longest valid prefix
+// is applied, the torn or corrupt tail (never acknowledged) is cut off,
+// and the stats report both so they can be exported as metrics.
+func RecoverWAL(f *os.File, s *Store) (ReplayStats, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return ReplayStats{}, err
+	}
+	st, err := ReplayWAL(f, s)
+	if err != nil {
+		return st, err
+	}
+	if st.TruncatedBytes > 0 {
+		if err := f.Truncate(st.GoodBytes); err != nil {
+			return st, fmt.Errorf("store: truncating wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(st.GoodBytes, io.SeekStart); err != nil {
+		return st, err
+	}
+	return st, nil
 }
 
 func applyEvent(s *Store, e Event) error {

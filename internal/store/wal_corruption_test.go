@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"humancomp/internal/task"
+)
+
+// buildV2Log appends n submit events through the real writer and returns
+// the log bytes plus the byte offset just past each record (offsets[k] is
+// the exact-prefix length containing k+1 records; the file header precedes
+// offsets[0]).
+func buildV2Log(t *testing.T, n int) ([]byte, []int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	wal := NewWAL(&buf)
+	offsets := make([]int64, 0, n)
+	for i := 1; i <= n; i++ {
+		if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, task.ID(i), 1)}); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, int64(buf.Len()))
+	}
+	return buf.Bytes(), offsets
+}
+
+// replayPrefix asserts that log replays exactly `want` events with no
+// error and returns the stats.
+func replayPrefix(t *testing.T, log []byte, want int) ReplayStats {
+	t.Helper()
+	s := New()
+	st, err := ReplayWAL(bytes.NewReader(log), s)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.Applied != want {
+		t.Fatalf("applied = %d, want %d (stats %+v)", st.Applied, want, st)
+	}
+	if s.Len() != want {
+		t.Fatalf("store holds %d tasks, want %d", s.Len(), want)
+	}
+	for i := 1; i <= want; i++ {
+		if _, err := s.Get(task.ID(i)); err != nil {
+			t.Fatalf("acknowledged task %d lost", i)
+		}
+	}
+	return st
+}
+
+func TestWALCorruptionTornFinalRecord(t *testing.T) {
+	log, offsets := buildV2Log(t, 3)
+	// Cut the log at every byte position inside the final record: header
+	// bytes, length prefix, checksum, payload — each must recover the
+	// exact two-record prefix.
+	for cut := offsets[1] + 1; cut < offsets[2]; cut++ {
+		st := replayPrefix(t, log[:cut], 2)
+		if st.GoodBytes != offsets[1] {
+			t.Fatalf("cut %d: GoodBytes = %d, want %d", cut, st.GoodBytes, offsets[1])
+		}
+		if st.TruncatedBytes != cut-offsets[1] {
+			t.Fatalf("cut %d: TruncatedBytes = %d, want %d", cut, st.TruncatedBytes, cut-offsets[1])
+		}
+	}
+}
+
+func TestWALCorruptionFlippedByteMidLog(t *testing.T) {
+	log, offsets := buildV2Log(t, 5)
+	// Flip one payload byte in record 3 (0-indexed record 2): replay must
+	// apply exactly records 1..2 and drop everything from the damaged
+	// record on — a checksum mismatch mid-log is indistinguishable from
+	// damage to everything after it.
+	mutated := append([]byte(nil), log...)
+	mutated[offsets[1]+walRecordHeader+4] ^= 0x40
+	st := replayPrefix(t, mutated, 2)
+	if st.GoodBytes != offsets[1] {
+		t.Fatalf("GoodBytes = %d, want %d", st.GoodBytes, offsets[1])
+	}
+	if st.TruncatedBytes != int64(len(log))-offsets[1] {
+		t.Fatalf("TruncatedBytes = %d, want %d", st.TruncatedBytes, int64(len(log))-offsets[1])
+	}
+}
+
+func TestWALCorruptionZeroFilledTail(t *testing.T) {
+	log, offsets := buildV2Log(t, 2)
+	// A zero-filled tail (preallocated blocks, partial page writes) parses
+	// as a zero-length record: corrupt, truncated, prefix kept.
+	padded := append(append([]byte(nil), log...), make([]byte, 64)...)
+	st := replayPrefix(t, padded, 2)
+	if st.GoodBytes != offsets[1] || st.TruncatedBytes != 64 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWALCorruptionEmptyFile(t *testing.T) {
+	st := replayPrefix(t, nil, 0)
+	if st.GoodBytes != 0 || st.TruncatedBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWALReplayMixedV1ThenV2(t *testing.T) {
+	// A legacy v1 log (bare JSON lines) later upgraded in place: v2
+	// records appended after the v1 section, starting with the v2 header.
+	var buf bytes.Buffer
+	for i := 1; i <= 2; i++ {
+		line, err := json.Marshal(Event{Kind: EventSubmit, At: t0, Task: walTask(t, task.ID(i), 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	wal := NewWAL(&buf)
+	for i := 3; i <= 4; i++ {
+		if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, task.ID(i), 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := replayPrefix(t, buf.Bytes(), 4)
+	if st.LegacyEvents != 2 {
+		t.Fatalf("LegacyEvents = %d, want 2", st.LegacyEvents)
+	}
+
+	// The same mixed log with a torn v2 tail still recovers its prefix.
+	torn := buf.Bytes()[:buf.Len()-3]
+	st = replayPrefix(t, torn, 3)
+	if st.TruncatedBytes == 0 {
+		t.Fatal("torn v2 tail not reported")
+	}
+}
+
+func TestWALReplayLegacyV1TornAndCorrupt(t *testing.T) {
+	// Pure v1 logs keep their recovery semantics: a torn final line and a
+	// corrupt mid-log line both recover the exact prefix.
+	var buf bytes.Buffer
+	for i := 1; i <= 3; i++ {
+		line, _ := json.Marshal(Event{Kind: EventSubmit, At: t0, Task: walTask(t, task.ID(i), 1)})
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	whole := buf.Bytes()
+	st := replayPrefix(t, whole[:len(whole)-5], 2) // torn final line
+	if st.TruncatedBytes == 0 {
+		t.Fatal("torn v1 tail not reported")
+	}
+
+	mutated := append([]byte(nil), whole...)
+	mutated[bytes.IndexByte(mutated, '\n')-3] = 0xFF // corrupt line 1
+	replayPrefix(t, mutated, 0)
+}
+
+func TestRecoverWALTruncatesFile(t *testing.T) {
+	log, offsets := buildV2Log(t, 3)
+	path := filepath.Join(t.TempDir(), "wal")
+	// Damage the file with a torn final record plus garbage.
+	torn := append(append([]byte(nil), log[:offsets[2]-4]...), "garbage"...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	s := New()
+	st, err := RecoverWAL(f, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 2 || st.GoodBytes != offsets[1] {
+		t.Fatalf("stats = %+v", st)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != offsets[1] {
+		t.Fatalf("file not truncated to good prefix: size = %d, want %d", fi.Size(), offsets[1])
+	}
+
+	// The recovered file replays cleanly end to end.
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := ReplayWAL(f, New()); err != nil || st.Applied != 2 || st.TruncatedBytes != 0 {
+		t.Fatalf("post-recovery replay: %+v, %v", st, err)
+	}
+}
+
+// syncCounter is a Writer+Syncer that counts fsyncs.
+type syncCounter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	syncs atomic.Int64
+}
+
+func (s *syncCounter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *syncCounter) Sync() error {
+	s.syncs.Add(1)
+	return nil
+}
+
+func TestWALSyncAlwaysGroupCommit(t *testing.T) {
+	sc := &syncCounter{}
+	wal := NewWALWith(sc, WALOptions{Policy: SyncAlways})
+	defer wal.Close()
+
+	// Sequential appends each pay their own fsync.
+	for i := 1; i <= 3; i++ {
+		if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, task.ID(i), 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sc.syncs.Load(); got != 3 {
+		t.Fatalf("sequential syncs = %d, want 3", got)
+	}
+
+	// Concurrent appends share fsyncs: never more than one per append,
+	// and every append is durable when it returns.
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id := task.ID(100 + w*each + i)
+				tk, err := task.New(id, task.Label, task.Payload{ImageID: int(id)}, 1, t0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: tk}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := sc.syncs.Load(); got > 3+writers*each {
+		t.Fatalf("syncs = %d, exceeds one per append", got)
+	}
+	// Everything acknowledged must replay.
+	sc.mu.Lock()
+	log := append([]byte(nil), sc.buf.Bytes()...)
+	sc.mu.Unlock()
+	st, err := ReplayWAL(bytes.NewReader(log), New())
+	if err != nil || st.Applied != 3+writers*each {
+		t.Fatalf("replay after group commit: %+v, %v", st, err)
+	}
+}
+
+func TestWALSyncIntervalBackground(t *testing.T) {
+	sc := &syncCounter{}
+	wal := NewWALWith(sc, WALOptions{Policy: SyncInterval, Interval: time.Millisecond})
+	if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sc.syncs.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sc.syncs.Load() == 0 {
+		t.Fatal("background sync never fired")
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failAfterWriter accepts n writes, then fails permanently.
+type failAfterWriter struct {
+	n    int
+	seen int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.seen++
+	if w.seen > w.n {
+		return 0, errors.New("disk gone")
+	}
+	return len(p), nil
+}
+
+func TestWALHealthTracking(t *testing.T) {
+	// Each append flushes once; the first flush carries header + record 1.
+	wal := NewWAL(&failAfterWriter{n: 1})
+	if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if !wal.Healthy() {
+		t.Fatal("healthy WAL reported unhealthy")
+	}
+	if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, 2, 1)}); err == nil {
+		t.Fatal("append on dead writer succeeded")
+	}
+	if wal.Healthy() {
+		t.Fatal("failed append left WAL healthy")
+	}
+	if wal.Err() == nil || wal.Failures() == 0 {
+		t.Fatalf("Err = %v, Failures = %d", wal.Err(), wal.Failures())
+	}
+}

@@ -42,9 +42,12 @@ func TestWALAppendReplayRoundTrip(t *testing.T) {
 	}
 
 	s := New()
-	applied, err := ReplayWAL(&buf, s)
-	if err != nil || applied != 4 {
-		t.Fatalf("replay: %d, %v", applied, err)
+	st, err := ReplayWAL(&buf, s)
+	if err != nil || st.Applied != 4 {
+		t.Fatalf("replay: %+v, %v", st, err)
+	}
+	if st.TruncatedBytes != 0 {
+		t.Fatalf("clean log reported truncation: %+v", st)
 	}
 	got, err := s.Get(1)
 	if err != nil {
@@ -69,16 +72,19 @@ func TestWALReplayToleratesTornTail(t *testing.T) {
 	if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, 1, 1)}); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate a crash mid-append: half a JSON line at the end.
+	// Simulate a crash mid-append: a fragment of a record at the end.
 	buf.WriteString(`{"kind":"answer","task_id":1,"ans`)
 
 	s := New()
-	applied, err := ReplayWAL(&buf, s)
+	st, err := ReplayWAL(&buf, s)
 	if err != nil {
 		t.Fatalf("torn tail should end replay cleanly: %v", err)
 	}
-	if applied != 1 {
-		t.Fatalf("applied = %d", applied)
+	if st.Applied != 1 {
+		t.Fatalf("applied = %d", st.Applied)
+	}
+	if st.TruncatedBytes == 0 {
+		t.Fatal("torn tail not reported in TruncatedBytes")
 	}
 	if _, err := s.Get(1); err != nil {
 		t.Fatal("acknowledged event lost")
