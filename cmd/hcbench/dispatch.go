@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sync/atomic"
@@ -25,14 +26,27 @@ import (
 
 // benchFile is the schema of BENCH_dispatch.json.
 type benchFile struct {
-	Schema     int           `json:"schema"`
-	Command    string        `json:"command"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	AutoShards int           `json:"auto_shards"`
-	Note       string        `json:"note"`
-	Results    []benchResult `json:"results"`
+	Schema     int            `json:"schema"`
+	Command    string         `json:"command"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	AutoShards int            `json:"auto_shards"`
+	Note       string         `json:"note"`
+	WALFsync   *walFsyncStats `json:"wal_fsync,omitempty"`
+	Results    []benchResult  `json:"results"`
+}
+
+// walFsyncStats records the durability-cost comparison between the single
+// and batched submit paths under SyncAlways: how many fsyncs one acked
+// submit costs each way. Unlike parallel throughput, this metric is
+// meaningful on any host, single-core runners included.
+type walFsyncStats struct {
+	Submits               int     `json:"submits"`
+	BatchSize             int     `json:"batch_size"`
+	SingleFsyncsPerSubmit float64 `json:"single_fsyncs_per_submit"`
+	BatchFsyncsPerSubmit  float64 `json:"batch_fsyncs_per_submit"`
+	Improvement           float64 `json:"improvement"` // single ÷ batch
 }
 
 type benchResult struct {
@@ -47,11 +61,18 @@ type benchResult struct {
 	ReqsPerSec  float64 `json:"reqs_per_sec"` // API calls/s (3 per round trip, 1 per submit)
 }
 
-// requestsPerOp maps a benchmark op to how many dispatch API calls one
-// iteration performs.
+// benchBatchSize is the batch the *_batch ops move per iteration — the
+// default SubmitBatcher flush size.
+const benchBatchSize = 64
+
+// requestsPerOp maps a benchmark op to how many single-call API requests
+// one iteration is equivalent to, so reqs_per_sec compares the batched and
+// single-call paths on one axis.
 var requestsPerOp = map[string]int{
-	"submit":              1, // POST /v1/tasks
-	"submit_lease_answer": 3, // POST /v1/tasks + POST /v1/next + POST /v1/leases/{id}
+	"submit":                    1,                  // POST /v1/tasks
+	"submit_lease_answer":       3,                  // POST /v1/tasks + /v1/next + /v1/leases/{id}
+	"submit_batch":              benchBatchSize,     // one POST /v1/tasks:batch moving 64 submits
+	"submit_lease_answer_batch": 3 * benchBatchSize, // tasks:batch + leases:batch + leases:answers
 }
 
 // parallelism converts a requested goroutine count into the
@@ -126,6 +147,118 @@ func runSubmitLeaseAnswer(shards, goroutines int) testing.BenchmarkResult {
 	})
 }
 
+// runSubmitBatch benchmarks SubmitBatch: one iteration moves
+// benchBatchSize submits with one shard-lock pass and one journal group.
+func runSubmitBatch(shards, goroutines int) testing.BenchmarkResult {
+	factor, _ := parallelism(goroutines)
+	return testing.Benchmark(func(b *testing.B) {
+		sys := benchCore(shards)
+		specs := make([]core.SubmitSpec, benchBatchSize)
+		for i := range specs {
+			specs[i] = core.SubmitSpec{Kind: task.Label, Payload: task.Payload{ImageID: 1}, Redundancy: 1}
+		}
+		b.ReportAllocs()
+		b.SetParallelism(factor)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				for _, out := range sys.SubmitBatch(specs) {
+					if out.Err != nil {
+						b.Fatal(out.Err)
+					}
+				}
+			}
+		})
+	})
+}
+
+// runSubmitLeaseAnswerBatch benchmarks the batched round trip: one
+// iteration submits a batch, leases up to a batch and answers every
+// granted lease.
+func runSubmitLeaseAnswerBatch(shards, goroutines int) testing.BenchmarkResult {
+	factor, _ := parallelism(goroutines)
+	return testing.Benchmark(func(b *testing.B) {
+		sys := benchCore(shards)
+		specs := make([]core.SubmitSpec, benchBatchSize)
+		for i := range specs {
+			specs[i] = core.SubmitSpec{Kind: task.Label, Payload: task.Payload{ImageID: 1}, Redundancy: 1}
+		}
+		var wid atomic.Int64
+		b.ReportAllocs()
+		b.SetParallelism(factor)
+		b.RunParallel(func(pb *testing.PB) {
+			worker := fmt.Sprintf("bench-w%d", wid.Add(1))
+			items := make([]queue.CompleteItem, 0, benchBatchSize)
+			for pb.Next() {
+				for _, out := range sys.SubmitBatch(specs) {
+					if out.Err != nil {
+						b.Fatal(out.Err)
+					}
+				}
+				grants := sys.LeaseBatch(worker, benchBatchSize)
+				items = items[:0]
+				for _, g := range grants {
+					items = append(items, queue.CompleteItem{Lease: g.Lease, Answer: task.Answer{Words: []int{1}}})
+				}
+				for _, err := range sys.AnswerBatch(items) {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	})
+}
+
+// fsyncCounter counts Sync calls; the WAL's write target stays io.Discard
+// so the measurement isolates durability round trips from disk bandwidth.
+type fsyncCounter struct{ n atomic.Int64 }
+
+func (f *fsyncCounter) Sync() error { f.n.Add(1); return nil }
+
+// measureWALFsyncs compares fsyncs per acked submit between the
+// single-call path (one Append per submit) and the batched path (one
+// group append per benchBatchSize submits) under SyncAlways.
+func measureWALFsyncs() walFsyncStats {
+	const submits = 1024
+
+	single := &fsyncCounter{}
+	cfg := core.DefaultConfig()
+	cfg.Journal = store.NewWALWith(io.Discard, store.WALOptions{Policy: store.SyncAlways, Syncer: single})
+	sys := core.New(cfg)
+	for i := 0; i < submits; i++ {
+		if _, err := sys.SubmitTask(task.Label, task.Payload{ImageID: 1}, 1, 0); err != nil {
+			panic(err)
+		}
+	}
+
+	batched := &fsyncCounter{}
+	cfg = core.DefaultConfig()
+	cfg.Journal = store.NewWALWith(io.Discard, store.WALOptions{Policy: store.SyncAlways, Syncer: batched})
+	sys = core.New(cfg)
+	specs := make([]core.SubmitSpec, benchBatchSize)
+	for i := range specs {
+		specs[i] = core.SubmitSpec{Kind: task.Label, Payload: task.Payload{ImageID: 1}, Redundancy: 1}
+	}
+	for done := 0; done < submits; done += benchBatchSize {
+		for _, out := range sys.SubmitBatch(specs) {
+			if out.Err != nil {
+				panic(out.Err)
+			}
+		}
+	}
+
+	st := walFsyncStats{
+		Submits:               submits,
+		BatchSize:             benchBatchSize,
+		SingleFsyncsPerSubmit: float64(single.n.Load()) / submits,
+		BatchFsyncsPerSubmit:  float64(batched.n.Load()) / submits,
+	}
+	if st.BatchFsyncsPerSubmit > 0 {
+		st.Improvement = st.SingleFsyncsPerSubmit / st.BatchFsyncsPerSubmit
+	}
+	return st
+}
+
 // runDispatchBench runs the sweep, writes outPath, and (when baseline is
 // readable) fails if sharded submit+lease throughput at 16 goroutines
 // regressed more than maxRegress against it. Returns an exit code.
@@ -144,20 +277,25 @@ func runDispatchBench(outPath, baselinePath string, maxRegress float64) int {
 	}{
 		{"submit", runSubmit},
 		{"submit_lease_answer", runSubmitLeaseAnswer},
+		{"submit_batch", runSubmitBatch},
+		{"submit_lease_answer_batch", runSubmitLeaseAnswerBatch},
 	}
 
 	out := benchFile{
-		Schema:     1,
+		Schema:     2,
 		Command:    "go run ./cmd/hcbench -dispatch",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		AutoShards: store.AutoShards(),
-		Note: "ops are in-process dispatch data-plane calls; reqs_per_sec counts the API " +
-			"calls one op performs (submit=1, submit_lease_answer=3). shard_mode=1 is the " +
-			"historical global-lock configuration, shard_mode=auto the sharded core. " +
-			"Parallel speedup requires a multi-core runner; single-core hosts measure " +
-			"lock overhead only.",
+		Note: "ops are in-process dispatch data-plane calls; reqs_per_sec counts the " +
+			"single-call API requests one op is equivalent to (submit=1, " +
+			"submit_lease_answer=3, *_batch ops move 64 items per iteration). " +
+			"shard_mode=1 is the historical global-lock configuration, shard_mode=auto " +
+			"the sharded core. Parallel speedup requires a multi-core runner; " +
+			"single-core hosts measure lock overhead only, and wal_fsync carries the " +
+			"host-independent durability comparison (fsyncs per acked submit, single " +
+			"vs batched path).",
 	}
 
 	for _, r := range runners {
@@ -187,7 +325,19 @@ func runDispatchBench(outPath, baselinePath string, maxRegress float64) int {
 		}
 	}
 
+	fs := measureWALFsyncs()
+	out.WALFsync = &fs
+	fmt.Printf("wal fsyncs/submit: single %.3f, batch(%d) %.4f  (%.0fx fewer)\n",
+		fs.SingleFsyncsPerSubmit, fs.BatchSize, fs.BatchFsyncsPerSubmit, fs.Improvement)
+
 	code := 0
+	// The batched path must cost at least 2x fewer fsyncs per acked
+	// submit than the single-call path — the host-independent form of the
+	// batch acceptance gate.
+	if fs.Improvement < 2 {
+		fmt.Fprintf(os.Stderr, "hcbench: batched WAL path saves only %.2fx fsyncs per submit, want >= 2x\n", fs.Improvement)
+		code = 1
+	}
 	if baselinePath != "" {
 		if err := checkRegression(baselinePath, out, maxRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "hcbench: %v\n", err)

@@ -42,6 +42,7 @@ func main() {
 		url     = flag.String("url", "http://localhost:8080", "http mode: service base URL")
 		tasks   = flag.Int("tasks", 100, "http mode: labeling tasks to submit")
 		workers = flag.Int("workers", 8, "http mode: simulated workers")
+		batch   = flag.Int("batch", 1, "http mode: batch size for submits/leases/answers (1 = single-call API)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -50,7 +51,7 @@ func main() {
 	case "local":
 		runLocal(*game, *players, *hours, *seed)
 	case "http":
-		runHTTP(*url, *tasks, *workers, *seed)
+		runHTTP(*url, *tasks, *workers, *batch, *seed)
 	default:
 		log.Fatalf("hcsim: unknown mode %q", *mode)
 	}
@@ -127,10 +128,13 @@ func runLocal(game string, players int, hours float64, seed uint64) {
 	fmt.Printf("  expected contribution: %.1f outputs/player\n", rep.ExpectedContribution)
 }
 
-func runHTTP(url string, nTasks, nWorkers int, seed uint64) {
+func runHTTP(url string, nTasks, nWorkers, batch int, seed uint64) {
 	client := dispatch.NewClient(url, nil)
 	if !client.Healthy() {
 		log.Fatalf("hcsim: no healthy service at %s (start cmd/hcservd first)", url)
+	}
+	if batch < 1 {
+		batch = 1
 	}
 
 	corpusCfg := vocab.DefaultCorpusConfig()
@@ -145,46 +149,10 @@ func runHTTP(url string, nTasks, nWorkers int, seed uint64) {
 		w.Profile.ThinkMean = 0 // network time replaces think time here
 	}
 
-	ids := make([]task.ID, 0, nTasks)
-	for i := 0; i < nTasks; i++ {
-		img := i % len(corpus.Images)
-		id, err := client.Submit(task.Label, task.Payload{ImageID: img}, 3, 0)
-		if err != nil {
-			log.Fatalf("hcsim: submitting task: %v", err)
-		}
-		ids = append(ids, id)
-	}
-	log.Printf("hcsim: submitted %d labeling tasks", nTasks)
+	ids := submitTasks(client, corpus, nTasks, batch)
+	log.Printf("hcsim: submitted %d labeling tasks (batch=%d)", len(ids), batch)
 
-	answered := 0
-	for i := 0; ; i++ {
-		w := ws[i%len(ws)]
-		t, lease, err := client.Next(w.ID)
-		if errors.Is(err, dispatch.ErrNoTask) {
-			break
-		}
-		if err != nil {
-			log.Fatalf("hcsim: leasing: %v", err)
-		}
-		img := corpus.Image(t.Payload.ImageID)
-		said := map[int]bool{}
-		var words []int
-		for k := 0; k < 3; k++ {
-			tag := w.GuessTag(corpus.Lexicon, img, nil, said)
-			if tag < 0 {
-				break
-			}
-			said[corpus.Lexicon.Canonical(tag)] = true
-			words = append(words, tag)
-		}
-		if len(words) == 0 {
-			words = []int{corpus.Lexicon.Sample()}
-		}
-		if err := client.Answer(lease, task.Answer{Words: words}); err != nil {
-			log.Fatalf("hcsim: answering: %v", err)
-		}
-		answered++
-	}
+	answered := answerTasks(client, corpus, ws, batch)
 	log.Printf("hcsim: submitted %d answers", answered)
 
 	good, total := 0, 0
@@ -216,4 +184,99 @@ func runHTTP(url string, nTasks, nWorkers int, seed uint64) {
 		fmt.Printf("label precision at agreement>=2: %.1f%%\n", 100*float64(good)/float64(total))
 	}
 	fmt.Printf("service stats: %+v\n", st)
+}
+
+// submitTasks creates the labeling workload, one request per task when
+// batch is 1 and POST /v1/tasks:batch chunks otherwise.
+func submitTasks(client *dispatch.Client, corpus *vocab.Corpus, nTasks, batch int) []task.ID {
+	ids := make([]task.ID, 0, nTasks)
+	if batch <= 1 {
+		for i := 0; i < nTasks; i++ {
+			img := i % len(corpus.Images)
+			id, err := client.Submit(task.Label, task.Payload{ImageID: img}, 3, 0)
+			if err != nil {
+				log.Fatalf("hcsim: submitting task: %v", err)
+			}
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	for off := 0; off < nTasks; off += batch {
+		n := batch
+		if off+n > nTasks {
+			n = nTasks - off
+		}
+		reqs := make([]dispatch.SubmitRequest, n)
+		for j := range reqs {
+			reqs[j] = dispatch.SubmitRequest{
+				Kind:       "label",
+				Payload:    task.Payload{ImageID: (off + j) % len(corpus.Images)},
+				Redundancy: 3,
+			}
+		}
+		results, err := client.SubmitBatch(reqs)
+		if err != nil {
+			log.Fatalf("hcsim: submitting batch: %v", err)
+		}
+		for _, res := range results {
+			if res.Error != "" {
+				log.Fatalf("hcsim: batch item rejected (%d): %s", res.Status, res.Error)
+			}
+			ids = append(ids, res.ID)
+		}
+	}
+	return ids
+}
+
+// answerTasks drains the queue with the modeled crowd, leasing and
+// answering one task per request when batch is 1 and whole batches over
+// /v1/leases:batch + /v1/leases:answers otherwise.
+func answerTasks(client *dispatch.Client, corpus *vocab.Corpus, ws []*worker.Worker, batch int) int {
+	answered := 0
+	if batch <= 1 {
+		for i := 0; ; i++ {
+			w := ws[i%len(ws)]
+			t, lease, err := client.Next(w.ID)
+			if errors.Is(err, dispatch.ErrNoTask) {
+				break
+			}
+			if err != nil {
+				log.Fatalf("hcsim: leasing: %v", err)
+			}
+			if err := client.Answer(lease, sim.LabelAnswer(w, corpus, t)); err != nil {
+				log.Fatalf("hcsim: answering: %v", err)
+			}
+			answered++
+		}
+		return answered
+	}
+	for i := 0; ; i++ {
+		w := ws[i%len(ws)]
+		leases, err := client.NextBatch(w.ID, batch)
+		if err != nil {
+			log.Fatalf("hcsim: leasing batch: %v", err)
+		}
+		if len(leases) == 0 {
+			break
+		}
+		views := make([]task.View, len(leases))
+		for j, l := range leases {
+			views[j] = l.Task
+		}
+		items := make([]dispatch.BatchAnswerItem, len(leases))
+		for j, a := range sim.LabelAnswers(w, corpus, views) {
+			items[j] = dispatch.BatchAnswerItem{Lease: leases[j].Lease, Answer: a}
+		}
+		statuses, err := client.AnswerBatch(items)
+		if err != nil {
+			log.Fatalf("hcsim: answering batch: %v", err)
+		}
+		for _, st := range statuses {
+			if st.Error != "" {
+				log.Fatalf("hcsim: batch answer rejected (%d): %s", st.Status, st.Error)
+			}
+			answered++
+		}
+	}
+	return answered
 }

@@ -83,3 +83,71 @@ func BenchmarkDispatchSubmitLeaseAnswer(b *testing.B) {
 		})
 	}
 }
+
+// benchBatch is the batch the *Batch benchmarks move per iteration — the
+// default SubmitBatcher flush size.
+const benchBatch = 64
+
+// BenchmarkDispatchSubmitBatch measures batched submission: one iteration
+// moves benchBatch tasks through SubmitBatch, which takes each shard lock
+// once per batch and appends one WAL group instead of 64 records.
+func BenchmarkDispatchSubmitBatch(b *testing.B) {
+	for _, m := range shardModes() {
+		b.Run(m.name, func(b *testing.B) {
+			sys := benchSystem(m.shards)
+			specs := make([]core.SubmitSpec, benchBatch)
+			for i := range specs {
+				specs[i] = core.SubmitSpec{Kind: task.Label, Payload: task.Payload{ImageID: 1}, Redundancy: 1}
+			}
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					for _, out := range sys.SubmitBatch(specs) {
+						if out.Err != nil {
+							b.Fatal(out.Err)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDispatchSubmitLeaseAnswerBatch measures the batched round trip
+// behind POST /v1/tasks:batch + /v1/leases:batch + /v1/leases:answers:
+// each iteration submits a batch, leases up to a batch for one worker and
+// answers every granted lease.
+func BenchmarkDispatchSubmitLeaseAnswerBatch(b *testing.B) {
+	for _, m := range shardModes() {
+		b.Run(m.name, func(b *testing.B) {
+			sys := benchSystem(m.shards)
+			specs := make([]core.SubmitSpec, benchBatch)
+			for i := range specs {
+				specs[i] = core.SubmitSpec{Kind: task.Label, Payload: task.Payload{ImageID: 1}, Redundancy: 1}
+			}
+			var wid atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				worker := fmt.Sprintf("bench-w%d", wid.Add(1))
+				items := make([]queue.CompleteItem, 0, benchBatch)
+				for pb.Next() {
+					for _, out := range sys.SubmitBatch(specs) {
+						if out.Err != nil {
+							b.Fatal(out.Err)
+						}
+					}
+					grants := sys.LeaseBatch(worker, benchBatch)
+					items = items[:0]
+					for _, g := range grants {
+						items = append(items, queue.CompleteItem{Lease: g.Lease, Answer: task.Answer{Words: []int{1}}})
+					}
+					for _, err := range sys.AnswerBatch(items) {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		})
+	}
+}

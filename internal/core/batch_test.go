@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"humancomp/internal/queue"
+	"humancomp/internal/store"
+	"humancomp/internal/task"
+)
+
+func TestSubmitBatchPartialFailureRoundTrip(t *testing.T) {
+	s, _ := newSystem()
+	specs := []SubmitSpec{
+		{Kind: task.Label, Payload: task.Payload{ImageID: 1}, Redundancy: 1},
+		{Kind: task.Label, Payload: task.Payload{ImageID: 2}, Redundancy: -1}, // invalid
+		{Kind: task.Label, Payload: task.Payload{ImageID: 3}, Redundancy: 1, Priority: 9},
+	}
+	out := s.SubmitBatch(specs)
+	if len(out) != 3 {
+		t.Fatalf("got %d outcomes", len(out))
+	}
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("good items failed: %v, %v", out[0].Err, out[2].Err)
+	}
+	if out[1].Err == nil {
+		t.Fatal("invalid redundancy accepted")
+	}
+	if st := s.Stats(); st.TasksSubmitted != 2 || st.StoredTasks != 2 {
+		t.Fatalf("stats after batch = %+v", st)
+	}
+
+	grants := s.LeaseBatch("alice", 8)
+	if len(grants) != 2 {
+		t.Fatalf("leased %d, want 2", len(grants))
+	}
+	// Priority 9 comes out first within its shard ordering; both tasks
+	// must be the two successfully submitted IDs.
+	seen := map[task.ID]bool{}
+	items := make([]queue.CompleteItem, len(grants))
+	for i, g := range grants {
+		seen[g.Task.ID] = true
+		items[i] = queue.CompleteItem{Lease: g.Lease, Answer: task.Answer{Words: []int{int(g.Task.ID)}}}
+	}
+	if !seen[out[0].ID] || !seen[out[2].ID] {
+		t.Fatalf("leased %v, want %d and %d", seen, out[0].ID, out[2].ID)
+	}
+
+	errs := s.AnswerBatch(items)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("answer %d: %v", i, err)
+		}
+	}
+	for id := range seen {
+		got, err := s.Task(id)
+		if err != nil || got.Status != task.Done {
+			t.Fatalf("task %d after batch answer: %+v, %v", id, got, err)
+		}
+	}
+	if st := s.Stats(); st.AnswersTotal != 2 {
+		t.Fatalf("answers counted = %+v", st)
+	}
+}
+
+func TestAnswerBatchPartialFailure(t *testing.T) {
+	s, _ := newSystem()
+	out := s.SubmitBatch([]SubmitSpec{
+		{Kind: task.Label, Payload: task.Payload{ImageID: 1}, Redundancy: 1},
+		{Kind: task.Label, Payload: task.Payload{ImageID: 2}, Redundancy: 1},
+	})
+	grants := s.LeaseBatch("w", 2)
+	if len(grants) != 2 {
+		t.Fatalf("leased %d, want 2", len(grants))
+	}
+	errs := s.AnswerBatch([]queue.CompleteItem{
+		{Lease: grants[0].Lease, Answer: task.Answer{Words: []int{1}}},
+		{Lease: queue.LeaseID(1 << 40), Answer: task.Answer{Words: []int{2}}},
+	})
+	if errs[0] != nil {
+		t.Fatalf("good answer failed: %v", errs[0])
+	}
+	if !errors.Is(errs[1], queue.ErrUnknownLease) {
+		t.Fatalf("bogus lease: got %v", errs[1])
+	}
+	// Only the good answer landed.
+	if got, _ := s.Task(out[0].ID); got.Status != task.Done {
+		t.Fatalf("answered task: %+v", got)
+	}
+	if got, _ := s.Task(out[1].ID); got.Status != task.Open {
+		t.Fatalf("unanswered task mutated: %+v", got)
+	}
+}
+
+func TestSubmitBatchRegistersGold(t *testing.T) {
+	s, _ := newSystem()
+	out := s.SubmitBatch([]SubmitSpec{
+		{Kind: task.Label, Payload: task.Payload{ImageID: 1}, Redundancy: 1,
+			Gold: true, Expected: task.Answer{Words: []int{7}}},
+		{Kind: task.Label, Payload: task.Payload{ImageID: 2}, Redundancy: 1},
+	})
+	if out[0].Err != nil || out[1].Err != nil {
+		t.Fatalf("batch failed: %+v", out)
+	}
+	if !s.IsGold(out[0].ID) || s.IsGold(out[1].ID) {
+		t.Fatalf("gold registration: IsGold = %v, %v", s.IsGold(out[0].ID), s.IsGold(out[1].ID))
+	}
+}
+
+// prefixJournal acknowledges the first ok appends, then fails forever.
+type prefixJournal struct{ ok int }
+
+func (j *prefixJournal) Append(store.Event) error {
+	if j.ok > 0 {
+		j.ok--
+		return nil
+	}
+	return errors.New("journal: disk full")
+}
+
+func TestSubmitBatchJournalPrefixRollback(t *testing.T) {
+	clk := &fakeClock{now: t0}
+	cfg := DefaultConfig()
+	cfg.Clock = clk
+	cfg.Journal = &prefixJournal{ok: 2}
+	s := New(cfg)
+
+	specs := make([]SubmitSpec, 4)
+	for i := range specs {
+		specs[i] = SubmitSpec{Kind: task.Label, Payload: task.Payload{ImageID: i}, Redundancy: 1}
+	}
+	out := s.SubmitBatch(specs)
+	var okN, failN int
+	for _, o := range out {
+		if o.Err == nil {
+			okN++
+			if _, err := s.Task(o.ID); err != nil {
+				t.Fatalf("acked task %d missing: %v", o.ID, err)
+			}
+		} else {
+			failN++
+		}
+	}
+	if okN != 2 || failN != 2 {
+		t.Fatalf("acked %d / failed %d, want 2 / 2", okN, failN)
+	}
+	// The withdrawn tasks are neither stored nor leasable nor counted.
+	if st := s.Stats(); st.TasksSubmitted != 2 || st.StoredTasks != 2 {
+		t.Fatalf("stats after prefix rollback = %+v", st)
+	}
+	if grants := s.LeaseBatch("w", 8); len(grants) != 2 {
+		t.Fatalf("leasable after rollback = %d, want 2", len(grants))
+	}
+}
+
+// batchJournal records AppendBatch groups and can fail whole batches.
+type batchJournal struct {
+	batches [][]store.Event
+	fail    bool
+}
+
+func (j *batchJournal) Append(e store.Event) error {
+	return j.AppendBatch([]store.Event{e})
+}
+
+func (j *batchJournal) AppendBatch(events []store.Event) error {
+	if j.fail {
+		return errors.New("journal: disk full")
+	}
+	cp := make([]store.Event, len(events))
+	copy(cp, events)
+	j.batches = append(j.batches, cp)
+	return nil
+}
+
+func TestSubmitBatchUsesGroupAppend(t *testing.T) {
+	clk := &fakeClock{now: t0}
+	cfg := DefaultConfig()
+	cfg.Clock = clk
+	j := &batchJournal{}
+	cfg.Journal = j
+	s := New(cfg)
+
+	specs := make([]SubmitSpec, 3)
+	for i := range specs {
+		specs[i] = SubmitSpec{Kind: task.Label, Payload: task.Payload{ImageID: i}, Redundancy: 1}
+	}
+	for i, o := range s.SubmitBatch(specs) {
+		if o.Err != nil {
+			t.Fatalf("item %d: %v", i, o.Err)
+		}
+	}
+	if len(j.batches) != 1 || len(j.batches[0]) != 3 {
+		t.Fatalf("journal saw %d groups, want one group of 3: %v", len(j.batches), j.batches)
+	}
+}
+
+func TestSubmitBatchAllOrNothingWithBatchJournal(t *testing.T) {
+	clk := &fakeClock{now: t0}
+	cfg := DefaultConfig()
+	cfg.Clock = clk
+	cfg.Journal = &batchJournal{fail: true}
+	s := New(cfg)
+
+	out := s.SubmitBatch([]SubmitSpec{
+		{Kind: task.Label, Payload: task.Payload{ImageID: 1}, Redundancy: 1},
+		{Kind: task.Label, Payload: task.Payload{ImageID: 2}, Redundancy: 1},
+	})
+	for i, o := range out {
+		if o.Err == nil {
+			t.Fatalf("item %d acked despite failed batch journal", i)
+		}
+	}
+	if st := s.Stats(); st.TasksSubmitted != 0 || st.StoredTasks != 0 {
+		t.Fatalf("failed batch left residue: %+v", st)
+	}
+}

@@ -56,6 +56,14 @@ type Journal interface {
 	Append(store.Event) error
 }
 
+// BatchJournal is the optional batched extension of Journal: the events
+// are appended as one group, sharing one write and (under a sync-always
+// policy) one fsync. *store.WAL satisfies it; journals without it fall
+// back to per-event Append.
+type BatchJournal interface {
+	AppendBatch([]store.Event) error
+}
+
 // DefaultConfig returns production-shaped defaults: two-minute leases and
 // a 0.75/4 reputation prior.
 func DefaultConfig() Config {
@@ -163,6 +171,127 @@ func (s *System) journal(e store.Event) error {
 	return s.cfg.Journal.Append(e)
 }
 
+// journalBatch writes events to the configured journal, preferring the
+// batched append. It returns how many leading events were acknowledged:
+// all of them on success, all-or-nothing through a BatchJournal, and the
+// prefix before the first failure through the per-event fallback — the
+// caller rolls back exactly the unacknowledged suffix.
+func (s *System) journalBatch(events []store.Event) (int, error) {
+	if s.cfg.Journal == nil || len(events) == 0 {
+		return len(events), nil
+	}
+	if bj, ok := s.cfg.Journal.(BatchJournal); ok {
+		if err := bj.AppendBatch(events); err != nil {
+			return 0, err
+		}
+		return len(events), nil
+	}
+	for i, e := range events {
+		if err := s.cfg.Journal.Append(e); err != nil {
+			return i, err
+		}
+	}
+	return len(events), nil
+}
+
+// SubmitSpec is one task of a SubmitBatch call.
+type SubmitSpec struct {
+	Kind       task.Kind
+	Payload    task.Payload
+	Redundancy int
+	Priority   int
+	// Gold marks the task as a reputation probe expecting Expected.
+	Gold     bool
+	Expected task.Answer
+}
+
+// SubmitOutcome is the per-item result of SubmitBatch: ID is valid exactly
+// when Err is nil.
+type SubmitOutcome struct {
+	ID  task.ID
+	Err error
+}
+
+// SubmitBatch creates and enqueues many tasks in one pass: tasks are
+// grouped by shard so each store and queue shard lock is taken once per
+// batch instead of once per task, and all journal events are appended as
+// one group (one write, one fsync under sync-always). The returned slice
+// is index-aligned with specs; an invalid item never fails the rest. Items
+// whose journal append was not acknowledged are withdrawn, so store, queue
+// and journal agree about which tasks exist — exactly the single-submit
+// contract, batched.
+func (s *System) SubmitBatch(specs []SubmitSpec) []SubmitOutcome {
+	out := make([]SubmitOutcome, len(specs))
+	if len(specs) == 0 {
+		return out
+	}
+	now := s.clock.Now()
+	tasks := make([]*task.Task, 0, len(specs))
+	specIdx := make([]int, 0, len(specs)) // spec index of each created task
+	for i, sp := range specs {
+		t, err := task.New(s.store.NextID(), sp.Kind, sp.Payload, sp.Redundancy, now)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		t.Priority = sp.Priority
+		s.emit(trace.StageSubmit, t.ID, "", now)
+		tasks = append(tasks, t)
+		specIdx = append(specIdx, i)
+	}
+	if len(tasks) == 0 {
+		return out
+	}
+	// Snapshot for the journal before the tasks become leasable: once
+	// AddBatch succeeds a concurrent worker may already be mutating them.
+	cleans := make([]task.Task, len(tasks))
+	events := make([]store.Event, len(tasks))
+	for j, t := range tasks {
+		cleans[j] = task.Task(t.View())
+		events[j] = store.Event{Kind: store.EventSubmit, At: now, Task: &cleans[j]}
+	}
+	s.store.PutBatch(tasks)
+	addErrs := s.queue.AddBatch(tasks)
+	okTasks := make([]*task.Task, 0, len(tasks))
+	okEvents := make([]store.Event, 0, len(tasks))
+	okIdx := make([]int, 0, len(tasks))
+	for j, t := range tasks {
+		if addErrs[j] != nil {
+			s.store.Delete(t.ID)
+			out[specIdx[j]].Err = addErrs[j]
+			continue
+		}
+		okTasks = append(okTasks, t)
+		okEvents = append(okEvents, events[j])
+		okIdx = append(okIdx, specIdx[j])
+	}
+	acked, jerr := s.journalBatch(okEvents)
+	var goldIdx []int
+	for j, t := range okTasks {
+		if j >= acked {
+			// Unacknowledged and unjournaled: withdraw rather than strand
+			// half-submitted (mirrors the single-submit rollback).
+			_ = s.queue.Remove(t.ID)
+			s.store.Delete(t.ID)
+			out[okIdx[j]].Err = jerr
+			continue
+		}
+		out[okIdx[j]].ID = t.ID
+		s.tasksSubmitted.Inc()
+		if specs[okIdx[j]].Gold {
+			goldIdx = append(goldIdx, j)
+		}
+	}
+	if len(goldIdx) > 0 {
+		s.mu.Lock()
+		for _, j := range goldIdx {
+			s.gold[okTasks[j].ID] = specs[okIdx[j]].Expected
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // emit appends one lifecycle event to the trace recorder, if tracing is on.
 // Core-level events carry the task's store-shard index, which matches the
 // queue-shard index by construction (same count, same id&mask placement).
@@ -208,6 +337,19 @@ func (s *System) NextTask(workerID string) (task.View, queue.LeaseID, error) {
 	return s.queue.Lease(workerID, s.clock.Now())
 }
 
+// LeaseBatch leases up to max available tasks to workerID in one call
+// (each queue shard lock taken at most twice per batch). It returns
+// however many grants were available; an empty batch is not an error.
+// Within a shard grants come out best-first; across shards the batch
+// draws round-robin from a rotating start, trading exact global priority
+// order for one-lock-per-shard batching (see queue.LeaseBatch).
+func (s *System) LeaseBatch(workerID string, max int) []queue.LeaseGrant {
+	if workerID == "" {
+		return nil
+	}
+	return s.queue.LeaseBatch(workerID, max, s.clock.Now())
+}
+
 // SubmitAnswer records the leaseholder's answer. Gold probes additionally
 // update the worker's reputation. The journal record and the gold check
 // both use the answer the queue returned by value — core never re-reads
@@ -234,6 +376,53 @@ func (s *System) SubmitAnswer(lease queue.LeaseID, a task.Answer) error {
 	}
 	s.checkGold(res)
 	return nil
+}
+
+// AnswerBatch records many lease answers in one call: the queue groups
+// items by shard (one lock per shard per batch) and the journal receives
+// all answer events as one group append. The returned slice is
+// index-aligned with items; one bad item (unknown lease, repeat worker)
+// never fails the rest. Items whose journal append was not acknowledged
+// report that error, exactly as a single SubmitAnswer would.
+func (s *System) AnswerBatch(items []queue.CompleteItem) []error {
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return errs
+	}
+	now := s.clock.Now()
+	outcomes := s.queue.CompleteBatch(items, now)
+	// recorded answers need stable addresses for the journal events; the
+	// slice is pre-sized so appends never reallocate.
+	recorded := make([]task.Answer, 0, len(items))
+	events := make([]store.Event, 0, len(items))
+	okIdx := make([]int, 0, len(items))
+	for i, o := range outcomes {
+		if o.Err != nil {
+			errs[i] = o.Err
+			continue
+		}
+		recorded = append(recorded, o.Result.Answer)
+		events = append(events, store.Event{
+			Kind: store.EventAnswer, At: now,
+			TaskID: o.Result.TaskID, Answer: &recorded[len(recorded)-1],
+		})
+		okIdx = append(okIdx, i)
+	}
+	acked, jerr := s.journalBatch(events)
+	for j, i := range okIdx {
+		if j >= acked {
+			errs[i] = jerr
+			continue
+		}
+		res := outcomes[i].Result
+		s.answersTotal.Inc()
+		s.gwap.RecordSession(res.Answer.WorkerID, now.Sub(res.LeasedAt))
+		if res.Status == task.Done {
+			s.gwap.RecordOutputs(1)
+		}
+		s.checkGold(res)
+	}
+	return errs
 }
 
 // checkGold scores a just-recorded answer against its task's gold

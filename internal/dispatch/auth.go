@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
 	"strings"
@@ -115,7 +116,21 @@ func bearer(r *http.Request) string {
 	return ""
 }
 
-// wrap guards h with key auth and rate limiting when configured.
+// principalOf returns the authenticated caller identity the auth
+// middleware attached to the request context: the API key on an
+// authenticated server, "" on an open one (or outside a request).
+func principalOf(r *http.Request) string {
+	if r == nil {
+		return ""
+	}
+	p, _ := r.Context().Value(principalKey).(string)
+	return p
+}
+
+// wrap guards h with key auth and rate limiting when configured. On an
+// authenticated server the validated API key is attached to the request
+// context as the caller's principal, so downstream middleware (the
+// idempotency replay cache) can scope per-caller state by it.
 func (a *authLimiter) wrap(h http.HandlerFunc) http.HandlerFunc {
 	if a.keys == nil && a.limiter == nil {
 		return h
@@ -133,6 +148,7 @@ func (a *authLimiter) wrap(h http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 			principal = key
+			r = r.WithContext(context.WithValue(r.Context(), principalKey, key))
 		}
 		if a.limiter != nil {
 			if !a.limiter.Allow(principal, time.Now()) {

@@ -1,0 +1,220 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"humancomp/internal/task"
+)
+
+// ErrBatcherClosed is returned by Enqueue and Submit after Close.
+var ErrBatcherClosed = errors.New("dispatch: submit batcher closed")
+
+// SubmitBatcherOptions tunes the auto-batching submitter. The zero value
+// selects the defaults noted on each field.
+type SubmitBatcherOptions struct {
+	// MaxItems flushes a batch when this many submissions are pending
+	// (default 64, capped at the server's 256-item batch limit).
+	MaxItems int
+	// MaxBytes flushes when the pending items' encoded size passes this
+	// (default 256 KiB), so a run of fat payloads does not build one huge
+	// request.
+	MaxBytes int
+	// FlushInterval bounds how long a partial batch waits for company
+	// (default 5ms): the latency a caller trades for batching.
+	FlushInterval time.Duration
+	// QueueDepth bounds the pending queue (default 4×MaxItems). A full
+	// queue makes Enqueue block — backpressure, not unbounded buffering.
+	QueueDepth int
+}
+
+// SubmitBatcher coalesces individual task submissions into batched
+// POST /v1/tasks:batch requests: callers enqueue single submissions from
+// any goroutine, and a background loop flushes them when the batch fills
+// (count or bytes) or the flush interval expires, whichever is first.
+// Each flush is one Client.SubmitBatch call, so it travels under a single
+// Idempotency-Key and inherits the client's retry loop — a retried flush
+// replays atomically and can never double-create any of its tasks.
+type SubmitBatcher struct {
+	c    *Client
+	opts SubmitBatcherOptions
+
+	mu     sync.RWMutex // guards closed vs. in-flight Enqueue sends
+	closed bool
+	in     chan pendingSubmit
+	done   chan struct{}
+}
+
+// SubmitFuture resolves one enqueued submission. The channel receives
+// exactly one outcome when the batch carrying it completes, then closes.
+type SubmitFuture <-chan SubmitBatchOutcome
+
+// SubmitBatchOutcome is what a flushed submission resolved to: transport
+// errors set Err, application errors surface through Result.Status/Error.
+type SubmitBatchOutcome struct {
+	Result BatchSubmitResult
+	Err    error
+}
+
+// pendingSubmit is one queued submission awaiting a flush.
+type pendingSubmit struct {
+	req   SubmitRequest
+	size  int
+	reply chan SubmitBatchOutcome
+}
+
+// NewSubmitBatcher starts an auto-batching submitter over c. Call Close to
+// flush the tail and stop the background loop.
+func NewSubmitBatcher(c *Client, opts SubmitBatcherOptions) *SubmitBatcher {
+	if opts.MaxItems <= 0 {
+		opts.MaxItems = 64
+	}
+	if opts.MaxItems > maxBatchItems {
+		opts.MaxItems = maxBatchItems
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 256 << 10
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 5 * time.Millisecond
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4 * opts.MaxItems
+	}
+	b := &SubmitBatcher{
+		c:    c,
+		opts: opts,
+		in:   make(chan pendingSubmit, opts.QueueDepth),
+		done: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Enqueue queues one submission and returns a future for its outcome. It
+// blocks while the pending queue is full (or until ctx ends) and fails
+// fast after Close.
+func (b *SubmitBatcher) Enqueue(ctx context.Context, req SubmitRequest) (SubmitFuture, error) {
+	enc, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: encoding submission: %w", err)
+	}
+	p := pendingSubmit{req: req, size: len(enc), reply: make(chan SubmitBatchOutcome, 1)}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, ErrBatcherClosed
+	}
+	select {
+	case b.in <- p:
+		return p.reply, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Submit enqueues one submission and waits for its batch to complete,
+// returning the created task's ID. It is the drop-in blocking form of
+// Client.Submit that pays one HTTP request per batch instead of per task.
+func (b *SubmitBatcher) Submit(ctx context.Context, req SubmitRequest) (task.ID, error) {
+	fut, err := b.Enqueue(ctx, req)
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case out := <-fut:
+		if out.Err != nil {
+			return 0, out.Err
+		}
+		if out.Result.Error != "" {
+			return 0, &APIError{Status: out.Result.Status, Message: out.Result.Error}
+		}
+		return out.Result.ID, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Close flushes any pending tail batch, stops the background loop and
+// waits for it to finish. Futures still in flight resolve before Close
+// returns; Enqueue and Submit fail with ErrBatcherClosed afterwards.
+func (b *SubmitBatcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	close(b.in)
+	b.mu.Unlock()
+	<-b.done
+}
+
+// run is the background flush loop.
+func (b *SubmitBatcher) run() {
+	defer close(b.done)
+	var (
+		pend  []pendingSubmit
+		bytes int
+		timer *time.Timer
+		fire  <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, fire = nil, nil
+		}
+		if len(pend) == 0 {
+			return
+		}
+		b.flush(pend)
+		pend, bytes = nil, 0
+	}
+	for {
+		select {
+		case p, ok := <-b.in:
+			if !ok {
+				flush()
+				return
+			}
+			pend = append(pend, p)
+			bytes += p.size
+			if len(pend) >= b.opts.MaxItems || bytes >= b.opts.MaxBytes {
+				flush()
+				continue
+			}
+			if timer == nil {
+				timer = time.NewTimer(b.opts.FlushInterval)
+				fire = timer.C
+			}
+		case <-fire:
+			timer, fire = nil, nil
+			flush()
+		}
+	}
+}
+
+// flush sends one batch and resolves its futures.
+func (b *SubmitBatcher) flush(pend []pendingSubmit) {
+	reqs := make([]SubmitRequest, len(pend))
+	for i, p := range pend {
+		reqs[i] = p.req
+	}
+	results, err := b.c.SubmitBatchContext(context.Background(), reqs)
+	if err == nil && len(results) != len(reqs) {
+		err = fmt.Errorf("dispatch: batch returned %d results for %d items", len(results), len(reqs))
+	}
+	for i, p := range pend {
+		if err != nil {
+			p.reply <- SubmitBatchOutcome{Err: err}
+		} else {
+			p.reply <- SubmitBatchOutcome{Result: results[i]}
+		}
+		close(p.reply)
+	}
+}

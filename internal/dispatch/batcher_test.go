@@ -1,0 +1,172 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"humancomp/internal/core"
+	"humancomp/internal/task"
+)
+
+// countingTransport counts HTTP requests per path.
+type countingTransport struct {
+	next  http.RoundTripper
+	paths sync.Map // path -> *atomic.Int64
+}
+
+func (t *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	n, _ := t.paths.LoadOrStore(r.URL.Path, new(atomic.Int64))
+	n.(*atomic.Int64).Add(1)
+	return t.next.RoundTrip(r)
+}
+
+func (t *countingTransport) count(path string) int64 {
+	n, ok := t.paths.Load(path)
+	if !ok {
+		return 0
+	}
+	return n.(*atomic.Int64).Load()
+}
+
+func newBatcherServer(t *testing.T) (*Client, *core.System, *countingTransport) {
+	t.Helper()
+	sys := core.New(core.DefaultConfig())
+	srv := httptest.NewServer(NewServer(sys))
+	t.Cleanup(srv.Close)
+	ct := &countingTransport{next: srv.Client().Transport}
+	return NewClient(srv.URL, &http.Client{Transport: ct}), sys, ct
+}
+
+func TestSubmitBatcherCoalesces(t *testing.T) {
+	c, sys, ct := newBatcherServer(t)
+	b := NewSubmitBatcher(c, SubmitBatcherOptions{MaxItems: 8, FlushInterval: time.Hour})
+	defer b.Close()
+
+	// Exactly MaxItems submissions: one flush on count, one HTTP request.
+	futs := make([]SubmitFuture, 8)
+	for i := range futs {
+		fut, err := b.Enqueue(context.Background(), SubmitRequest{
+			Kind: "label", Payload: task.Payload{ImageID: i}, Redundancy: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = fut
+	}
+	ids := map[task.ID]bool{}
+	for i, fut := range futs {
+		out := <-fut
+		if out.Err != nil || out.Result.Status != http.StatusCreated {
+			t.Fatalf("future %d = %+v", i, out)
+		}
+		ids[out.Result.ID] = true
+	}
+	if len(ids) != 8 {
+		t.Fatalf("%d distinct IDs, want 8", len(ids))
+	}
+	if got := ct.count("/v1/tasks:batch"); got != 1 {
+		t.Fatalf("8 submissions cost %d batch requests, want 1", got)
+	}
+	if got := sys.Store().Len(); got != 8 {
+		t.Fatalf("store holds %d tasks, want 8", got)
+	}
+}
+
+func TestSubmitBatcherFlushInterval(t *testing.T) {
+	c, _, ct := newBatcherServer(t)
+	b := NewSubmitBatcher(c, SubmitBatcherOptions{MaxItems: 64, FlushInterval: time.Millisecond})
+	defer b.Close()
+
+	// A lone submission must not wait for 63 friends.
+	id, err := b.Submit(context.Background(), SubmitRequest{
+		Kind: "label", Payload: task.Payload{ImageID: 1}, Redundancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("no task ID")
+	}
+	if got := ct.count("/v1/tasks:batch"); got != 1 {
+		t.Fatalf("interval flush sent %d requests, want 1", got)
+	}
+}
+
+func TestSubmitBatcherCloseFlushesTail(t *testing.T) {
+	c, sys, _ := newBatcherServer(t)
+	b := NewSubmitBatcher(c, SubmitBatcherOptions{MaxItems: 64, FlushInterval: time.Hour})
+
+	fut, err := b.Enqueue(context.Background(), SubmitRequest{
+		Kind: "label", Payload: task.Payload{ImageID: 1}, Redundancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	out, ok := <-fut
+	if !ok || out.Err != nil || out.Result.Status != http.StatusCreated {
+		t.Fatalf("tail future = %+v (ok=%v)", out, ok)
+	}
+	if got := sys.Store().Len(); got != 1 {
+		t.Fatalf("store holds %d tasks after Close, want 1", got)
+	}
+	if _, err := b.Enqueue(context.Background(), SubmitRequest{Kind: "label", Redundancy: 1}); err != ErrBatcherClosed {
+		t.Fatalf("Enqueue after Close = %v, want ErrBatcherClosed", err)
+	}
+}
+
+func TestSubmitBatcherSurfacesItemErrors(t *testing.T) {
+	c, _, _ := newBatcherServer(t)
+	b := NewSubmitBatcher(c, SubmitBatcherOptions{MaxItems: 2, FlushInterval: time.Hour})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, goodErr = b.Submit(context.Background(), SubmitRequest{
+			Kind: "label", Payload: task.Payload{ImageID: 1}, Redundancy: 1})
+	}()
+	go func() {
+		defer wg.Done()
+		_, badErr = b.Submit(context.Background(), SubmitRequest{Kind: "bogus"})
+	}()
+	wg.Wait()
+	if goodErr != nil {
+		t.Fatalf("good submission failed: %v", goodErr)
+	}
+	var apiErr *APIError
+	if !errors.As(badErr, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bad submission error = %v, want APIError 400", badErr)
+	}
+}
+
+func TestSubmitBatcherConcurrentProducers(t *testing.T) {
+	c, sys, _ := newBatcherServer(t)
+	b := NewSubmitBatcher(c, SubmitBatcherOptions{MaxItems: 16, FlushInterval: time.Millisecond})
+
+	const producers, each = 8, 25
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := b.Submit(context.Background(), SubmitRequest{
+					Kind: "label", Payload: task.Payload{ImageID: p*each + i}, Redundancy: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	b.Close()
+	if got := sys.Store().Len(); got != producers*each {
+		t.Fatalf("store holds %d tasks, want %d", got, producers*each)
+	}
+}

@@ -156,9 +156,16 @@ func parseRetryAfter(h string) time.Duration {
 	return 0
 }
 
+// maxRetryAfterFactor caps how far a server's Retry-After hint can push a
+// sleep past the policy's MaxDelay. A hostile or buggy `Retry-After:
+// 86400` must not park the client for a day: the hint is advice about
+// congestion, not authority over the caller's latency budget.
+const maxRetryAfterFactor = 2
+
 // backoff computes the sleep before attempt number `next` (1-based over
 // retries): full jitter over an exponentially growing window, floored at
-// the server's Retry-After when one was given.
+// the server's Retry-After when one was given. The honored hint is
+// clamped to maxRetryAfterFactor × MaxDelay.
 func (c *Client) backoff(next int, retryAfter time.Duration) time.Duration {
 	base := c.retry.BaseDelay
 	if base <= 0 {
@@ -167,6 +174,9 @@ func (c *Client) backoff(next int, retryAfter time.Duration) time.Duration {
 	maxd := c.retry.MaxDelay
 	if maxd <= 0 {
 		maxd = 5 * time.Second
+	}
+	if cap := maxRetryAfterFactor * maxd; retryAfter > cap {
+		retryAfter = cap
 	}
 	window := base << (next - 1)
 	if window > maxd || window <= 0 {
@@ -312,6 +322,58 @@ func (c *Client) SubmitGoldContext(ctx context.Context, kind task.Kind, p task.P
 // SubmitGold creates a gold probe task with a known expected answer.
 func (c *Client) SubmitGold(kind task.Kind, p task.Payload, redundancy, priority int, expected task.Answer) (task.ID, error) {
 	return c.SubmitGoldContext(context.Background(), kind, p, redundancy, priority, expected)
+}
+
+// SubmitBatchContext submits up to 256 tasks in one request. The returned
+// results are index-aligned with reqs; each item carries the status and ID
+// or error the equivalent single Submit would have produced. The whole
+// batch travels under one Idempotency-Key, so a retried batch (by this
+// client or after a dropped response) is replayed atomically — the exact
+// per-item outcomes of the first completed attempt, never a second
+// execution of any item.
+func (c *Client) SubmitBatchContext(ctx context.Context, reqs []SubmitRequest) ([]BatchSubmitResult, error) {
+	var resp BatchSubmitResponse
+	if _, err := c.do(ctx, http.MethodPost, "/v1/tasks:batch", BatchSubmitRequest{Tasks: reqs}, &resp, c.newIdemKey()); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// SubmitBatch submits up to 256 tasks in one request.
+func (c *Client) SubmitBatch(reqs []SubmitRequest) ([]BatchSubmitResult, error) {
+	return c.SubmitBatchContext(context.Background(), reqs)
+}
+
+// NextBatchContext leases up to max tasks for workerID in one request. An
+// empty result means nothing was available (no error, unlike Next).
+func (c *Client) NextBatchContext(ctx context.Context, workerID string, max int) ([]NextResponse, error) {
+	var resp BatchNextResponse
+	req := BatchNextRequest{WorkerID: workerID, Max: max}
+	if _, err := c.do(ctx, http.MethodPost, "/v1/leases:batch", req, &resp, ""); err != nil {
+		return nil, err
+	}
+	return resp.Leases, nil
+}
+
+// NextBatch leases up to max tasks for workerID in one request.
+func (c *Client) NextBatch(workerID string, max int) ([]NextResponse, error) {
+	return c.NextBatchContext(context.Background(), workerID, max)
+}
+
+// AnswerBatchContext answers up to 256 leases in one request, atomically
+// idempotent across retries (one key covers the whole batch). Results are
+// index-aligned with items.
+func (c *Client) AnswerBatchContext(ctx context.Context, items []BatchAnswerItem) ([]BatchItemStatus, error) {
+	var resp BatchAnswerResponse
+	if _, err := c.do(ctx, http.MethodPost, "/v1/leases:answers", BatchAnswerRequest{Answers: items}, &resp, c.newIdemKey()); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// AnswerBatch answers up to 256 leases in one request.
+func (c *Client) AnswerBatch(items []BatchAnswerItem) ([]BatchItemStatus, error) {
+	return c.AnswerBatchContext(context.Background(), items)
 }
 
 // NextContext leases the next available task for workerID, returning a

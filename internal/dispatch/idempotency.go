@@ -3,6 +3,8 @@ package dispatch
 import (
 	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"net/http"
 	"sync"
 )
@@ -86,13 +88,21 @@ func (c *idemCache) len() int {
 	return c.ll.Len()
 }
 
+// maxIdemBody bounds how large a response body the replay cache will
+// buffer: a response past the cap streams through uncached instead of
+// bloating the LRU (one oversized task listing must not pin megabytes).
+const maxIdemBody = 256 << 10
+
 // responseCapture tees status and body while the handler writes, so a
-// successful response can be cached for replay.
+// successful response can be cached for replay. Bodies past maxIdemBody
+// stop being buffered (overflow is set and the partial buffer released);
+// the response itself always passes through untouched.
 type responseCapture struct {
 	http.ResponseWriter
-	status int
-	wrote  bool
-	buf    bytes.Buffer
+	status   int
+	wrote    bool
+	overflow bool // body exceeded maxIdemBody; do not cache
+	buf      bytes.Buffer
 }
 
 func (r *responseCapture) WriteHeader(status int) {
@@ -108,15 +118,43 @@ func (r *responseCapture) Write(b []byte) (int, error) {
 		r.status = http.StatusOK
 		r.wrote = true
 	}
-	r.buf.Write(b)
+	if !r.overflow {
+		if r.buf.Len()+len(b) > maxIdemBody {
+			r.overflow = true
+			r.buf = bytes.Buffer{} // release what was buffered so far
+		} else {
+			r.buf.Write(b)
+		}
+	}
 	return r.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does, so
+// wrapping a streaming handler keeps its streaming semantics (mirrors
+// statusRecorder).
+func (r *responseCapture) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// principalScope condenses the caller's principal into a fixed-width cache
+// key segment. Hashing keeps raw API keys out of cache memory; the empty
+// principal (open server) hashes too, so the key shape is uniform.
+func principalScope(r *http.Request) string {
+	sum := sha256.Sum256([]byte(principalOf(r)))
+	return hex.EncodeToString(sum[:8])
 }
 
 // wrap makes h idempotent under the given route scope: requests carrying a
 // usable Idempotency-Key replay the cached response of the first completed
-// attempt. Keys are scoped per route, so a Submit key can never collide
-// with an Answer key. Only successful (2xx) responses are cached — a
-// failed attempt must re-execute, because it changed nothing.
+// attempt. Keys are scoped per route AND per authenticated principal: a
+// Submit key can never collide with an Answer key, and — the bug this
+// closes — one API key can never replay a response cached for another
+// caller who happened to pick the same Idempotency-Key value. Only
+// successful (2xx) responses are cached — a failed attempt must
+// re-execute, because it changed nothing. Responses whose body overflowed
+// the capture bound are served but not cached.
 func (c *idemCache) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 	if c == nil {
 		return h
@@ -127,7 +165,7 @@ func (c *idemCache) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 			h(w, r)
 			return
 		}
-		scoped := route + "\x00" + key
+		scoped := route + "\x00" + principalScope(r) + "\x00" + key
 		if rec, ok := c.get(scoped); ok {
 			w.Header().Set(idempotentReplayHdr, "true")
 			if rec.contentType != "" {
@@ -139,7 +177,7 @@ func (c *idemCache) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		cap := &responseCapture{ResponseWriter: w, status: http.StatusOK}
 		h(cap, r)
-		if cap.status >= 200 && cap.status < 300 {
+		if cap.status >= 200 && cap.status < 300 && !cap.overflow {
 			c.put(&idemResponse{
 				key:         scoped,
 				status:      cap.status,

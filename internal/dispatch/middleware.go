@@ -62,7 +62,10 @@ const requestIDHeader = "X-Request-Id"
 
 type ctxKey int
 
-const requestIDKey ctxKey = iota
+const (
+	requestIDKey ctxKey = iota
+	principalKey
+)
 
 // RequestIDFromContext returns the request ID the middleware attached to
 // the context, or "" outside a request.

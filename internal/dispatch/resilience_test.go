@@ -386,3 +386,42 @@ func TestParseRetryAfter(t *testing.T) {
 		t.Fatalf("garbage: %v", d)
 	}
 }
+
+// TestClientClampsHostileRetryAfter: a Retry-After hint far past the
+// policy's MaxDelay is advice, not authority — the honored floor is capped
+// at maxRetryAfterFactor x MaxDelay so a buggy `Retry-After: 86400` cannot
+// park the client for a day.
+func TestClientClampsHostileRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "86400") // one day
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, `{}`)
+	}))
+	defer srv.Close()
+
+	maxDelay := 200 * time.Millisecond
+	c := NewClientWith(srv.URL, nil, ClientOptions{Retry: RetryPolicy{
+		MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: maxDelay,
+	}})
+	var waits []time.Duration
+	instantSleep(c, &waits)
+
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("stats call failed after retry: %v", err)
+	}
+	if len(waits) != 1 {
+		t.Fatalf("slept %d times, want 1", len(waits))
+	}
+	if cap := time.Duration(maxRetryAfterFactor) * maxDelay; waits[0] > cap {
+		t.Fatalf("waited %v, want <= %v (clamped Retry-After)", waits[0], cap)
+	}
+	// The hint still acts as a floor up to the cap.
+	if waits[0] < maxDelay {
+		t.Fatalf("waited %v, want >= MaxDelay %v", waits[0], maxDelay)
+	}
+}

@@ -5,6 +5,7 @@
 // every handler is a thin translation onto core.
 //
 //	POST   /v1/tasks            submit a task (optionally gold)
+//	POST   /v1/tasks:batch      submit up to 256 tasks in one request
 //	GET    /v1/tasks            list tasks (status filter, pagination)
 //	GET    /v1/tasks/{id}       fetch a task with its answers
 //	DELETE /v1/tasks/{id}       cancel an open task
@@ -12,7 +13,9 @@
 //	GET    /v1/tasks/{id}/choice aggregated choice (compare/judge)
 //	GET    /v1/tasks/{id}/trace ordered lifecycle trace events
 //	POST   /v1/next             lease the next task for a worker
+//	POST   /v1/leases:batch     lease up to N tasks for one worker
 //	POST   /v1/leases/{id}      submit the answer for a lease
+//	POST   /v1/leases:answers   answer up to 256 leases in one request
 //	DELETE /v1/leases/{id}      release a lease unanswered
 //	GET    /v1/stats            system counters
 //	GET    /v1/metrics          per-endpoint request metrics
@@ -148,6 +151,7 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 		route(pattern, s.idem.wrap(pattern, h))
 	}
 	routeIdem("POST /v1/tasks", s.handleSubmit)
+	routeIdem("POST /v1/tasks:batch", s.handleSubmitBatch)
 	route("GET /v1/tasks", s.handleListTasks)
 	route("GET /v1/tasks/{id}", s.handleGetTask)
 	route("DELETE /v1/tasks/{id}", s.handleCancel)
@@ -155,6 +159,8 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	route("GET /v1/tasks/{id}/choice", s.handleChoice)
 	route("GET /v1/tasks/{id}/trace", s.handleTrace)
 	route("POST /v1/next", s.handleNext)
+	route("POST /v1/leases:batch", s.handleNextBatch)
+	routeIdem("POST /v1/leases:answers", s.handleAnswerBatch)
 	routeIdem("POST /v1/leases/{id}", s.handleAnswer)
 	route("DELETE /v1/leases/{id}", s.handleRelease)
 	route("GET /v1/stats", s.handleStats)
@@ -197,27 +203,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError maps domain errors onto HTTP status codes. The request (nil
-// tolerated) supplies the ID echoed in the error envelope.
-func writeError(w http.ResponseWriter, r *http.Request, err error) {
-	status := http.StatusInternalServerError
+// statusOf maps a domain error onto its HTTP status code; the same table
+// backs whole-request errors (writeError) and per-item batch envelopes.
+func statusOf(err error) int {
 	switch {
 	case errors.Is(err, queue.ErrEmpty):
-		status = http.StatusNoContent
-		w.WriteHeader(status)
-		return
+		return http.StatusNoContent
 	case errors.Is(err, queue.ErrUnknownLease),
 		errors.Is(err, queue.ErrUnknownTask):
-		status = http.StatusNotFound
+		return http.StatusNotFound
 	case errors.Is(err, task.ErrWrongStatus),
 		errors.Is(err, task.ErrWorkerRepeat),
 		errors.Is(err, queue.ErrDuplicateID):
-		status = http.StatusConflict
+		return http.StatusConflict
 	case errors.Is(err, task.ErrEmptyAnswer),
 		errors.Is(err, task.ErrBadRedundancy),
 		errors.Is(err, task.ErrUnknownKind),
 		errors.Is(err, core.ErrWrongKind):
-		status = http.StatusUnprocessableEntity
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+// writeError maps domain errors onto HTTP status codes. The request (nil
+// tolerated) supplies the ID echoed in the error envelope.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status := statusOf(err)
+	if status == http.StatusNoContent {
+		w.WriteHeader(status)
+		return
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: requestIDOf(r)})
 }

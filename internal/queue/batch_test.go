@@ -1,0 +1,137 @@
+package queue
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"humancomp/internal/task"
+)
+
+func TestAddBatchPartialFailure(t *testing.T) {
+	q := NewSharded(time.Minute, 4, nil)
+	if err := q.Add(newTask(t, 2, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	done := newTask(t, 3, 0, 1)
+	done.Status = task.Done
+	ts := []*task.Task{
+		newTask(t, 1, 0, 1),
+		newTask(t, 2, 0, 1), // duplicate of the pre-added task
+		done,                // wrong status
+		newTask(t, 4, 0, 1),
+	}
+	errs := q.AddBatch(ts)
+	if len(errs) != len(ts) {
+		t.Fatalf("got %d errors for %d tasks", len(errs), len(ts))
+	}
+	if errs[0] != nil || errs[3] != nil {
+		t.Fatalf("good items failed: %v, %v", errs[0], errs[3])
+	}
+	if !errors.Is(errs[1], ErrDuplicateID) {
+		t.Fatalf("dup item: got %v, want ErrDuplicateID", errs[1])
+	}
+	if errs[2] == nil {
+		t.Fatal("done task enqueued")
+	}
+	// The good items are leasable.
+	got := map[task.ID]bool{}
+	for _, g := range q.LeaseBatch("w", 8, t0) {
+		got[g.Task.ID] = true
+	}
+	if !got[1] || !got[4] || len(got) != 3 { // 1, 4, and pre-added 2
+		t.Fatalf("leasable after AddBatch = %v", got)
+	}
+}
+
+func TestLeaseBatchSpreadsAcrossShards(t *testing.T) {
+	const shards = 4
+	q := NewSharded(time.Minute, shards, nil)
+	// Four tasks per shard: placement is id & (shards-1).
+	for id := task.ID(1); id <= 16; id++ {
+		if err := q.Add(newTask(t, id, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grants := q.LeaseBatch("w", 8, t0)
+	if len(grants) != 8 {
+		t.Fatalf("leased %d, want 8", len(grants))
+	}
+	perShard := make(map[uint64]int)
+	for _, g := range grants {
+		perShard[uint64(g.Task.ID)&(shards-1)]++
+	}
+	// Pass 0 caps each shard at ceil(8/4) = 2, and every shard has work,
+	// so the batch must draw exactly evenly.
+	for sh := uint64(0); sh < shards; sh++ {
+		if perShard[sh] != 2 {
+			t.Fatalf("shard %d contributed %d leases, want 2 (dist %v)", sh, perShard[sh], perShard)
+		}
+	}
+}
+
+func TestLeaseBatchTopsUpFromSkewedShards(t *testing.T) {
+	const shards = 4
+	q := NewSharded(time.Minute, shards, nil)
+	// All work lives on shard 0 (IDs divisible by 4).
+	for i := 1; i <= 6; i++ {
+		if err := q.Add(newTask(t, task.ID(i*shards), 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quota alone would allow only ceil(6/4)=2 from shard 0; the top-up
+	// pass must still fill the batch.
+	if grants := q.LeaseBatch("w", 6, t0); len(grants) != 6 {
+		t.Fatalf("leased %d from skewed queue, want 6", len(grants))
+	}
+}
+
+func TestLeaseBatchRespectsEligibility(t *testing.T) {
+	q := NewSharded(time.Minute, 2, nil)
+	// Redundancy 1: one lease consumes the only slot.
+	if err := q.Add(newTask(t, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if g := q.LeaseBatch("w", 4, t0); len(g) != 1 {
+		t.Fatalf("first batch leased %d, want 1", len(g))
+	}
+	// Same worker, and no remaining slots: nothing more to grant.
+	if g := q.LeaseBatch("w", 4, t0); len(g) != 0 {
+		t.Fatalf("second batch leased %d, want 0", len(g))
+	}
+}
+
+func TestCompleteBatchPartialFailure(t *testing.T) {
+	q := NewSharded(time.Minute, 4, nil)
+	for id := task.ID(1); id <= 3; id++ {
+		if err := q.Add(newTask(t, id, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grants := q.LeaseBatch("w", 3, t0)
+	if len(grants) != 3 {
+		t.Fatalf("leased %d, want 3", len(grants))
+	}
+	items := []CompleteItem{
+		{Lease: grants[0].Lease, Answer: answer(7)},
+		{Lease: LeaseID(1 << 40), Answer: answer(8)}, // no such lease
+		{Lease: grants[2].Lease, Answer: answer(9)},
+	}
+	out := q.CompleteBatch(items, t0)
+	if len(out) != 3 {
+		t.Fatalf("got %d outcomes", len(out))
+	}
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("good items failed: %v, %v", out[0].Err, out[2].Err)
+	}
+	if !errors.Is(out[1].Err, ErrUnknownLease) {
+		t.Fatalf("bogus lease: got %v, want ErrUnknownLease", out[1].Err)
+	}
+	if out[0].Result.Status != task.Done || out[0].Result.Answer.WorkerID != "w" {
+		t.Fatalf("outcome 0 = %+v", out[0].Result)
+	}
+	// The failed item's lease is still live: completing it works.
+	if _, err := q.Complete(grants[1].Lease, answer(8), t0); err != nil {
+		t.Fatalf("completing untouched lease: %v", err)
+	}
+}

@@ -106,6 +106,7 @@ type Queue struct {
 	shardBits uint
 
 	expired atomic.Int64    // total leases reclaimed by expiry
+	leaseRR atomic.Uint64   // rotating start shard for LeaseBatch fairness
 	rec     *trace.Recorder // lifecycle event sink; nil records nothing
 }
 
@@ -221,6 +222,43 @@ func (q *Queue) Add(t *task.Task) error {
 	heap.Push(&sh.heap, e)
 	q.emit(trace.StageEnqueue, t.ID, "", t.CreatedAt)
 	return nil
+}
+
+// AddBatch enqueues many open tasks, grouping them by shard so each
+// shard's lock is taken at most once per call. The returned slice is
+// index-aligned with ts: a nil entry means that task was enqueued, a
+// non-nil one carries the same error Add would have returned. One bad
+// task never fails the rest of the batch.
+func (q *Queue) AddBatch(ts []*task.Task) []error {
+	errs := make([]error, len(ts))
+	if len(ts) == 0 {
+		return errs
+	}
+	byShard := make(map[*qshard][]int, len(q.shards))
+	for i, t := range ts {
+		sh := q.shardFor(t.ID)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, idxs := range byShard {
+		sh.lock()
+		for _, i := range idxs {
+			t := ts[i]
+			if _, dup := sh.entries[t.ID]; dup {
+				errs[i] = ErrDuplicateID
+				continue
+			}
+			if t.Status != task.Open {
+				errs[i] = fmt.Errorf("queue: cannot enqueue task %d with status %v", t.ID, t.Status)
+				continue
+			}
+			e := &entry{t: t, index: -1, holders: make(map[string]bool)}
+			sh.entries[t.ID] = e
+			heap.Push(&sh.heap, e)
+			q.emit(trace.StageEnqueue, t.ID, "", t.CreatedAt)
+		}
+		sh.mu.Unlock()
+	}
+	return errs
 }
 
 // leaseKey is the heap ordering key of a candidate entry, captured under
@@ -360,6 +398,77 @@ func (q *Queue) leaseBestLocked(sh *qshard, workerID string, now time.Time) (tas
 	return task.View{}, 0, false
 }
 
+// LeaseGrant is one lease handed out by LeaseBatch: the task snapshot and
+// the lease that must be answered or released.
+type LeaseGrant struct {
+	Task  task.View
+	Lease LeaseID
+}
+
+// LeaseBatch leases up to max eligible tasks to workerID in one call,
+// taking each shard's lock at most twice instead of once per lease. It
+// returns however many grants were available (possibly none — an empty
+// batch is not an error).
+//
+// Shard visiting starts at a rotating index and runs two passes: the first
+// caps each shard's contribution at ceil(max/shards), so when every shard
+// has eligible work a batch draws evenly across shards instead of draining
+// the first one; the second pass tops the batch up from whatever is left
+// when work is skewed. Within a shard, tasks come out best-first (the
+// single-lease heap order); across shards a batch does not interleave by
+// global priority — that is the documented relaxation that buys
+// one-lock-per-shard batching.
+func (q *Queue) LeaseBatch(workerID string, max int, now time.Time) []LeaseGrant {
+	if max <= 0 || workerID == "" {
+		return nil
+	}
+	n := len(q.shards)
+	start := int(q.leaseRR.Add(1)-1) % n
+	quota := (max + n - 1) / n
+	var out []LeaseGrant
+	for pass := 0; pass < 2 && len(out) < max; pass++ {
+		for i := 0; i < n && len(out) < max; i++ {
+			sh := q.shards[(start+i)%n]
+			want := max - len(out)
+			if pass == 0 && want > quota {
+				want = quota
+			}
+			sh.lock()
+			if pass == 0 {
+				q.expireShardLocked(sh, now)
+			}
+			out = append(out, q.leaseManyLocked(sh, workerID, now, want)...)
+			sh.mu.Unlock()
+		}
+	}
+	return out
+}
+
+// leaseManyLocked leases up to want eligible entries from sh, best-first.
+// Caller holds the shard lock.
+func (q *Queue) leaseManyLocked(sh *qshard, workerID string, now time.Time, want int) []LeaseGrant {
+	var out []LeaseGrant
+	var popped []*entry
+	for sh.heap.Len() > 0 && len(out) < want {
+		e := heap.Pop(&sh.heap).(*entry)
+		if q.eligibleLocked(e, workerID) {
+			popped = append(popped, e)
+			v, id := q.leaseEntryLocked(sh, e, workerID, now)
+			out = append(out, LeaseGrant{Task: v, Lease: id})
+			continue
+		}
+		if e.t.Status == task.Open {
+			popped = append(popped, e)
+			continue
+		}
+		delete(sh.entries, e.t.ID) // finished task drained from heap
+	}
+	for _, e := range popped {
+		heap.Push(&sh.heap, e)
+	}
+	return out
+}
+
 // leaseEntryLocked records a lease on e for workerID. The entry stays in
 // the heap while leased: other workers may take the remaining redundancy
 // slots concurrently, and the heap key does not depend on lease state.
@@ -412,6 +521,12 @@ func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResu
 	sh.lock()
 	defer sh.mu.Unlock()
 	q.expireShardLocked(sh, now)
+	return q.completeLocked(sh, id, a, now)
+}
+
+// completeLocked is the body of Complete; caller holds sh's lock and has
+// already expired overdue leases on it.
+func (q *Queue) completeLocked(sh *qshard, id LeaseID, a task.Answer, now time.Time) (CompleteResult, error) {
 	l, ok := sh.leases[id]
 	if !ok {
 		return CompleteResult{}, ErrUnknownLease
@@ -447,6 +562,44 @@ func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResu
 		q.emit(trace.StageComplete, res.TaskID, "", now)
 	}
 	return res, nil
+}
+
+// CompleteItem is one lease-plus-answer of a CompleteBatch call.
+type CompleteItem struct {
+	Lease  LeaseID
+	Answer task.Answer
+}
+
+// CompleteOutcome is the per-item result of CompleteBatch: Result is valid
+// exactly when Err is nil.
+type CompleteOutcome struct {
+	Result CompleteResult
+	Err    error
+}
+
+// CompleteBatch records many answers in one call, grouping items by the
+// shard their lease lives on so each shard's lock is taken once per batch.
+// The returned slice is index-aligned with items; one bad item (unknown
+// lease, repeat worker) never fails the rest.
+func (q *Queue) CompleteBatch(items []CompleteItem, now time.Time) []CompleteOutcome {
+	out := make([]CompleteOutcome, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	byShard := make(map[*qshard][]int, len(q.shards))
+	for i, it := range items {
+		sh := q.leaseShard(it.Lease)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, idxs := range byShard {
+		sh.lock()
+		q.expireShardLocked(sh, now)
+		for _, i := range idxs {
+			out[i].Result, out[i].Err = q.completeLocked(sh, items[i].Lease, items[i].Answer, now)
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Release returns a leased task to the pool without an answer (the worker

@@ -166,6 +166,39 @@ func (s *Store) Put(t *task.Task) {
 	})
 }
 
+// PutBatch inserts or replaces many tasks, grouping them by shard so each
+// shard's write lock is taken at most once per call instead of once per
+// task. Per-task trace events are still emitted individually.
+func (s *Store) PutBatch(ts []*task.Task) {
+	if len(ts) == 0 {
+		return
+	}
+	byShard := make(map[*shard][]*task.Task, len(s.shards))
+	maxID := task.ID(0)
+	for _, t := range ts {
+		sh := s.shardFor(t.ID)
+		byShard[sh] = append(byShard[sh], t)
+		if t.ID > maxID {
+			maxID = t.ID
+		}
+	}
+	for sh, group := range byShard {
+		sh.mu.Lock()
+		sh.lockN++
+		for _, t := range group {
+			sh.tasks[t.ID] = t
+		}
+		sh.mu.Unlock()
+	}
+	s.advanceNextID(maxID)
+	for _, t := range ts {
+		s.rec.Append(trace.Event{
+			TaskID: t.ID, Stage: trace.StagePersist, At: t.CreatedAt,
+			Shard: int(uint64(t.ID) & s.mask),
+		})
+	}
+}
+
 // Delete removes a task; deleting an absent ID is a no-op. It is the
 // rollback half of Put for submissions that fail partway.
 func (s *Store) Delete(id task.ID) {

@@ -190,15 +190,55 @@ func NewWALWith(w io.Writer, opts WALOptions) *WAL {
 // fsyncs (sharing the fsync with concurrent appends) before returning.
 // An event is acknowledged if and only if Append returns nil.
 func (l *WAL) Append(e Event) error {
-	if err := validateEvent(e); err != nil {
+	enc, err := encodeEvent(e)
+	if err != nil {
 		return err
+	}
+	return l.appendPayloads([][]byte{enc})
+}
+
+// AppendBatch writes many events as one group: all records are framed into
+// the write buffer and handed to the OS with a single flush, and under
+// SyncAlways the whole group shares a single fsync (composing with the
+// group-commit path, so concurrent batches can share that fsync too). The
+// batch is acknowledged as a unit — a nil return means every event is on
+// the log; a non-nil return means none of them is acknowledged, and any
+// partially written tail is cut off by recovery like any torn record.
+func (l *WAL) AppendBatch(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(events))
+	for i, e := range events {
+		enc, err := encodeEvent(e)
+		if err != nil {
+			return err
+		}
+		payloads[i] = enc
+	}
+	return l.appendPayloads(payloads)
+}
+
+// encodeEvent validates and marshals one event into a record payload.
+func encodeEvent(e Event) ([]byte, error) {
+	if err := validateEvent(e); err != nil {
+		return nil, err
 	}
 	enc, err := json.Marshal(e)
 	if err != nil {
-		return fmt.Errorf("store: encoding wal event: %w", err)
+		return nil, fmt.Errorf("store: encoding wal event: %w", err)
 	}
+	if len(enc) > maxWALRecord {
+		return nil, fmt.Errorf("store: wal record of %d bytes exceeds limit", len(enc))
+	}
+	return enc, nil
+}
+
+// appendPayloads frames and writes the encoded events under one lock
+// acquisition, one flush and (under SyncAlways) one shared fsync.
+func (l *WAL) appendPayloads(payloads [][]byte) error {
 	l.mu.Lock()
-	if err := l.writeRecord(enc); err != nil {
+	if err := l.writeRecords(payloads); err != nil {
 		l.lastErr = err
 		l.mu.Unlock()
 		l.failures.Add(1)
@@ -219,11 +259,9 @@ func (l *WAL) Append(e Event) error {
 	return nil
 }
 
-// writeRecord frames, writes and flushes one encoded event. Caller holds mu.
-func (l *WAL) writeRecord(payload []byte) error {
-	if len(payload) > maxWALRecord {
-		return fmt.Errorf("store: wal record of %d bytes exceeds limit", len(payload))
-	}
+// writeRecords frames and writes the payloads with a single trailing
+// flush. Caller holds mu.
+func (l *WAL) writeRecords(payloads [][]byte) error {
 	if !l.wroteHdr {
 		if _, err := l.w.Write(walMagic[:]); err != nil {
 			return err
@@ -231,21 +269,26 @@ func (l *WAL) writeRecord(payload []byte) error {
 		l.wroteHdr = true
 		l.bytes += int64(len(walMagic))
 	}
-	var hdr [walRecordHeader]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := l.w.Write(payload); err != nil {
-		return err
+	for _, payload := range payloads {
+		var hdr [walRecordHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+		if _, err := l.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := l.w.Write(payload); err != nil {
+			return err
+		}
 	}
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	l.n++
-	l.writeSeq++
-	l.bytes += walRecordHeader + int64(len(payload))
+	n := int64(len(payloads))
+	l.n += n
+	l.writeSeq += n
+	for _, payload := range payloads {
+		l.bytes += walRecordHeader + int64(len(payload))
+	}
 	l.dirty = true
 	return nil
 }

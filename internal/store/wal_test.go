@@ -248,3 +248,81 @@ func cloneTask(t *task.Task) *task.Task {
 	}
 	return &cp
 }
+
+func TestWALAppendBatchReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	wal := NewWAL(&buf)
+
+	a := task.Answer{WorkerID: "alice", Words: []int{3}}
+	events := []Event{
+		{Kind: EventSubmit, At: t0, Task: walTask(t, 1, 2)},
+		{Kind: EventSubmit, At: t0, Task: walTask(t, 2, 1)},
+		{Kind: EventAnswer, At: t0.Add(time.Minute), TaskID: 1, Answer: &a},
+		{Kind: EventCancel, At: t0.Add(2 * time.Minute), TaskID: 2},
+	}
+	if err := wal.AppendBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if wal.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", wal.Len())
+	}
+
+	s := New()
+	st, err := ReplayWAL(&buf, s)
+	if err != nil || st.Applied != 4 || st.TruncatedBytes != 0 {
+		t.Fatalf("replay: %+v, %v", st, err)
+	}
+	got, err := s.Get(1)
+	if err != nil || len(got.Answers) != 1 || got.Answers[0].WorkerID != "alice" {
+		t.Fatalf("replayed task 1 = %+v, %v", got, err)
+	}
+	if got2, err := s.Get(2); err != nil || got2.Status != task.Canceled {
+		t.Fatalf("replayed task 2 = %+v, %v", got2, err)
+	}
+}
+
+func TestWALAppendBatchRejectsInvalidEventUpFront(t *testing.T) {
+	var buf bytes.Buffer
+	wal := NewWAL(&buf)
+	events := []Event{
+		{Kind: EventSubmit, At: t0, Task: walTask(t, 1, 1)},
+		{Kind: EventSubmit, At: t0}, // nil Task: invalid
+	}
+	if err := wal.AppendBatch(events); err == nil {
+		t.Fatal("AppendBatch accepted an invalid event")
+	}
+	// Nothing was acknowledged, so nothing may replay.
+	if wal.Len() != 0 {
+		t.Fatalf("Len = %d after rejected batch, want 0", wal.Len())
+	}
+	if st, err := ReplayWAL(&buf, New()); err != nil || st.Applied != 0 {
+		t.Fatalf("replay after rejected batch: %+v, %v", st, err)
+	}
+}
+
+func TestWALAppendBatchSingleFsync(t *testing.T) {
+	sc := &syncCounter{}
+	wal := NewWALWith(sc, WALOptions{Policy: SyncAlways})
+	defer wal.Close()
+
+	const n = 64
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = Event{Kind: EventSubmit, At: t0, Task: walTask(t, task.ID(i+1), 1)}
+	}
+	if err := wal.AppendBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.syncs.Load(); got != 1 {
+		t.Fatalf("batch of %d cost %d fsyncs, want 1", n, got)
+	}
+	// Equivalent single appends pay one fsync each.
+	for i := 0; i < n; i++ {
+		if err := wal.Append(Event{Kind: EventCancel, At: t0, TaskID: task.ID(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sc.syncs.Load(); got != 1+n {
+		t.Fatalf("syncs = %d, want %d", got, 1+n)
+	}
+}
