@@ -73,6 +73,7 @@ var requestsPerOp = map[string]int{
 	"submit_lease_answer":       3,                  // POST /v1/tasks + /v1/next + /v1/leases/{id}
 	"submit_batch":              benchBatchSize,     // one POST /v1/tasks:batch moving 64 submits
 	"submit_lease_answer_batch": 3 * benchBatchSize, // tasks:batch + leases:batch + leases:answers
+	"answer_online_ds":          3,                  // the round trip with the online estimator on the answer path
 }
 
 // parallelism converts a requested goroutine count into the
@@ -140,6 +141,46 @@ func runSubmitLeaseAnswer(shards, goroutines int) testing.BenchmarkResult {
 					b.Fatal(err)
 				}
 				if err := sys.SubmitAnswer(lease, task.Answer{Words: []int{1}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// runAnswerOnlineDS benchmarks the dispatch round trip with the streaming
+// quality plane on the answer path: each iteration submits a redundancy-1
+// Judge task, leases it and answers it, so every answer runs an online
+// Dawid–Skene Observe + posterior refresh + Complete on top of the plain
+// submit_lease_answer work. The delta between the two ops is the
+// estimator's cost per answer.
+func runAnswerOnlineDS(shards, goroutines int) testing.BenchmarkResult {
+	factor, _ := parallelism(goroutines)
+	return testing.Benchmark(func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Shards = shards
+		cfg.OnlineQuality = true
+		cfg.ConfidenceTarget = 0.99 // never reached before redundancy 1 completes
+		sys := core.New(cfg)
+		var wid atomic.Int64
+		b.ReportAllocs()
+		b.SetParallelism(factor)
+		b.RunParallel(func(pb *testing.PB) {
+			worker := fmt.Sprintf("bench-w%d", wid.Add(1))
+			n := 0
+			for pb.Next() {
+				if _, err := sys.SubmitTask(task.Judge, task.Payload{ImageID: 1}, 1, 0); err != nil {
+					b.Fatal(err)
+				}
+				_, lease, err := sys.NextTask(worker)
+				if errors.Is(err, queue.ErrEmpty) {
+					continue
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				n++
+				if err := sys.SubmitAnswer(lease, task.Answer{Choice: n % 2}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -277,6 +318,7 @@ func runDispatchBench(outPath, baselinePath string, maxRegress float64) int {
 	}{
 		{"submit", runSubmit},
 		{"submit_lease_answer", runSubmitLeaseAnswer},
+		{"answer_online_ds", runAnswerOnlineDS},
 		{"submit_batch", runSubmitBatch},
 		{"submit_lease_answer_batch", runSubmitLeaseAnswerBatch},
 	}
@@ -290,7 +332,9 @@ func runDispatchBench(outPath, baselinePath string, maxRegress float64) int {
 		AutoShards: store.AutoShards(),
 		Note: "ops are in-process dispatch data-plane calls; reqs_per_sec counts the " +
 			"single-call API requests one op is equivalent to (submit=1, " +
-			"submit_lease_answer=3, *_batch ops move 64 items per iteration). " +
+			"submit_lease_answer=3, *_batch ops move 64 items per iteration; " +
+			"answer_online_ds is submit_lease_answer with the online Dawid-Skene " +
+			"estimator on the answer path). " +
 			"shard_mode=1 is the historical global-lock configuration, shard_mode=auto " +
 			"the sharded core. Parallel speedup requires a multi-core runner; " +
 			"single-core hosts measure lock overhead only, and wal_fsync carries the " +
@@ -337,6 +381,29 @@ func runDispatchBench(outPath, baselinePath string, maxRegress float64) int {
 	if fs.Improvement < 2 {
 		fmt.Fprintf(os.Stderr, "hcbench: batched WAL path saves only %.2fx fsyncs per submit, want >= 2x\n", fs.Improvement)
 		code = 1
+	}
+	// The streaming quality plane must stay cheap on the answer path: at
+	// the gate point (auto shards, 16 goroutines) the estimator-enabled
+	// round trip must hold at least half the plain round trip's
+	// throughput in the same run. Same-run comparison makes the gate
+	// host-independent.
+	findOp := func(op string) *benchResult {
+		for i := range out.Results {
+			r := &out.Results[i]
+			if r.Op == op && r.ShardMode == "auto" && r.Goroutines == 16 {
+				return r
+			}
+		}
+		return nil
+	}
+	if plain, ds := findOp("submit_lease_answer"), findOp("answer_online_ds"); plain != nil && ds != nil && plain.ReqsPerSec > 0 {
+		ratio := ds.ReqsPerSec / plain.ReqsPerSec
+		fmt.Printf("hcbench: quality-plane overhead gate: answer_online_ds %.0f req/s = %.2fx of submit_lease_answer %.0f req/s\n",
+			ds.ReqsPerSec, ratio, plain.ReqsPerSec)
+		if ratio < 0.5 {
+			fmt.Fprintf(os.Stderr, "hcbench: online estimator costs too much on the answer path: %.2fx of plain throughput, want >= 0.5x\n", ratio)
+			code = 1
+		}
 	}
 	if baselinePath != "" {
 		if err := checkRegression(baselinePath, out, maxRegress); err != nil {

@@ -61,14 +61,16 @@ func newLogger(json bool, level string) (*slog.Logger, error) {
 }
 
 // swapStore moves recovered state into the journaled system by
-// snapshotting through memory — store contents are the only state that
-// must survive (leases are ephemeral by design).
+// snapshotting through memory. The core-level snapshot carries the
+// calibration sidecar, so gold expectations, reputation tallies and
+// estimator statistics survive the swap alongside the task state (leases
+// are ephemeral by design and stay behind).
 func swapStore(dst, src *core.System) {
 	var buf bytes.Buffer
-	if err := src.Store().Snapshot(&buf); err != nil {
+	if err := src.Snapshot(&buf); err != nil {
 		fatal("adopting recovered state", "err", err)
 	}
-	if err := dst.Store().Restore(&buf); err != nil {
+	if err := dst.Restore(&buf); err != nil {
 		fatal("adopting recovered state", "err", err)
 	}
 	if err := dst.RequeueOpen(); err != nil {
@@ -93,6 +95,10 @@ func main() {
 		traceCap  = flag.Int("trace-capacity", 0, "lifecycle trace ring capacity in events; 0 = default, negative disables tracing")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		qualityOn  = flag.Bool("quality-online", true, "run the online Dawid-Skene quality estimator over choice-task answers")
+		confTarget = flag.Float64("confidence-target", 0, "posterior confidence that completes a choice task before redundancy (0 disables early completion)")
+		qualityMin = flag.Int("quality-min-answers", 2, "answers required before confidence can complete a task early")
 
 		readHeaderTO = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard); 0 disables")
 		readTO       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout; 0 disables")
@@ -119,6 +125,12 @@ func main() {
 	cfg.LeaseTTL = *leaseTTL
 	cfg.Shards = *shards
 	cfg.TraceCapacity = *traceCap
+	cfg.OnlineQuality = *qualityOn
+	cfg.ConfidenceTarget = *confTarget
+	cfg.QualityMinAnswers = *qualityMin
+	if *confTarget > 0 && !*qualityOn {
+		fatal("-confidence-target requires -quality-online")
+	}
 
 	// Recovery order: snapshot first, then the WAL tail written after it
 	// (torn or corrupt tails are truncated, not fatal), then a fresh
@@ -137,7 +149,7 @@ func main() {
 	}
 	if *walPath != "" {
 		if tail, err := os.OpenFile(*walPath, os.O_RDWR, 0); err == nil {
-			st, rerr := store.RecoverWAL(tail, sys.Store())
+			st, rerr := store.RecoverWALObserved(tail, sys.Store(), sys.ObserveRecoveredEvent)
 			tail.Close()
 			if rerr != nil {
 				fatal("recovering wal", "err", rerr)
@@ -287,6 +299,12 @@ func main() {
 			logger.Warn("closing wal", "err", err)
 		}
 	}
+	// Reclaim whatever leases expired while the server drained: their
+	// tasks return to Open before the snapshot, so the next boot re-leases
+	// them instead of waiting out TTLs that died with this process.
+	if n := sys.ExpireLeases(); n > 0 {
+		logger.Info("reclaimed expired leases at shutdown", "leases", n)
+	}
 	if *snapshot != "" {
 		if err := save(sys, *snapshot); err != nil {
 			fatal("writing snapshot", "err", err)
@@ -314,7 +332,7 @@ func restore(sys *core.System, path string) error {
 		return err
 	}
 	defer f.Close()
-	if err := sys.Store().Restore(f); err != nil {
+	if err := sys.Restore(f); err != nil {
 		return err
 	}
 	open := sys.Store().ViewByStatus(task.Open)
@@ -332,7 +350,7 @@ func save(sys *core.System, path string) error {
 	if err != nil {
 		return err
 	}
-	if err := sys.Store().Snapshot(f); err != nil {
+	if err := sys.Snapshot(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+// TestAdaptiveArmSavesAnswers runs a scaled-down version of the quality
+// experiment and checks the properties the CI gate asserts at full scale:
+// the adaptive arm completes every task with materially fewer answers,
+// stays close to the fixed arm's accuracy, and its online posteriors
+// agree with a batch EM re-run.
+func TestAdaptiveArmSavesAnswers(t *testing.T) {
+	wl := newQualityWorkload(150, 30, 10)
+	fixed := runQualityArm("fixed", false, wl, 5, 0.98)
+	adaptive := runQualityArm("adaptive", true, wl, 5, 0.98)
+
+	if fixed.answersPerTask != 5 {
+		t.Fatalf("fixed arm answers/task = %v, want exactly 5", fixed.answersPerTask)
+	}
+	if fixed.earlyCompleted != 0 {
+		t.Fatalf("fixed arm completed %d tasks early", fixed.earlyCompleted)
+	}
+	if adaptive.earlyCompleted == 0 {
+		t.Fatal("adaptive arm never completed a task early")
+	}
+	savings := 1 - adaptive.answersPerTask/fixed.answersPerTask
+	if savings < 0.10 {
+		t.Fatalf("adaptive arm saved only %.1f%% of answers", 100*savings)
+	}
+	if delta := adaptive.accuracy - fixed.accuracy; delta < -0.05 {
+		t.Fatalf("adaptive accuracy %.3f too far below fixed %.3f", adaptive.accuracy, fixed.accuracy)
+	}
+	if adaptive.divergence > 0.30 {
+		t.Fatalf("online/batch divergence %.3f too large", adaptive.divergence)
+	}
+	if adaptive.divergenceTasks == 0 {
+		t.Fatal("divergence compared zero tasks")
+	}
+}
+
+// TestQualityWorkloadPaired checks the vote tables are deterministic per
+// seed — the property that makes the two-arm comparison paired.
+func TestQualityWorkloadPaired(t *testing.T) {
+	a := newQualityWorkload(50, 20, 7)
+	b := newQualityWorkload(50, 20, 7)
+	for ti := range a.votes {
+		for wi := range a.votes[ti] {
+			if a.votes[ti][wi] != b.votes[ti][wi] {
+				t.Fatalf("vote table not deterministic at task %d worker %d", ti, wi)
+			}
+		}
+	}
+	if a.truth[0] != b.truth[0] || len(a.truth) != len(b.truth) {
+		t.Fatal("truth table not deterministic")
+	}
+}

@@ -40,10 +40,14 @@ func main() {
 		players = flag.Int("players", 200, "local mode: population size")
 		hours   = flag.Float64("hours", 24, "local mode: simulated horizon")
 		url     = flag.String("url", "http://localhost:8080", "http mode: service base URL")
-		tasks   = flag.Int("tasks", 100, "http mode: labeling tasks to submit")
-		workers = flag.Int("workers", 8, "http mode: simulated workers")
+		tasks   = flag.Int("tasks", 100, "http/quality mode: tasks to submit")
+		workers = flag.Int("workers", 8, "http/quality mode: simulated workers")
 		batch   = flag.Int("batch", 1, "http mode: batch size for submits/leases/answers (1 = single-call API)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+
+		redundancy = flag.Int("redundancy", 5, "quality mode: answers per task in the fixed arm")
+		target     = flag.Float64("target", 0.95, "quality mode: posterior confidence that completes a task early")
+		gate       = flag.Bool("gate", false, "quality mode: exit non-zero unless adaptive redundancy saves >=20% answers at <=1 point accuracy cost")
 	)
 	flag.Parse()
 
@@ -52,6 +56,14 @@ func main() {
 		runLocal(*game, *players, *hours, *seed)
 	case "http":
 		runHTTP(*url, *tasks, *workers, *batch, *seed)
+	case "quality":
+		n := *tasks
+		if n == 100 && *workers == 8 {
+			// Mode-appropriate defaults: the shared -tasks/-workers defaults
+			// are sized for http mode; quality needs a larger crowd.
+			n, *workers = 400, 40
+		}
+		runQuality(n, *redundancy, *workers, *target, *seed, *gate)
 	default:
 		log.Fatalf("hcsim: unknown mode %q", *mode)
 	}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"humancomp/internal/core"
 	"humancomp/internal/faultinject"
@@ -129,5 +130,191 @@ func TestCrashRecoverySoak(t *testing.T) {
 					st2.Applied, st2.TruncatedBytes, st.Applied)
 			}
 		})
+	}
+}
+
+// TestCalibrationSurvivesCrashRecovery is the regression test for the
+// quality plane's durability: gold-probe expectations, reputation tallies
+// and the online estimator's posteriors must all be rebuilt from the
+// journal after a crash. Under the old in-memory-only behavior a restart
+// silently forgot every gold expectation and reputation tally, so this
+// test fails against it.
+func TestCalibrationSurvivesCrashRecovery(t *testing.T) {
+	var journal bytes.Buffer
+	cfg := core.DefaultConfig()
+	cfg.Journal = store.NewWAL(&journal)
+	cfg.OnlineQuality = true
+	cfg.QualityMinAnswers = 2
+	sys := core.New(cfg)
+
+	// Calibrate two workers on gold probes: good always right, bad always
+	// wrong.
+	const probes = 6
+	goldIDs := make([]task.ID, probes)
+	for i := 0; i < probes; i++ {
+		// Redundancy 3 leaves one slot per probe unfilled, so gold tasks
+		// are still leasable after recovery.
+		id, err := sys.SubmitGold(task.Judge, task.Payload{ImageID: 100 + i}, 3, 0, task.Answer{Choice: i % 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldIDs[i] = id
+	}
+	for i := 0; i < probes; i++ {
+		for _, w := range []string{"good", "bad"} {
+			tv, lease, err := sys.NextTask(w)
+			if err != nil {
+				t.Fatalf("leasing probe for %s: %v", w, err)
+			}
+			choice := (tv.Payload.ImageID - 100) % 2
+			if w == "bad" {
+				choice = 1 - choice
+			}
+			if err := sys.SubmitAnswer(lease, task.Answer{Choice: choice}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// One in-flight Judge task with a single vote.
+	open, err := sys.SubmitTask(task.Judge, task.Payload{ImageID: 7}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, lease, err := sys.NextTask("good"); err != nil {
+		t.Fatal(err)
+	} else if err := sys.SubmitAnswer(lease, task.Answer{Choice: 1}); err != nil {
+		t.Fatal(err)
+	}
+	wantPost, err := sys.TaskPosterior(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGoodAcc := sys.Reputation().Accuracy("good")
+	wantBadAcc := sys.Reputation().Accuracy("bad")
+	if wantGoodAcc <= wantBadAcc {
+		t.Fatalf("calibration failed before crash: good=%v bad=%v", wantGoodAcc, wantBadAcc)
+	}
+
+	// Crash: only the journal survives. Recover with the calibration
+	// observer attached, the way hcservd boots.
+	rcfg := core.DefaultConfig()
+	rcfg.OnlineQuality = true
+	rcfg.QualityMinAnswers = 2
+	recovered := core.New(rcfg)
+	if _, err := store.ReplayWALObserved(bytes.NewReader(journal.Bytes()), recovered.Store(), recovered.ObserveRecoveredEvent); err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	if err := recovered.RequeueOpen(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := recovered.Reputation()
+	if got := rep.Probes("good"); got != probes {
+		t.Fatalf("good worker has %d probes after recovery, want %d", got, probes)
+	}
+	if got := rep.Accuracy("good"); got != wantGoodAcc {
+		t.Fatalf("good worker accuracy %v after recovery, want %v", got, wantGoodAcc)
+	}
+	if got := rep.Accuracy("bad"); got != wantBadAcc {
+		t.Fatalf("bad worker accuracy %v after recovery, want %v", got, wantBadAcc)
+	}
+	for _, id := range goldIDs {
+		if !recovered.IsGold(id) {
+			t.Fatalf("gold expectation for task %d lost in recovery", id)
+		}
+	}
+	// The in-flight posterior is rebuilt from the replayed votes.
+	gotPost, err := recovered.TaskPosterior(open)
+	if err != nil {
+		t.Fatalf("posterior lost in recovery: %v", err)
+	}
+	if gotPost.Votes != wantPost.Votes {
+		t.Fatalf("recovered %d votes, want %d", gotPost.Votes, wantPost.Votes)
+	}
+	for i := range wantPost.Posterior {
+		if diff := gotPost.Posterior[i] - wantPost.Posterior[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("recovered posterior %v, want %v", gotPost.Posterior, wantPost.Posterior)
+		}
+	}
+	// A recovered gold task must keep scoring reputation: the next worker
+	// to answer one gets a tally.
+	tv, lease, err := recovered.NextTask("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered.IsGold(tv.ID) {
+		t.Fatalf("expected a gold task to still be leasable, got task %d", tv.ID)
+	}
+	if err := recovered.SubmitAnswer(lease, task.Answer{Choice: (tv.Payload.ImageID - 100) % 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Probes("late"); got != 1 {
+		t.Fatalf("late worker has %d probes, want 1 (recovered gold no longer scores)", got)
+	}
+}
+
+// TestShutdownExpiresLeasesBeforeSnapshot mirrors hcservd's shutdown and
+// restart sequence: leases abandoned by workers are reclaimed before the
+// shutdown snapshot, so after a restore-plus-requeue the tasks are
+// immediately leasable instead of waiting out TTLs that died with the
+// process. The snapshot carries the calibration sidecar, so reputation
+// survives alongside.
+func TestShutdownExpiresLeasesBeforeSnapshot(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.LeaseTTL = time.Millisecond
+	cfg.OnlineQuality = true
+	sys := core.New(cfg)
+
+	if _, err := sys.SubmitGold(task.Judge, task.Payload{ImageID: 1}, 1, 0, task.Answer{Choice: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, lease, err := sys.NextTask("w"); err != nil {
+		t.Fatal(err)
+	} else if err := sys.SubmitAnswer(lease, task.Answer{Choice: 0}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := sys.SubmitTask(task.Judge, task.Payload{ImageID: 2}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ghost worker leases the task and disappears; the lease expires.
+	if _, _, err := sys.NextTask("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+
+	// Shutdown: expire leases, then snapshot — the order main() uses.
+	if n := sys.ExpireLeases(); n != 1 {
+		t.Fatalf("expired %d leases at shutdown, want 1", n)
+	}
+	var snap bytes.Buffer
+	if err := sys.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart.
+	rcfg := core.DefaultConfig()
+	rcfg.OnlineQuality = true
+	restarted := core.New(rcfg)
+	if err := restarted.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.RequeueOpen(); err != nil {
+		t.Fatal(err)
+	}
+	// The abandoned task must be leasable right away.
+	tv, lease, err := restarted.NextTask("fresh")
+	if err != nil {
+		t.Fatalf("abandoned task not leasable after restart: %v", err)
+	}
+	if tv.ID != id {
+		t.Fatalf("leased task %d, want %d", tv.ID, id)
+	}
+	if err := restarted.SubmitAnswer(lease, task.Answer{Choice: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Reputation rode the snapshot.
+	if got := restarted.Reputation().Probes("w"); got != 1 {
+		t.Fatalf("worker has %d probes after restart, want 1", got)
 	}
 }

@@ -49,6 +49,20 @@ type Config struct {
 	// retained). 0 selects trace.DefaultCapacity; negative disables
 	// tracing entirely.
 	TraceCapacity int
+	// OnlineQuality enables the streaming quality plane: an online
+	// Dawid–Skene estimator fed from the answer path that maintains
+	// per-worker confusion matrices and per-task posteriors for
+	// Compare/Judge tasks, O(votes-on-task) per answer.
+	OnlineQuality bool
+	// ConfidenceTarget, when positive (and OnlineQuality is on), completes
+	// a choice task as soon as its posterior confidence reaches the target
+	// — even before redundancy is met. The completion rule is confidence
+	// OR redundancy, whichever crosses first. 0 disables early completion.
+	ConfidenceTarget float64
+	// QualityMinAnswers is the minimum answers a task must carry before
+	// the confidence target may complete it early (guards against one
+	// highly-reputed vote deciding a task alone). 0 selects 2.
+	QualityMinAnswers int
 }
 
 // Journal is the event sink a System writes through (see store.WAL).
@@ -88,6 +102,7 @@ type System struct {
 
 	trace *trace.Recorder      // lifecycle event ring; nil when disabled
 	gwap  *metrics.ShardedGWAP // live play metrics derived from leases
+	qp    *qualityPlane        // streaming quality plane; nil when disabled
 
 	tasksSubmitted metrics.Counter
 	answersTotal   metrics.Counter
@@ -127,6 +142,9 @@ func New(cfg Config) *System {
 		s.store.SetRecorder(s.trace)
 		s.queue.SetRecorder(s.trace)
 	}
+	if cfg.OnlineQuality {
+		s.qp = newQualityPlane(s.rep, cfg.QualityMinAnswers)
+	}
 	return s
 }
 
@@ -137,6 +155,15 @@ func (s *System) Reputation() *quality.Reputation { return s.rep }
 // failure after the task reaches the store, the partial state is rolled
 // back so store, queue and journal never disagree about which tasks exist.
 func (s *System) SubmitTask(kind task.Kind, p task.Payload, redundancy, priority int) (task.ID, error) {
+	return s.submit(kind, p, redundancy, priority, nil)
+}
+
+// submit is the shared submit path. A non-nil gold answer registers the
+// task as a reputation probe *before* it becomes leasable — a worker who
+// leases and answers the probe in the window between Add and registration
+// would otherwise escape scoring — and rides in the journal event so the
+// probe survives replay.
+func (s *System) submit(kind task.Kind, p task.Payload, redundancy, priority int, gold *task.Answer) (task.ID, error) {
 	now := s.clock.Now()
 	t, err := task.New(s.store.NextID(), kind, p, redundancy, now)
 	if err != nil {
@@ -148,15 +175,29 @@ func (s *System) SubmitTask(kind task.Kind, p task.Payload, redundancy, priority
 	// succeeds a concurrent worker may already be mutating t.
 	clean := task.Task(t.View())
 	s.store.Put(t)
+	if gold != nil {
+		s.mu.Lock()
+		s.gold[t.ID] = *gold
+		s.mu.Unlock()
+	}
+	dropGold := func() {
+		if gold != nil {
+			s.mu.Lock()
+			delete(s.gold, t.ID)
+			s.mu.Unlock()
+		}
+	}
 	if err := s.queue.Add(t); err != nil {
 		s.store.Delete(t.ID)
+		dropGold()
 		return 0, err
 	}
-	if err := s.journal(store.Event{Kind: store.EventSubmit, At: now, Task: &clean}); err != nil {
+	if err := s.journal(store.Event{Kind: store.EventSubmit, At: now, Task: &clean, Gold: gold}); err != nil {
 		// Unacknowledged and unjournaled: a crash here would lose the task
 		// anyway, so withdraw it rather than strand it half-submitted.
 		_ = s.queue.Remove(t.ID)
 		s.store.Delete(t.ID)
+		dropGold()
 		return 0, err
 	}
 	s.tasksSubmitted.Inc()
@@ -229,6 +270,14 @@ func (s *System) SubmitBatch(specs []SubmitSpec) []SubmitOutcome {
 	tasks := make([]*task.Task, 0, len(specs))
 	specIdx := make([]int, 0, len(specs)) // spec index of each created task
 	for i, sp := range specs {
+		if sp.Gold {
+			// A malformed gold expectation would score every honest worker
+			// wrong; reject it before the task exists anywhere.
+			if err := task.ValidateAnswer(sp.Kind, sp.Expected); err != nil {
+				out[i].Err = err
+				continue
+			}
+		}
 		t, err := task.New(s.store.NextID(), sp.Kind, sp.Payload, sp.Redundancy, now)
 		if err != nil {
 			out[i].Err = err
@@ -246,48 +295,63 @@ func (s *System) SubmitBatch(specs []SubmitSpec) []SubmitOutcome {
 	// AddBatch succeeds a concurrent worker may already be mutating them.
 	cleans := make([]task.Task, len(tasks))
 	events := make([]store.Event, len(tasks))
+	golds := make([]*task.Answer, len(tasks))
 	for j, t := range tasks {
 		cleans[j] = task.Task(t.View())
 		events[j] = store.Event{Kind: store.EventSubmit, At: now, Task: &cleans[j]}
+		if sp := specs[specIdx[j]]; sp.Gold {
+			g := sp.Expected
+			golds[j] = &g
+			events[j].Gold = golds[j]
+		}
 	}
 	s.store.PutBatch(tasks)
+	// Gold expectations register before the tasks become leasable, so no
+	// worker can answer a probe unscored (mirrors the single-submit path).
+	s.mu.Lock()
+	for j, g := range golds {
+		if g != nil {
+			s.gold[tasks[j].ID] = *g
+		}
+	}
+	s.mu.Unlock()
+	dropGold := func(id task.ID, g *task.Answer) {
+		if g != nil {
+			s.mu.Lock()
+			delete(s.gold, id)
+			s.mu.Unlock()
+		}
+	}
 	addErrs := s.queue.AddBatch(tasks)
 	okTasks := make([]*task.Task, 0, len(tasks))
 	okEvents := make([]store.Event, 0, len(tasks))
+	okGolds := make([]*task.Answer, 0, len(tasks))
 	okIdx := make([]int, 0, len(tasks))
 	for j, t := range tasks {
 		if addErrs[j] != nil {
 			s.store.Delete(t.ID)
+			dropGold(t.ID, golds[j])
 			out[specIdx[j]].Err = addErrs[j]
 			continue
 		}
 		okTasks = append(okTasks, t)
 		okEvents = append(okEvents, events[j])
+		okGolds = append(okGolds, golds[j])
 		okIdx = append(okIdx, specIdx[j])
 	}
 	acked, jerr := s.journalBatch(okEvents)
-	var goldIdx []int
 	for j, t := range okTasks {
 		if j >= acked {
 			// Unacknowledged and unjournaled: withdraw rather than strand
 			// half-submitted (mirrors the single-submit rollback).
 			_ = s.queue.Remove(t.ID)
 			s.store.Delete(t.ID)
+			dropGold(t.ID, okGolds[j])
 			out[okIdx[j]].Err = jerr
 			continue
 		}
 		out[okIdx[j]].ID = t.ID
 		s.tasksSubmitted.Inc()
-		if specs[okIdx[j]].Gold {
-			goldIdx = append(goldIdx, j)
-		}
-	}
-	if len(goldIdx) > 0 {
-		s.mu.Lock()
-		for _, j := range goldIdx {
-			s.gold[okTasks[j].ID] = specs[okIdx[j]].Expected
-		}
-		s.mu.Unlock()
 	}
 	return out
 }
@@ -304,16 +368,14 @@ func (s *System) emit(stage trace.Stage, id task.ID, worker string, at time.Time
 
 // SubmitGold creates a gold probe: a task whose answer is already known.
 // Workers cannot tell it apart from real work; their answers update their
-// reputation instead of producing new results.
+// reputation instead of producing new results. The expected answer is
+// validated like any worker answer — a malformed expectation would score
+// every honest worker wrong and silently poison reputations.
 func (s *System) SubmitGold(kind task.Kind, p task.Payload, redundancy, priority int, expected task.Answer) (task.ID, error) {
-	id, err := s.SubmitTask(kind, p, redundancy, priority)
-	if err != nil {
+	if err := task.ValidateAnswer(kind, expected); err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	s.gold[id] = expected
-	s.mu.Unlock()
-	return id, nil
+	return s.submit(kind, p, redundancy, priority, &expected)
 }
 
 // IsGold reports whether id is a gold probe.
@@ -375,6 +437,7 @@ func (s *System) SubmitAnswer(lease queue.LeaseID, a task.Answer) error {
 		s.gwap.RecordOutputs(1)
 	}
 	s.checkGold(res)
+	s.observeAnswer(res, now)
 	return nil
 }
 
@@ -385,9 +448,35 @@ func (s *System) SubmitAnswer(lease queue.LeaseID, a task.Answer) error {
 // never fails the rest. Items whose journal append was not acknowledged
 // report that error, exactly as a single SubmitAnswer would.
 func (s *System) AnswerBatch(items []queue.CompleteItem) []error {
-	errs := make([]error, len(items))
+	outcomes := s.AnswerBatchDetailed(items)
+	errs := make([]error, len(outcomes))
+	for i, o := range outcomes {
+		errs[i] = o.Err
+	}
+	return errs
+}
+
+// AnswerOutcome is the per-item result of AnswerBatchDetailed. The quality
+// fields are populated only when the online estimator observed the answer
+// (a Compare/Judge task on a quality-enabled system): Posterior is the
+// task's class posterior after this answer, Confidence its maximum, and
+// EarlyDone reports that this answer pushed the posterior past the
+// configured confidence target and completed the task before redundancy.
+type AnswerOutcome struct {
+	Err        error
+	TaskID     task.ID
+	Status     task.Status
+	Confidence float64
+	Posterior  []float64
+	EarlyDone  bool
+}
+
+// AnswerBatchDetailed is AnswerBatch returning per-item outcomes with the
+// quality plane's posterior view of each answered task.
+func (s *System) AnswerBatchDetailed(items []queue.CompleteItem) []AnswerOutcome {
+	out := make([]AnswerOutcome, len(items))
 	if len(items) == 0 {
-		return errs
+		return out
 	}
 	now := s.clock.Now()
 	outcomes := s.queue.CompleteBatch(items, now)
@@ -398,7 +487,7 @@ func (s *System) AnswerBatch(items []queue.CompleteItem) []error {
 	okIdx := make([]int, 0, len(items))
 	for i, o := range outcomes {
 		if o.Err != nil {
-			errs[i] = o.Err
+			out[i].Err = o.Err
 			continue
 		}
 		recorded = append(recorded, o.Result.Answer)
@@ -411,7 +500,7 @@ func (s *System) AnswerBatch(items []queue.CompleteItem) []error {
 	acked, jerr := s.journalBatch(events)
 	for j, i := range okIdx {
 		if j >= acked {
-			errs[i] = jerr
+			out[i].Err = jerr
 			continue
 		}
 		res := outcomes[i].Result
@@ -421,8 +510,17 @@ func (s *System) AnswerBatch(items []queue.CompleteItem) []error {
 			s.gwap.RecordOutputs(1)
 		}
 		s.checkGold(res)
+		conf, post, early := s.observeAnswer(res, now)
+		out[i].TaskID = res.TaskID
+		out[i].Status = res.Status
+		out[i].Confidence = conf
+		out[i].Posterior = post
+		out[i].EarlyDone = early
+		if early {
+			out[i].Status = task.Done
+		}
 	}
-	return errs
+	return out
 }
 
 // checkGold scores a just-recorded answer against its task's gold
@@ -615,11 +713,12 @@ func (s *System) AggregateWords(id task.ID) ([]WordCount, error) {
 
 // Stats is a snapshot of system activity.
 type Stats struct {
-	TasksSubmitted int64       `json:"tasks_submitted"`
-	AnswersTotal   int64       `json:"answers_total"`
-	GoldChecked    int64       `json:"gold_checked"`
-	Queue          queue.Stats `json:"queue"`
-	StoredTasks    int         `json:"stored_tasks"`
+	TasksSubmitted int64        `json:"tasks_submitted"`
+	AnswersTotal   int64        `json:"answers_total"`
+	GoldChecked    int64        `json:"gold_checked"`
+	Queue          queue.Stats  `json:"queue"`
+	StoredTasks    int          `json:"stored_tasks"`
+	Quality        QualityStats `json:"quality"`
 }
 
 // Stats returns a snapshot of system activity.
@@ -630,5 +729,6 @@ func (s *System) Stats() Stats {
 		GoldChecked:    s.goldChecked.Value(),
 		Queue:          s.queue.Stats(),
 		StoredTasks:    s.store.Len(),
+		Quality:        s.QualityStats(),
 	}
 }

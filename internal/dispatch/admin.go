@@ -118,6 +118,33 @@ func promFamilies(sys *core.System, api *Server, opts AdminOptions) []metrics.Pr
 		)
 	}
 
+	if q := st.Quality; q.Enabled {
+		fams = append(fams,
+			metrics.PromCounterFamily("hc_quality_early_completed_total",
+				"Choice tasks finished by posterior confidence before redundancy.", q.EarlyCompleted),
+			metrics.PromCounterFamily("hc_redundancy_saved_total",
+				"Answers not collected thanks to confidence-based early completion.", q.RedundancySaved),
+			metrics.PromGaugeFamily("hc_quality_tracked_tasks",
+				"Choice tasks the online estimator currently tracks.", float64(q.TrackedTasks)),
+			metrics.PromGaugeFamily("hc_quality_tracked_workers",
+				"Workers with a confusion matrix in the online estimator.", float64(q.TrackedWorkers)),
+			metrics.PromSummaryFamily("hc_quality_posterior_confidence",
+				"Max-posterior confidence observed at each recorded choice answer.",
+				sys.ConfidenceHistogram()),
+		)
+		// The divergence gauge runs a bounded batch EM over a sample of
+		// recently tracked tasks — outside the estimator's lock, so a
+		// scrape never stalls the answer path.
+		if meanL1, n := sys.QualityDivergence(128); n > 0 {
+			fams = append(fams,
+				metrics.PromGaugeFamily("hc_quality_online_batch_divergence",
+					"Mean L1 distance between online and batch Dawid-Skene posteriors over a bounded sample.", meanL1),
+				metrics.PromGaugeFamily("hc_quality_divergence_sample_tasks",
+					"Tasks compared by the last divergence computation.", float64(n)),
+			)
+		}
+	}
+
 	gwap := sys.GWAP()
 	fams = append(fams,
 		metrics.PromGaugeFamily("hc_gwap_players",

@@ -66,10 +66,16 @@ type BatchAnswerRequest struct {
 }
 
 // BatchItemStatus is one item's outcome where success carries no payload
-// (the batched twin of the single call's 204).
+// (the batched twin of the single call's 204). Answers to choice tasks
+// under the online quality plane additionally report the task's posterior
+// state after the vote was folded in, and whether this vote completed the
+// task early on confidence.
 type BatchItemStatus struct {
-	Status int    `json:"status"`
-	Error  string `json:"error,omitempty"`
+	Status     int       `json:"status"`
+	Error      string    `json:"error,omitempty"`
+	Confidence float64   `json:"confidence,omitempty"`
+	Posterior  []float64 `json:"posterior,omitempty"`
+	EarlyDone  bool      `json:"early_done,omitempty"`
 }
 
 // BatchAnswerResponse is the body returned by POST /v1/leases:answers,
@@ -183,12 +189,17 @@ func (s *Server) handleAnswerBatch(w http.ResponseWriter, r *http.Request) {
 		items[i] = queue.CompleteItem{Lease: a.Lease, Answer: a.Answer}
 	}
 	results := make([]BatchItemStatus, len(items))
-	for i, err := range s.sys.AnswerBatch(items) {
-		if err != nil {
-			results[i] = BatchItemStatus{Status: statusOf(err), Error: err.Error()}
+	for i, out := range s.sys.AnswerBatchDetailed(items) {
+		if out.Err != nil {
+			results[i] = BatchItemStatus{Status: statusOf(out.Err), Error: out.Err.Error()}
 			continue
 		}
-		results[i] = BatchItemStatus{Status: http.StatusNoContent}
+		results[i] = BatchItemStatus{
+			Status:     http.StatusNoContent,
+			Confidence: out.Confidence,
+			Posterior:  out.Posterior,
+			EarlyDone:  out.EarlyDone,
+		}
 	}
 	writeJSON(w, http.StatusOK, BatchAnswerResponse{Results: results})
 }

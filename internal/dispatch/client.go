@@ -444,6 +444,22 @@ func (c *Client) Cancel(id task.ID) error {
 	return c.CancelContext(context.Background(), id)
 }
 
+// PosteriorContext fetches the online estimator's class posterior and
+// confidence for a choice task.
+func (c *Client) PosteriorContext(ctx context.Context, id task.ID) (core.PosteriorInfo, error) {
+	var out core.PosteriorInfo
+	if _, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/tasks/%d/posterior", id), nil, &out, ""); err != nil {
+		return core.PosteriorInfo{}, err
+	}
+	return out, nil
+}
+
+// Posterior fetches the online estimator's class posterior and confidence
+// for a choice task.
+func (c *Client) Posterior(id task.ID) (core.PosteriorInfo, error) {
+	return c.PosteriorContext(context.Background(), id)
+}
+
 // TraceContext fetches the retained lifecycle events of a task, oldest
 // first.
 func (c *Client) TraceContext(ctx context.Context, id task.ID) (TraceResponse, error) {

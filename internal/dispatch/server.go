@@ -157,6 +157,7 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	route("DELETE /v1/tasks/{id}", s.handleCancel)
 	route("GET /v1/tasks/{id}/words", s.handleWords)
 	route("GET /v1/tasks/{id}/choice", s.handleChoice)
+	route("GET /v1/tasks/{id}/posterior", s.handlePosterior)
 	route("GET /v1/tasks/{id}/trace", s.handleTrace)
 	route("POST /v1/next", s.handleNext)
 	route("POST /v1/leases:batch", s.handleNextBatch)
@@ -210,16 +211,19 @@ func statusOf(err error) int {
 	case errors.Is(err, queue.ErrEmpty):
 		return http.StatusNoContent
 	case errors.Is(err, queue.ErrUnknownLease),
-		errors.Is(err, queue.ErrUnknownTask):
+		errors.Is(err, queue.ErrUnknownTask),
+		errors.Is(err, core.ErrNoPosterior):
 		return http.StatusNotFound
 	case errors.Is(err, task.ErrWrongStatus),
 		errors.Is(err, task.ErrWorkerRepeat),
 		errors.Is(err, queue.ErrDuplicateID):
 		return http.StatusConflict
 	case errors.Is(err, task.ErrEmptyAnswer),
+		errors.Is(err, task.ErrBadChoice),
 		errors.Is(err, task.ErrBadRedundancy),
 		errors.Is(err, task.ErrUnknownKind),
-		errors.Is(err, core.ErrWrongKind):
+		errors.Is(err, core.ErrWrongKind),
+		errors.Is(err, core.ErrQualityDisabled):
 		return http.StatusUnprocessableEntity
 	}
 	return http.StatusInternalServerError
@@ -415,6 +419,23 @@ func (s *Server) handleChoice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handlePosterior serves GET /v1/tasks/{id}/posterior: the online
+// estimator's class posterior and confidence for a choice task. 422 when
+// the system runs without the quality plane, 404 when the estimator holds
+// no state for the task (non-choice kind, no answers yet, evicted).
+func (s *Server) handlePosterior(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID[task.ID](w, r)
+	if !ok {
+		return
+	}
+	info, err := s.sys.TaskPosterior(id)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {

@@ -13,8 +13,8 @@ import (
 
 // Vote is one worker's categorical judgment on a task.
 type Vote struct {
-	Worker string
-	Class  int
+	Worker string `json:"worker"`
+	Class  int    `json:"class"`
 }
 
 // Majority returns the plurality class among votes, its vote count, and
@@ -26,7 +26,13 @@ func Majority(votes []Vote) (class, count int, tie, ok bool) {
 	}
 	counts := map[int]int{}
 	for _, v := range votes {
+		if v.Class < 0 {
+			continue // malformed vote; never let it name a class
+		}
 		counts[v.Class]++
+	}
+	if len(counts) == 0 {
+		return 0, 0, false, false
 	}
 	classes := make([]int, 0, len(counts))
 	for c := range counts {
@@ -55,11 +61,17 @@ func Weighted(votes []Vote, weight func(worker string) float64) (class int, tota
 	const floor = 1e-6
 	sums := map[int]float64{}
 	for _, v := range votes {
+		if v.Class < 0 {
+			continue // malformed vote; never let it name a class
+		}
 		w := weight(v.Worker)
 		if w < floor {
 			w = floor
 		}
 		sums[v.Class] += w
+	}
+	if len(sums) == 0 {
+		return 0, 0, false
 	}
 	classes := make([]int, 0, len(sums))
 	for c := range sums {

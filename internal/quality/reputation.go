@@ -74,3 +74,53 @@ func (r *Reputation) Weight(worker string) float64 {
 func logit(p float64) float64 {
 	return math.Log(p / (1 - p))
 }
+
+// ReputationState is the serializable calibration state of a Reputation
+// tracker: the per-worker gold-probe tallies. The prior itself is
+// configuration, not state, and is not exported.
+type ReputationState struct {
+	Correct map[string]float64 `json:"correct,omitempty"`
+	Total   map[string]float64 `json:"total,omitempty"`
+}
+
+// State exports a deep copy of the per-worker tallies for snapshotting.
+func (r *Reputation) State() ReputationState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ReputationState{
+		Correct: make(map[string]float64, len(r.correct)),
+		Total:   make(map[string]float64, len(r.total)),
+	}
+	for w, v := range r.correct {
+		st.Correct[w] = v
+	}
+	for w, v := range r.total {
+		st.Total[w] = v
+	}
+	return st
+}
+
+// RestoreState replaces the per-worker tallies with st (deep copied).
+// Negative tallies, or more correct than total for a worker, are rejected
+// without modifying the tracker.
+func (r *Reputation) RestoreState(st ReputationState) bool {
+	correct := make(map[string]float64, len(st.Correct))
+	total := make(map[string]float64, len(st.Total))
+	for w, v := range st.Total {
+		if v < 0 {
+			return false
+		}
+		total[w] = v
+	}
+	for w, v := range st.Correct {
+		if v < 0 || v > total[w] {
+			return false
+		}
+		correct[w] = v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.correct = correct
+	r.total = total
+	return true
+}

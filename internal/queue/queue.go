@@ -507,11 +507,13 @@ func (q *Queue) eligibleLocked(e *entry, workerID string) bool {
 // the lease) — is returned by value, so callers never re-read the task's
 // answer list unlocked.
 type CompleteResult struct {
-	TaskID   task.ID
-	Kind     task.Kind
-	Status   task.Status // status after recording; Done when redundancy is met
-	Answer   task.Answer // the recorded answer, by value
-	LeasedAt time.Time   // when the completing lease was granted
+	TaskID     task.ID
+	Kind       task.Kind
+	Status     task.Status // status after recording; Done when redundancy is met
+	Answer     task.Answer // the recorded answer, by value
+	LeasedAt   time.Time   // when the completing lease was granted
+	Answers    int         // answers on the task after recording
+	Redundancy int         // the task's requested redundancy
 }
 
 // Complete records the leaseholder's answer and releases the lease. If the
@@ -542,11 +544,13 @@ func (q *Queue) completeLocked(sh *qshard, id LeaseID, a task.Answer, now time.T
 	var res CompleteResult
 	if err == nil {
 		res = CompleteResult{
-			TaskID:   e.t.ID,
-			Kind:     e.t.Kind,
-			Status:   e.t.Status,
-			Answer:   e.t.Answers[len(e.t.Answers)-1],
-			LeasedAt: l.LeasedAt,
+			TaskID:     e.t.ID,
+			Kind:       e.t.Kind,
+			Status:     e.t.Status,
+			Answer:     e.t.Answers[len(e.t.Answers)-1],
+			LeasedAt:   l.LeasedAt,
+			Answers:    len(e.t.Answers),
+			Redundancy: e.t.Redundancy,
 		}
 	}
 	q.unlockTask(e.t.ID)
@@ -641,6 +645,36 @@ func (q *Queue) Cancel(id task.ID, now time.Time) error {
 	q.fixLocked(sh, e)
 	q.emit(trace.StageCancel, id, "", now)
 	return nil
+}
+
+// FinishEarly completes an open task before it has collected its full
+// redundancy — the quality plane's confidence-crossed path. The returned
+// view is the finished task. ok is false when the task is unknown to the
+// queue or no longer open (e.g. a racing answer just completed it), which
+// callers treat as "nothing to do", keeping the call idempotent.
+// Outstanding leases on the task are left to expire; their late answers
+// are rejected by the task's status check.
+func (q *Queue) FinishEarly(id task.ID, now time.Time) (task.View, bool) {
+	sh := q.shardFor(id)
+	sh.lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[id]
+	if !ok {
+		return task.View{}, false
+	}
+	q.lockTask(id)
+	err := e.t.Finish(now)
+	var v task.View
+	if err == nil {
+		v = e.t.View()
+	}
+	q.unlockTask(id)
+	if err != nil {
+		return task.View{}, false
+	}
+	q.fixLocked(sh, e)
+	q.emit(trace.StageComplete, id, "", now)
+	return v, true
 }
 
 // Remove withdraws a task from the queue entirely without touching its

@@ -394,3 +394,43 @@ func BenchmarkLeaseComplete(b *testing.B) {
 		}
 	}
 }
+
+func TestFinishEarly(t *testing.T) {
+	q := New(time.Minute)
+	tk, err := task.New(1, task.Judge, task.Payload{ClipA: 1, ClipB: 2}, 5, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Add(tk); err != nil {
+		t.Fatal(err)
+	}
+	v, lease, err := q.Lease("w1", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Complete(lease, task.Answer{Choice: 1}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != 1 || res.Redundancy != 5 {
+		t.Fatalf("CompleteResult counts: answers=%d redundancy=%d", res.Answers, res.Redundancy)
+	}
+	fv, ok := q.FinishEarly(v.ID, t0)
+	if !ok {
+		t.Fatal("FinishEarly refused an open task")
+	}
+	if fv.Status != task.Done || len(fv.Answers) != 1 {
+		t.Fatalf("finished view: status=%v answers=%d", fv.Status, len(fv.Answers))
+	}
+	// Idempotent: a second finish (or finishing an unknown task) is a no-op.
+	if _, ok := q.FinishEarly(v.ID, t0); ok {
+		t.Fatal("FinishEarly finished a done task")
+	}
+	if _, ok := q.FinishEarly(999, t0); ok {
+		t.Fatal("FinishEarly finished an unknown task")
+	}
+	// The finished task no longer leases out.
+	if _, _, err := q.Lease("w2", t0); err == nil {
+		t.Fatal("finished task still leasable")
+	}
+}

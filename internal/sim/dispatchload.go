@@ -48,3 +48,38 @@ func LabelAnswers(w *worker.Worker, corpus *vocab.Corpus, views []task.View) []t
 	}
 	return out
 }
+
+// ChoiceAnswer produces one modeled human vote for a leased choice task
+// (Compare/Judge): the worker votes on the binary truth supplied by the
+// experiment's ground-truth table. truthOf maps a task's ImageID to its
+// true class.
+func ChoiceAnswer(w *worker.Worker, v task.View, truthOf func(imageID int) int) task.Answer {
+	return task.Answer{Choice: w.Vote(truthOf(v.Payload.ImageID), 2)}
+}
+
+// ChoiceAnswers answers a whole leased batch of choice tasks,
+// index-aligned with views.
+func ChoiceAnswers(w *worker.Worker, views []task.View, truthOf func(imageID int) int) []task.Answer {
+	out := make([]task.Answer, len(views))
+	for i, v := range views {
+		out[i] = ChoiceAnswer(w, v, truthOf)
+	}
+	return out
+}
+
+// ChoiceVotes precomputes every worker's would-be vote on every choice
+// task: votes[t][w] is worker w's vote on task t whose true class is
+// truth[t]. Experiments that compare completion policies over the same
+// crowd replay one table in every arm, so the arms differ only in which
+// votes get collected — a paired design that removes vote-sampling noise
+// from the comparison.
+func ChoiceVotes(ws []*worker.Worker, truth []int, classes int) [][]int {
+	votes := make([][]int, len(truth))
+	for t, tr := range truth {
+		votes[t] = make([]int, len(ws))
+		for i, w := range ws {
+			votes[t][i] = w.Vote(tr, classes)
+		}
+	}
+	return votes
+}

@@ -324,6 +324,11 @@ type snapshot struct {
 	Version int          `json:"version"`
 	NextID  task.ID      `json:"next_id"`
 	Tasks   []*task.Task `json:"tasks"`
+	// Calibration is an opaque sidecar the quality plane stores alongside
+	// task state (gold expectations, reputation tallies, estimator state).
+	// The store carries it verbatim; older snapshots simply lack the field
+	// and older readers ignore it.
+	Calibration json.RawMessage `json:"calibration,omitempty"`
 }
 
 // viewSnapshot is the encode-side twin of snapshot: it carries deep-copied
@@ -331,9 +336,10 @@ type snapshot struct {
 // nothing. task.View marshals identically to task.Task, so the wire format
 // is unchanged.
 type viewSnapshot struct {
-	Version int         `json:"version"`
-	NextID  task.ID     `json:"next_id"`
-	Tasks   []task.View `json:"tasks"`
+	Version     int             `json:"version"`
+	NextID      task.ID         `json:"next_id"`
+	Tasks       []task.View     `json:"tasks"`
+	Calibration json.RawMessage `json:"calibration,omitempty"`
 }
 
 const snapshotVersion = 1
@@ -344,8 +350,13 @@ const snapshotVersion = 1
 // traffic, and no global stop-the-world lock exists. The post-merge sort
 // by task ID keeps the wire format byte-identical to a one-shard store
 // over the same contents.
-func (s *Store) Snapshot(w io.Writer) error {
-	snap := viewSnapshot{Version: snapshotVersion, NextID: task.ID(s.nextID.Load())}
+func (s *Store) Snapshot(w io.Writer) error { return s.SnapshotWith(w, nil) }
+
+// SnapshotWith is Snapshot with an opaque calibration sidecar embedded in
+// the same document, so task state and quality-plane state are captured
+// atomically in one file.
+func (s *Store) SnapshotWith(w io.Writer, calibration json.RawMessage) error {
+	snap := viewSnapshot{Version: snapshotVersion, NextID: task.ID(s.nextID.Load()), Calibration: calibration}
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		for _, t := range sh.tasks {
@@ -365,12 +376,19 @@ func (s *Store) Snapshot(w io.Writer) error {
 // seeds the ID allocator past both the snapshot's recorded next_id and the
 // largest restored task ID, so post-restore NextID calls never collide.
 func (s *Store) Restore(r io.Reader) error {
+	_, err := s.RestoreWith(r)
+	return err
+}
+
+// RestoreWith is Restore returning the snapshot's calibration sidecar (nil
+// when the snapshot predates it) for the quality plane to rebuild from.
+func (s *Store) RestoreWith(r io.Reader) (json.RawMessage, error) {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("store: decoding snapshot: %w", err)
+		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {
-		return fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
+		return nil, fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
 	}
 	fresh := make([]map[task.ID]*task.Task, len(s.shards))
 	for i := range fresh {
@@ -380,7 +398,7 @@ func (s *Store) Restore(r io.Reader) error {
 	seen := make(map[task.ID]bool, len(snap.Tasks))
 	for _, t := range snap.Tasks {
 		if seen[t.ID] {
-			return fmt.Errorf("store: duplicate task ID %d in snapshot", t.ID)
+			return nil, fmt.Errorf("store: duplicate task ID %d in snapshot", t.ID)
 		}
 		seen[t.ID] = true
 		fresh[uint64(t.ID)&s.mask][t.ID] = t
@@ -394,5 +412,5 @@ func (s *Store) Restore(r io.Reader) error {
 		sh.mu.Unlock()
 	}
 	s.nextID.Store(int64(nextID))
-	return nil
+	return snap.Calibration, nil
 }

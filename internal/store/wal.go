@@ -142,6 +142,9 @@ const (
 	EventSubmit EventKind = "submit"
 	EventAnswer EventKind = "answer"
 	EventCancel EventKind = "cancel"
+	// EventFinish marks a quality-plane early completion: the task reached
+	// its posterior-confidence target before its full redundancy.
+	EventFinish EventKind = "finish"
 )
 
 // Event is one WAL record. Exactly the fields matching Kind are set.
@@ -150,8 +153,11 @@ type Event struct {
 	At   time.Time `json:"at"`
 
 	Task   *task.Task   `json:"task,omitempty"`    // submit: the full new task
-	TaskID task.ID      `json:"task_id,omitempty"` // answer, cancel
+	TaskID task.ID      `json:"task_id,omitempty"` // answer, cancel, finish
 	Answer *task.Answer `json:"answer,omitempty"`  // answer
+	// Gold carries a submitted gold probe's expected answer, so the
+	// calibration contract — this task checks workers — survives replay.
+	Gold *task.Answer `json:"gold,omitempty"` // submit (gold probes only)
 }
 
 // NewWAL returns a log appending v2 records to w with no fsync of its own
@@ -405,6 +411,10 @@ func validateEvent(e Event) error {
 		if e.TaskID == 0 {
 			return errors.New("store: cancel event without task id")
 		}
+	case EventFinish:
+		if e.TaskID == 0 {
+			return errors.New("store: finish event without task id")
+		}
 	default:
 		return fmt.Errorf("store: unknown wal event kind %q", e.Kind)
 	}
@@ -436,6 +446,24 @@ type ReplayStats struct {
 // apply (an answer to a task the log never submitted, a duplicate submit)
 // is real inconsistency, not tearing, and fails replay with an error.
 func ReplayWAL(r io.Reader, s *Store) (ReplayStats, error) {
+	return ReplayWALObserved(r, s, nil)
+}
+
+// ReplayWALObserved is ReplayWAL with a hook: obs (when non-nil) is called
+// with every event after it has been applied to the store, in log order.
+// The quality plane uses it to rebuild calibration state — which tasks are
+// gold probes, which answers scored against them, which tasks finished
+// early — that lives outside the task store proper.
+func ReplayWALObserved(r io.Reader, s *Store, obs func(Event)) (ReplayStats, error) {
+	apply := func(e Event) error {
+		if err := applyEvent(s, e); err != nil {
+			return err
+		}
+		if obs != nil {
+			obs(e)
+		}
+		return nil
+	}
 	br := bufio.NewReaderSize(r, 64*1024)
 	var st ReplayStats
 	for {
@@ -449,7 +477,7 @@ func ReplayWAL(r io.Reader, s *Store) (ReplayStats, error) {
 			return st, nil
 		}
 		if bytes.Equal(head, walMagic[:]) {
-			return replayV2(br, s, st)
+			return replayV2(br, apply, st)
 		}
 		if len(head) >= 4 && bytes.Equal(head[:4], walMagic[:4]) {
 			// A foreign or future "HCWL" header version: don't guess at
@@ -461,7 +489,7 @@ func ReplayWAL(r io.Reader, s *Store) (ReplayStats, error) {
 			// A v2 record stream without the file header: a log tail cut
 			// at a record boundary (snapshot + tail replay). The CRC has
 			// already vouched for the first record.
-			return replayV2Records(br, s, st)
+			return replayV2Records(br, apply, st)
 		}
 		if len(head) < len(walMagic) && !bytes.ContainsRune(head, '\n') {
 			// Short tail that is neither a complete header nor a complete
@@ -470,7 +498,7 @@ func ReplayWAL(r io.Reader, s *Store) (ReplayStats, error) {
 			return st, err
 		}
 		var ok bool
-		st, ok, err = replayV1Line(br, s, st)
+		st, ok, err = replayV1Line(br, apply, st)
 		if !ok || err != nil {
 			return st, err
 		}
@@ -479,7 +507,7 @@ func ReplayWAL(r io.Reader, s *Store) (ReplayStats, error) {
 
 // replayV1Line consumes one legacy JSON line. ok=false ends replay (stats
 // already account for the tail).
-func replayV1Line(br *bufio.Reader, s *Store, st ReplayStats) (ReplayStats, bool, error) {
+func replayV1Line(br *bufio.Reader, apply func(Event) error, st ReplayStats) (ReplayStats, bool, error) {
 	line, err := br.ReadBytes('\n')
 	if err != nil {
 		// No trailing newline: torn final line, never acknowledged.
@@ -497,7 +525,7 @@ func replayV1Line(br *bufio.Reader, s *Store, st ReplayStats) (ReplayStats, bool
 		final, _, derr := discardTail(br, st, int64(len(line)))
 		return final, false, derr
 	}
-	if err := applyEvent(s, e); err != nil {
+	if err := apply(e); err != nil {
 		return st, false, fmt.Errorf("store: wal event %d: %w", st.Applied+1, err)
 	}
 	st.Applied++
@@ -508,17 +536,17 @@ func replayV1Line(br *bufio.Reader, s *Store, st ReplayStats) (ReplayStats, bool
 
 // replayV2 consumes a v2 section: header then records until EOF or the
 // first damaged record.
-func replayV2(br *bufio.Reader, s *Store, st ReplayStats) (ReplayStats, error) {
+func replayV2(br *bufio.Reader, apply func(Event) error, st ReplayStats) (ReplayStats, error) {
 	if _, err := br.Discard(len(walMagic)); err != nil {
 		return st, err
 	}
 	st.GoodBytes += int64(len(walMagic))
-	return replayV2Records(br, s, st)
+	return replayV2Records(br, apply, st)
 }
 
 // replayV2Records decodes length-prefixed checksummed records until the
 // stream ends (cleanly or torn) or a record fails verification.
-func replayV2Records(br *bufio.Reader, s *Store, st ReplayStats) (ReplayStats, error) {
+func replayV2Records(br *bufio.Reader, apply func(Event) error, st ReplayStats) (ReplayStats, error) {
 	for {
 		var hdr [walRecordHeader]byte
 		n, err := io.ReadFull(br, hdr[:])
@@ -556,7 +584,7 @@ func replayV2Records(br *bufio.Reader, s *Store, st ReplayStats) (ReplayStats, e
 			st, _, err := discardTail(br, st, walRecordHeader+int64(length))
 			return st, err
 		}
-		if err := applyEvent(s, e); err != nil {
+		if err := apply(e); err != nil {
 			return st, fmt.Errorf("store: wal event %d: %w", st.Applied+1, err)
 		}
 		st.Applied++
@@ -602,10 +630,16 @@ func discardTail(br *bufio.Reader, st ReplayStats, consumed int64) (ReplayStats,
 // is applied, the torn or corrupt tail (never acknowledged) is cut off,
 // and the stats report both so they can be exported as metrics.
 func RecoverWAL(f *os.File, s *Store) (ReplayStats, error) {
+	return RecoverWALObserved(f, s, nil)
+}
+
+// RecoverWALObserved is RecoverWAL with the same event hook as
+// ReplayWALObserved.
+func RecoverWALObserved(f *os.File, s *Store, obs func(Event)) (ReplayStats, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return ReplayStats{}, err
 	}
-	st, err := ReplayWAL(f, s)
+	st, err := ReplayWALObserved(f, s, obs)
 	if err != nil {
 		return st, err
 	}
@@ -644,6 +678,19 @@ func applyEvent(s *Store, e Event) error {
 			return err
 		}
 		if err := t.Cancel(e.At); err != nil {
+			return err
+		}
+	case EventFinish:
+		t, err := s.Get(e.TaskID)
+		if err != nil {
+			return err
+		}
+		// A finish on an already-Done task is benign: the answer that was
+		// journaled just before it may itself have met redundancy.
+		if t.Status == task.Done {
+			return nil
+		}
+		if err := t.Finish(e.At); err != nil {
 			return err
 		}
 	}

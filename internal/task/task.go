@@ -137,6 +137,7 @@ type Answer struct {
 var (
 	ErrWrongStatus   = errors.New("task: not open")
 	ErrEmptyAnswer   = errors.New("task: answer carries no content for its kind")
+	ErrBadChoice     = errors.New("task: choice out of range for its kind")
 	ErrWorkerRepeat  = errors.New("task: worker already answered this task")
 	ErrBadRedundancy = errors.New("task: redundancy must be >= 1")
 	ErrUnknownKind   = errors.New("task: unknown kind")
@@ -161,8 +162,12 @@ func New(id ID, kind Kind, p Payload, redundancy int, now time.Time) (*Task, err
 	}, nil
 }
 
-// validateContent checks that a carries content appropriate for kind.
-func validateContent(kind Kind, a Answer) error {
+// ValidateAnswer checks that a carries content appropriate for kind. A
+// Choice outside the kind's label space is ErrBadChoice (not merely empty):
+// it is a malformed vote that must never reach aggregation. Exposed so the
+// ingress path can reject a poisoned answer — including a gold task's
+// expected answer — before it is journaled or recorded.
+func ValidateAnswer(kind Kind, a Answer) error {
 	switch kind {
 	case Label, Describe:
 		if len(a.Words) == 0 {
@@ -178,7 +183,7 @@ func validateContent(kind Kind, a Answer) error {
 		}
 	case Compare, Judge:
 		if a.Choice != 0 && a.Choice != 1 {
-			return ErrEmptyAnswer
+			return ErrBadChoice
 		}
 	}
 	return nil
@@ -192,7 +197,7 @@ func (t *Task) Record(a Answer, now time.Time) error {
 	if t.Status != Open {
 		return ErrWrongStatus
 	}
-	if err := validateContent(t.Kind, a); err != nil {
+	if err := ValidateAnswer(t.Kind, a); err != nil {
 		return err
 	}
 	for _, prev := range t.Answers {
@@ -240,6 +245,19 @@ func (v View) Remaining() int {
 		return r
 	}
 	return 0
+}
+
+// Finish transitions an Open task to Done before it has collected its full
+// redundancy — the quality plane's early-completion path, taken when the
+// posterior confidence over the answers already in hand crosses the
+// configured target. Finishing a non-open task returns ErrWrongStatus.
+func (t *Task) Finish(now time.Time) error {
+	if t.Status != Open {
+		return ErrWrongStatus
+	}
+	t.Status = Done
+	t.DoneAt = now
+	return nil
 }
 
 // Cancel transitions an Open task to Canceled; canceling a finished task

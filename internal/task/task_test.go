@@ -86,21 +86,22 @@ func TestRecordRejectsRepeatWorker(t *testing.T) {
 
 func TestRecordContentValidation(t *testing.T) {
 	cases := []struct {
-		kind Kind
-		bad  Answer
-		good Answer
+		kind    Kind
+		bad     Answer
+		wantErr error
+		good    Answer
 	}{
-		{Label, Answer{}, Answer{Words: []int{3}}},
-		{Describe, Answer{}, Answer{Words: []int{3}}},
-		{Locate, Answer{}, Answer{Box: vocab.Rect{W: 5, H: 5}}},
-		{Transcribe, Answer{}, Answer{Text: "hello"}},
-		{Compare, Answer{Choice: 7}, Answer{Choice: 1}},
-		{Judge, Answer{Choice: -1}, Answer{Choice: 0}},
+		{Label, Answer{}, ErrEmptyAnswer, Answer{Words: []int{3}}},
+		{Describe, Answer{}, ErrEmptyAnswer, Answer{Words: []int{3}}},
+		{Locate, Answer{}, ErrEmptyAnswer, Answer{Box: vocab.Rect{W: 5, H: 5}}},
+		{Transcribe, Answer{}, ErrEmptyAnswer, Answer{Text: "hello"}},
+		{Compare, Answer{Choice: 7}, ErrBadChoice, Answer{Choice: 1}},
+		{Judge, Answer{Choice: -1}, ErrBadChoice, Answer{Choice: 0}},
 	}
 	for _, c := range cases {
 		tk := mustNew(t, c.kind, 2)
 		c.bad.WorkerID = "a"
-		if err := tk.Record(c.bad, t0); !errors.Is(err, ErrEmptyAnswer) {
+		if err := tk.Record(c.bad, t0); !errors.Is(err, c.wantErr) {
 			t.Errorf("%v bad answer: err = %v", c.kind, err)
 		}
 		c.good.WorkerID = "a"
@@ -138,6 +139,25 @@ func TestCancel(t *testing.T) {
 	}
 	if err := tk.Record(Answer{WorkerID: "w", Words: []int{1}}, t0); !errors.Is(err, ErrWrongStatus) {
 		t.Errorf("record after cancel: err = %v", err)
+	}
+}
+
+func TestFinishEarly(t *testing.T) {
+	tk := mustNew(t, Judge, 5)
+	if err := tk.Record(Answer{WorkerID: "w", Choice: 1}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Finish(t0); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Status != Done || !tk.DoneAt.Equal(t0) {
+		t.Fatalf("status = %v, doneAt = %v", tk.Status, tk.DoneAt)
+	}
+	if err := tk.Finish(t0); !errors.Is(err, ErrWrongStatus) {
+		t.Errorf("double finish: err = %v", err)
+	}
+	if err := tk.Record(Answer{WorkerID: "x", Choice: 0}, t0); !errors.Is(err, ErrWrongStatus) {
+		t.Errorf("record after finish: err = %v", err)
 	}
 }
 

@@ -323,6 +323,36 @@ func (w *Worker) Compare(a, b *vocab.Image) int {
 	return 0
 }
 
+// Vote returns the worker's vote on a choice task whose true class is
+// truth over a label space of `classes` options. Honest workers hit the
+// truth with probability Accuracy and otherwise pick a wrong class
+// uniformly; spammers and machines vote uniformly at random; colluders
+// vote their script regardless of content — the systematically biased
+// voter that majority vote cannot discount but a confusion matrix can.
+func (w *Worker) Vote(truth, classes int) int {
+	if classes < 2 {
+		return 0
+	}
+	switch w.Behavior {
+	case Colluder:
+		c := w.ColludeWord % classes
+		if c < 0 {
+			c += classes
+		}
+		return c
+	case Spammer, Machine:
+		return w.src.Intn(classes)
+	}
+	if w.src.Bool(w.Profile.Accuracy) {
+		return truth
+	}
+	c := w.src.Intn(classes - 1)
+	if c >= truth {
+		c++
+	}
+	return c
+}
+
 // Judge returns 0 ("same") or 1 ("different") for a TagATune-style input-
 // agreement round, given whether the two inputs truly match. Honest workers
 // are right with probability Accuracy.
