@@ -462,6 +462,13 @@ func checkRegression(path string, fresh benchFile, maxRegress float64) error {
 		fmt.Println("hcbench: baseline lacks the gate metric; skipping regression gate")
 		return nil
 	}
+	if base.GOMAXPROCS != fresh.GOMAXPROCS {
+		// Still gate — a silent skip would disable the check on every
+		// runner whose core count differs from the baseline host — but
+		// flag the mismatch so a failure is read in context.
+		fmt.Printf("hcbench: warning: baseline GOMAXPROCS=%d, this run GOMAXPROCS=%d; absolute throughput is not directly comparable\n",
+			base.GOMAXPROCS, fresh.GOMAXPROCS)
+	}
 	floor := old.ReqsPerSec * (1 - maxRegress)
 	fmt.Printf("hcbench: regression gate: submit_lease_answer auto/16g %.0f req/s vs baseline %.0f req/s (floor %.0f)\n",
 		now.ReqsPerSec, old.ReqsPerSec, floor)

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,8 +36,13 @@ func main() {
 		out        = flag.String("out", "BENCH_dispatch.json", "dispatch sweep: output file")
 		baseline   = flag.String("baseline", "", "dispatch sweep: committed baseline to gate against (empty skips the gate)")
 		maxRegress = flag.Float64("max-regress", 0.20, "dispatch sweep: allowed fractional throughput regression")
+		gomaxprocs = flag.Int("gomaxprocs", 0, "override GOMAXPROCS for the dispatch sweep; 0 keeps the environment's value")
 	)
 	flag.Parse()
+
+	if *gomaxprocs > 0 {
+		runtime.GOMAXPROCS(*gomaxprocs)
+	}
 
 	if *dispatch {
 		os.Exit(runDispatchBench(*out, *baseline, *maxRegress))

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"humancomp/internal/core"
+	"humancomp/internal/dispatch"
+)
+
+// decodeAllocStats records server-side heap allocations per request on
+// the pooled-decode hot paths, measured through the full middleware stack
+// with testing.AllocsPerRun. The submit figure is the gated one: it is
+// the cheapest path (no lease table traffic), so decode-layer regressions
+// show up in it undiluted.
+type decodeAllocStats struct {
+	SubmitAllocsPerOp float64 `json:"submit_allocs_per_op"`
+	NextAllocsPerOp   float64 `json:"next_allocs_per_op"`
+	AnswerAllocsPerOp float64 `json:"answer_allocs_per_op"`
+}
+
+// nullWriter discards the response; the handler's encode work still runs,
+// so the measurement covers the whole serve path minus kernel I/O.
+type nullWriter struct{ h http.Header }
+
+func (w *nullWriter) Header() http.Header         { return w.h }
+func (w *nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullWriter) WriteHeader(int)             {}
+
+// serve runs one request through the server, failing fast on an
+// unexpected status (a failed probe would silently measure the error
+// path instead of the decode path).
+func serve(api http.Handler, method, path string, body []byte, wantStatus int) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	api.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		panic(fmt.Sprintf("hcload: alloc probe %s %s: status %d, want %d: %s",
+			method, path, rec.Code, wantStatus, rec.Body.String()))
+	}
+}
+
+// measureDecodeAllocs builds an in-process server and measures the three
+// hot single-item handlers. In-process measurement is deliberate:
+// AllocsPerRun needs the handler on the caller's goroutine, and the
+// decode path under test is identical to the wire path (the HTTP server
+// machinery above ServeHTTP is stdlib, not ours).
+func measureDecodeAllocs() decodeAllocStats {
+	sys := core.New(core.DefaultConfig())
+	api := dispatch.NewServer(sys)
+
+	submitBody := []byte(`{"kind":"label","payload":{"image_id":7,"taboo":[1,2]},"redundancy":1,"priority":0}`)
+	nextBody := []byte(`{"worker_id":"alloc-probe"}`)
+	answerBody := []byte(`{"answer":{"words":[3]}}`)
+
+	const runs = 200
+
+	// Probe requests reuse one writer and rebuild the request per call;
+	// the request construction is constant overhead shared by all three
+	// figures and by any future baseline, so deltas isolate the decode
+	// path. The sanity serve first confirms the probe hits the intended
+	// success path, since nullWriter cannot.
+	measure := func(method, path string, body []byte, want int) float64 {
+		serve(api, method, path, body, want)
+		w := &nullWriter{h: make(http.Header, 8)}
+		return testing.AllocsPerRun(runs, func() {
+			req := httptest.NewRequest(method, path, bytes.NewReader(body))
+			api.ServeHTTP(w, req)
+			for k := range w.h {
+				delete(w.h, k)
+			}
+		})
+	}
+
+	submit := measure(http.MethodPost, "/v1/tasks", submitBody, http.StatusCreated)
+
+	// Stock the queue so every next the measurement issues gets a lease
+	// (an empty queue would silently measure the 204 path instead).
+	for i := 0; i < 2*runs; i++ {
+		serve(api, http.MethodPost, "/v1/tasks", submitBody, http.StatusCreated)
+	}
+	next := measure(http.MethodPost, "/v1/next", nextBody, http.StatusOK)
+
+	// The answer probe needs a fresh lease per call: pre-lease enough
+	// tasks (the submit and next probes above stocked the queue) and
+	// answer them in sequence. Extra submits keep the queue non-empty for
+	// every next the measurement issues.
+	for i := 0; i < 2*runs+64; i++ {
+		serve(api, http.MethodPost, "/v1/tasks", submitBody, http.StatusCreated)
+	}
+	leases := make([]int64, 0, 2*runs+64)
+	for i := 0; i < cap(leases); i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/next", bytes.NewReader(nextBody))
+		api.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			panic(fmt.Sprintf("hcload: alloc probe lease: status %d: %s", rec.Code, rec.Body.String()))
+		}
+		var resp dispatch.NextResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			panic(fmt.Sprintf("hcload: alloc probe lease: %v", err))
+		}
+		leases = append(leases, int64(resp.Lease))
+	}
+	idx := 0
+	w := &nullWriter{h: make(http.Header, 8)}
+	answer := testing.AllocsPerRun(runs, func() {
+		req := httptest.NewRequest(http.MethodPost,
+			fmt.Sprintf("/v1/leases/%d", leases[idx]), bytes.NewReader(answerBody))
+		idx++
+		api.ServeHTTP(w, req)
+		for k := range w.h {
+			delete(w.h, k)
+		}
+	})
+
+	return decodeAllocStats{
+		SubmitAllocsPerOp: submit,
+		NextAllocsPerOp:   next,
+		AnswerAllocsPerOp: answer,
+	}
+}

@@ -102,6 +102,8 @@ func main() {
 
 		readHeaderTO = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard); 0 disables")
 		readTO       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout; 0 disables")
+		writeTO      = flag.Duration("write-timeout", 0, "http.Server WriteTimeout; 0 disables")
+		maxHeader    = flag.Int("max-header-bytes", 0, "http.Server MaxHeaderBytes; 0 = stdlib default (1 MiB)")
 		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections; 0 disables")
 		requestTO    = flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (503 past it); 0 disables")
 		maxInflight  = flag.Int("max-inflight", 1024, "per-route concurrent request cap; excess is shed with 429; 0 disables")
@@ -235,7 +237,9 @@ func main() {
 		Handler:           api,
 		ReadHeaderTimeout: *readHeaderTO,
 		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
 		IdleTimeout:       *idleTO,
+		MaxHeaderBytes:    *maxHeader,
 	}
 
 	// ready flips once the API listener is up; /readyz serves 503 before —
@@ -259,7 +263,9 @@ func main() {
 			}),
 			ReadHeaderTimeout: *readHeaderTO,
 			ReadTimeout:       *readTO,
+			WriteTimeout:      *writeTO,
 			IdleTimeout:       *idleTO,
+			MaxHeaderBytes:    *maxHeader,
 		}
 		go func() {
 			logger.Info("admin listening", "addr", *adminAddr)

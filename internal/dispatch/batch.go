@@ -102,7 +102,7 @@ func checkBatchSize(w http.ResponseWriter, r *http.Request, n int) bool {
 // their envelope without reaching the core; the remaining items go down as
 // one core.SubmitBatch, which takes each shard lock and the WAL once.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[BatchSubmitRequest](w, r)
+	req, ok := decode[BatchSubmitRequest](w, r, maxBatchBody)
 	if !ok {
 		return
 	}
@@ -149,7 +149,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 // handleNextBatch serves POST /v1/leases:batch: up to Max leases for one
 // worker in one exchange.
 func (s *Server) handleNextBatch(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[BatchNextRequest](w, r)
+	req, ok := decode[BatchNextRequest](w, r, maxBatchBody)
 	if !ok {
 		return
 	}
@@ -177,7 +177,7 @@ func (s *Server) handleNextBatch(w http.ResponseWriter, r *http.Request) {
 // mirrors what the equivalent POST /v1/leases/{id} would have returned
 // (204 on success).
 func (s *Server) handleAnswerBatch(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[BatchAnswerRequest](w, r)
+	req, ok := decode[BatchAnswerRequest](w, r, maxBatchBody)
 	if !ok {
 		return
 	}

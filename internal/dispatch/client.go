@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -86,8 +87,44 @@ type Client struct {
 	sleep func(ctx context.Context, d time.Duration) error
 }
 
+// NewTransport returns an http.Transport tuned for the dispatch wire
+// protocol: many small concurrent JSON exchanges against a handful of
+// hosts. The defaults in http.DefaultTransport cap idle keep-alive
+// connections at 2 per host, so any client driving real concurrency
+// tears down and redials connections constantly — every request past the
+// second pays a TCP (and TLS) handshake. This transport keeps a deep idle
+// pool per host so steady-state traffic reuses connections.
+func NewTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          1024,
+		MaxIdleConnsPerHost:   256,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
+// defaultClient is the process-wide HTTP client used when callers pass a
+// nil *http.Client: one shared tuned transport, so every dispatch.Client
+// in the process (including each SubmitBatcher's flushes) draws from the
+// same keep-alive connection pool instead of fragmenting it.
+var defaultClient = &http.Client{Transport: NewTransport()}
+
+// DefaultHTTPClient returns the shared tuned client a nil httpClient
+// selects; exported so callers composing their own http.Client options
+// can start from the same transport pool.
+func DefaultHTTPClient() *http.Client { return defaultClient }
+
 // NewClient returns a client for the service at baseURL (no trailing
-// slash). A nil httpClient uses http.DefaultClient. The client performs no
+// slash). A nil httpClient selects DefaultHTTPClient — a shared client
+// over a transport tuned for connection reuse (keep-alives,
+// MaxIdleConnsPerHost raised past the stdlib's 2). The client performs no
 // retries; see NewClientWith / NewResilientClient.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return NewClientWith(baseURL, httpClient, ClientOptions{})
@@ -101,7 +138,7 @@ func NewResilientClient(baseURL string, httpClient *http.Client) *Client {
 // NewClientWith returns a client with explicit options.
 func NewClientWith(baseURL string, httpClient *http.Client, opts ClientOptions) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = defaultClient
 	}
 	return &Client{
 		baseURL:    baseURL,

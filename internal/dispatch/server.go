@@ -46,6 +46,7 @@ import (
 	"sync"
 
 	"humancomp/internal/core"
+	"humancomp/internal/jsonx"
 	"humancomp/internal/queue"
 	"humancomp/internal/task"
 	"humancomp/internal/trace"
@@ -245,15 +246,83 @@ func badRequest(w http.ResponseWriter, r *http.Request, format string, args ...a
 		errorResponse{Error: fmt.Sprintf(format, args...), RequestID: requestIDOf(r)})
 }
 
-func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
-	var v T
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&v); err != nil {
-		badRequest(w, r, "dispatch: invalid request body: %v", err)
-		return v, false
+// Request decode fast path. Every POST body is slurped into a pooled
+// buffer bounded by http.MaxBytesReader (oversized bodies get a 413 JSON
+// envelope instead of an unbounded read), then parsed in place with
+// jsonx.UnmarshalStrict — the allocation-free twin of the old per-request
+// json.Decoder with DisallowUnknownFields. The carrier also holds
+// preallocated request structs for the hot single-call routes (submit /
+// next / answer), so a steady-state request allocates only the decoded
+// field values, not the decode machinery.
+type reqCarrier struct {
+	buf    bytes.Buffer
+	submit SubmitRequest
+	next   NextRequest
+	answer AnswerRequest
+}
+
+var carrierPool = sync.Pool{New: func() any { return new(reqCarrier) }}
+
+const (
+	// maxSingleBody bounds single-item POST bodies. The largest legal
+	// payloads (a gold task with expected answer) are well under 1 KiB;
+	// 1 MiB leaves generous slack without trusting Content-Length.
+	maxSingleBody = 1 << 20
+	// maxBatchBody bounds batch POST bodies: 256 items of fat payloads.
+	maxBatchBody = 16 << 20
+)
+
+func getCarrier() *reqCarrier { return carrierPool.Get().(*reqCarrier) }
+
+func putCarrier(c *reqCarrier) {
+	// A buffer grown by one oversized batch must not stay pinned forever.
+	if c.buf.Cap() <= 4*maxPooledBuf {
+		carrierPool.Put(c)
 	}
-	return v, true
+}
+
+// readBody reads the bounded request body into the carrier's buffer,
+// answering 413 (JSON envelope) when the limit is exceeded.
+func (c *reqCarrier) readBody(w http.ResponseWriter, r *http.Request, limit int64) bool {
+	c.buf.Reset()
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if _, err := c.buf.ReadFrom(body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error:     fmt.Sprintf("dispatch: request body exceeds %d bytes", tooBig.Limit),
+				RequestID: requestIDOf(r),
+			})
+		} else {
+			badRequest(w, r, "dispatch: reading request body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// decodeInto reads the bounded body and strictly parses it into v.
+func (c *reqCarrier) decodeInto(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	if !c.readBody(w, r, limit) {
+		return false
+	}
+	if err := jsonx.UnmarshalStrict(c.buf.Bytes(), v); err != nil {
+		badRequest(w, r, "dispatch: invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// decode parses a bounded request body into a fresh T; the cold-route
+// form (batch requests and anything without a carrier slot). The decoded
+// value owns all its memory — json copies strings and allocates slices —
+// so it outlives the pooled buffer.
+func decode[T any](w http.ResponseWriter, r *http.Request, limit int64) (T, bool) {
+	var v T
+	c := getCarrier()
+	defer putCarrier(c)
+	ok := c.decodeInto(w, r, &v, limit)
+	return v, ok
 }
 
 func pathID[T ~int64](w http.ResponseWriter, r *http.Request) (T, bool) {
@@ -267,8 +336,11 @@ func pathID[T ~int64](w http.ResponseWriter, r *http.Request) (T, bool) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[SubmitRequest](w, r)
-	if !ok {
+	c := getCarrier()
+	defer putCarrier(c)
+	c.submit = SubmitRequest{}
+	req := &c.submit
+	if !c.decodeInto(w, r, req, maxSingleBody) {
 		return
 	}
 	kind, err := task.ParseKind(req.Kind)
@@ -439,8 +511,11 @@ func (s *Server) handlePosterior(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[NextRequest](w, r)
-	if !ok {
+	c := getCarrier()
+	defer putCarrier(c)
+	c.next = NextRequest{}
+	req := &c.next
+	if !c.decodeInto(w, r, req, maxSingleBody) {
 		return
 	}
 	if req.WorkerID == "" {
@@ -460,8 +535,11 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	req, ok := decode[AnswerRequest](w, r)
-	if !ok {
+	c := getCarrier()
+	defer putCarrier(c)
+	c.answer = AnswerRequest{}
+	req := &c.answer
+	if !c.decodeInto(w, r, req, maxSingleBody) {
 		return
 	}
 	if err := s.sys.SubmitAnswer(id, req.Answer); err != nil {

@@ -1,0 +1,394 @@
+// Package loadgen is an open-loop, coordinated-omission-safe load engine
+// for the dispatch wire protocol.
+//
+// Closed-loop harnesses (a fixed set of workers, each issuing its next
+// request only after the previous one returns) systematically under-report
+// tail latency: when the server stalls, the harness stops sending, so the
+// stall is charged to a handful of requests instead of to every request
+// that *would* have arrived. This engine instead schedules arrivals on a
+// fixed-rate clock that never waits for completions — a Poisson (or
+// uniform) arrival process — and measures each operation's latency from
+// its *intended* start time. A request that spent 300 ms queued behind a
+// stalled server reports 300 ms plus service time, exactly what a real
+// client would have experienced.
+//
+// The scheduler draws every random decision (inter-arrival gap, operation
+// type, key) from one deterministic rng.Source, so a (seed, config) pair
+// replays the identical arrival sequence; only service times vary.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"humancomp/internal/dispatch"
+	"humancomp/internal/metrics"
+	"humancomp/internal/queue"
+	"humancomp/internal/rng"
+	"humancomp/internal/task"
+)
+
+// Operation names accepted in Config.Mix.
+const (
+	OpSubmit      = "submit"
+	OpLease       = "lease"
+	OpAnswer      = "answer"
+	OpSubmitBatch = "submit_batch"
+	OpLeaseBatch  = "lease_batch"
+	OpAnswerBatch = "answer_batch"
+)
+
+// Ops lists every operation the engine knows, in canonical order.
+var Ops = []string{OpSubmit, OpLease, OpAnswer, OpSubmitBatch, OpLeaseBatch, OpAnswerBatch}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the dispatch service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport; nil uses the dispatch package's
+	// shared tuned client.
+	HTTPClient *http.Client
+	// Rate is the offered load in operations per second.
+	Rate float64
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Warmup runs load before measurement starts; those operations execute
+	// but are recorded separately and discarded from the report.
+	Warmup time.Duration
+	// Concurrency is the number of in-flight executors. It bounds
+	// parallelism, not the arrival rate: arrivals keep their schedule even
+	// when every executor is busy, and the queueing delay is charged to
+	// the affected operations' latency.
+	Concurrency int
+	// Mix maps operation names (see Ops) to relative weights.
+	Mix map[string]float64
+	// Keys is the size of the key space; keys select payload content and
+	// worker identities. Zero means 1024.
+	Keys int
+	// ZipfS is the Zipf skew exponent over the key space; 0 means uniform
+	// keys.
+	ZipfS float64
+	// BatchSize is the item count for *_batch operations. Zero means 16.
+	BatchSize int
+	// Seed fixes the arrival schedule, op mix draws, and key draws.
+	Seed uint64
+	// Arrival selects the inter-arrival law: "poisson" (default) or
+	// "uniform".
+	Arrival string
+	// LeasePoolCap bounds the pool of leases carried from lease operations
+	// to answer operations. Zero means 4096.
+	LeasePoolCap int
+}
+
+// OpReport is one operation's outcome counts and latency distribution.
+// Count covers every executed operation that performed a wire exchange
+// (success + errors + shed + empty); Skipped operations made no exchange.
+type OpReport struct {
+	Op      string                 `json:"op"`
+	Count   int64                  `json:"count"`
+	Success int64                  `json:"success"`
+	Errors  int64                  `json:"errors"`
+	Shed    int64                  `json:"shed"`
+	Empty   int64                  `json:"empty"`
+	Skipped int64                  `json:"skipped"`
+	Latency metrics.LatencySummary `json:"latency"`
+}
+
+// Report is the outcome of one run. Scheduled counts arrivals whose
+// intended start fell in the measurement window; Completed counts those
+// that executed (including skips). Open-loop accounting requires the two
+// to match — nothing scheduled is ever silently dropped.
+type Report struct {
+	Scheduled   int64      `json:"scheduled"`
+	Completed   int64      `json:"completed"`
+	AchievedRPS float64    `json:"achieved_rps"`
+	Ops         []OpReport `json:"ops"`
+}
+
+// opStats accumulates one operation's counters for one window.
+type opStats struct {
+	hist    metrics.LatencyHist
+	success atomic.Int64
+	errors  atomic.Int64
+	shed    atomic.Int64
+	empty   atomic.Int64
+	skipped atomic.Int64
+}
+
+// job is one scheduled arrival.
+type job struct {
+	op       string
+	intended time.Time
+	key      int
+	measured bool
+}
+
+// engine holds the per-run state shared by the scheduler and executors.
+type engine struct {
+	cfg    Config
+	client *dispatch.Client
+	warm   map[string]*opStats
+	meas   map[string]*opStats
+	leases chan queue.LeaseID
+}
+
+// Run executes one load run and blocks until every scheduled operation
+// has completed (or ctx is cancelled, which abandons the remainder).
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.Rate <= 0 {
+		return Report{}, fmt.Errorf("loadgen: rate must be positive, got %g", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("loadgen: duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 64
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LeasePoolCap <= 0 {
+		cfg.LeasePoolCap = 4096
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = map[string]float64{OpSubmit: 1, OpLease: 1, OpAnswer: 1}
+	}
+	names := make([]string, 0, len(cfg.Mix))
+	for name := range cfg.Mix {
+		if !knownOp(name) {
+			return Report{}, fmt.Errorf("loadgen: unknown operation %q (want one of %v)", name, Ops)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	weights := make([]float64, len(names))
+	for i, name := range names {
+		weights[i] = cfg.Mix[name]
+	}
+
+	e := &engine{
+		cfg:    cfg,
+		client: dispatch.NewClient(cfg.BaseURL, cfg.HTTPClient),
+		warm:   map[string]*opStats{},
+		meas:   map[string]*opStats{},
+		leases: make(chan queue.LeaseID, cfg.LeasePoolCap),
+	}
+	for _, name := range names {
+		e.warm[name] = &opStats{}
+		e.meas[name] = &opStats{}
+	}
+
+	src := rng.New(cfg.Seed)
+	mix := rng.NewCategorical(src, weights)
+	var zipf *rng.Zipf
+	if cfg.ZipfS > 0 {
+		zipf = rng.NewZipf(src, cfg.Keys, cfg.ZipfS)
+	}
+
+	// The jobs channel is sized for the whole run so the scheduler never
+	// blocks on slow executors — blocking there would close the loop.
+	expect := int(cfg.Rate*(cfg.Warmup+cfg.Duration).Seconds()*2) + 4*cfg.Concurrency
+	jobs := make(chan job, expect)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without executing
+				}
+				e.execute(ctx, j)
+			}
+		}()
+	}
+
+	var scheduled int64
+	start := time.Now()
+	measStart := start.Add(cfg.Warmup)
+	end := measStart.Add(cfg.Duration)
+	next := start
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+schedule:
+	for next.Before(end) {
+		if d := time.Until(next); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break schedule
+			}
+		}
+		j := job{
+			op:       names[mix.Draw()],
+			intended: next,
+			measured: !next.Before(measStart),
+		}
+		if zipf != nil {
+			j.key = zipf.DrawWith(src)
+		} else {
+			j.key = src.Intn(cfg.Keys)
+		}
+		select {
+		case jobs <- j:
+			if j.measured {
+				scheduled++
+			}
+		case <-ctx.Done():
+			break schedule
+		}
+		gap := 1 / cfg.Rate
+		if cfg.Arrival != "uniform" {
+			gap = src.Exp(cfg.Rate)
+		}
+		next = next.Add(time.Duration(gap * float64(time.Second)))
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := Report{Scheduled: scheduled}
+	for _, name := range names {
+		st := e.meas[name]
+		or := OpReport{
+			Op:      name,
+			Count:   st.hist.Count(),
+			Success: st.success.Load(),
+			Errors:  st.errors.Load(),
+			Shed:    st.shed.Load(),
+			Empty:   st.empty.Load(),
+			Skipped: st.skipped.Load(),
+			Latency: st.hist.Summary(),
+		}
+		rep.Completed += or.Count + or.Skipped
+		rep.Ops = append(rep.Ops, or)
+	}
+	rep.AchievedRPS = float64(rep.Completed) / cfg.Duration.Seconds()
+	return rep, ctx.Err()
+}
+
+func knownOp(name string) bool {
+	for _, op := range Ops {
+		if op == name {
+			return true
+		}
+	}
+	return false
+}
+
+// execute performs one operation and records it against the window its
+// intended start fell in. Latency runs from the intended start, so time
+// spent waiting for a free executor (the open-loop queueing delay) is
+// charged to the operation.
+func (e *engine) execute(ctx context.Context, j job) {
+	stats := e.warm[j.op]
+	if j.measured {
+		stats = e.meas[j.op]
+	}
+	var err error
+	switch j.op {
+	case OpSubmit:
+		_, err = e.client.SubmitContext(ctx, task.Label, e.payload(j.key), 1, 0)
+	case OpLease:
+		var lease queue.LeaseID
+		if _, lease, err = e.client.NextContext(ctx, e.workerID(j.key)); err == nil {
+			e.offerLease(lease)
+		}
+	case OpAnswer:
+		lease, ok := e.takeLease()
+		if !ok {
+			stats.skipped.Add(1)
+			return
+		}
+		err = e.client.AnswerContext(ctx, lease, task.Answer{Words: []int{j.key}})
+	case OpSubmitBatch:
+		reqs := make([]dispatch.SubmitRequest, e.cfg.BatchSize)
+		for i := range reqs {
+			reqs[i] = dispatch.SubmitRequest{
+				Kind:       task.Label.String(),
+				Payload:    e.payload(j.key + i),
+				Redundancy: 1,
+			}
+		}
+		_, err = e.client.SubmitBatchContext(ctx, reqs)
+	case OpLeaseBatch:
+		var granted []dispatch.NextResponse
+		if granted, err = e.client.NextBatchContext(ctx, e.workerID(j.key), e.cfg.BatchSize); err == nil {
+			if len(granted) == 0 {
+				err = dispatch.ErrNoTask
+			}
+			for _, g := range granted {
+				e.offerLease(g.Lease)
+			}
+		}
+	case OpAnswerBatch:
+		items := make([]dispatch.BatchAnswerItem, 0, e.cfg.BatchSize)
+		for len(items) < e.cfg.BatchSize {
+			lease, ok := e.takeLease()
+			if !ok {
+				break
+			}
+			items = append(items, dispatch.BatchAnswerItem{
+				Lease:  lease,
+				Answer: task.Answer{Words: []int{j.key}},
+			})
+		}
+		if len(items) == 0 {
+			stats.skipped.Add(1)
+			return
+		}
+		_, err = e.client.AnswerBatchContext(ctx, items)
+	}
+	stats.hist.Observe(time.Since(j.intended))
+	switch {
+	case err == nil:
+		stats.success.Add(1)
+	case errors.Is(err, dispatch.ErrNoTask):
+		stats.empty.Add(1)
+	case isShed(err):
+		stats.shed.Add(1)
+	default:
+		stats.errors.Add(1)
+	}
+}
+
+func isShed(err error) bool {
+	var api *dispatch.APIError
+	return errors.As(err, &api) && api.Status == http.StatusTooManyRequests
+}
+
+func (e *engine) payload(key int) task.Payload {
+	return task.Payload{ImageID: key, Taboo: []int{key % 7, key % 13}}
+}
+
+func (e *engine) workerID(key int) string {
+	return fmt.Sprintf("lg-%04d", key%e.cfg.Keys)
+}
+
+// offerLease adds a granted lease to the pool feeding answer operations,
+// dropping it when the pool is full (the lease simply expires server-side).
+func (e *engine) offerLease(id queue.LeaseID) {
+	select {
+	case e.leases <- id:
+	default:
+	}
+}
+
+func (e *engine) takeLease() (queue.LeaseID, bool) {
+	select {
+	case id := <-e.leases:
+		return id, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,197 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"humancomp/internal/core"
+	"humancomp/internal/dispatch"
+)
+
+// stubAPI is a minimal dispatch-shaped endpoint whose handler the test
+// controls, for exercising the engine without a real core.System.
+func stubAPI(t *testing.T, submit http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tasks", submit)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestOpenLoopChargesServerStalls is the coordinated-omission guard: a
+// server that freezes mid-run must see the freeze charged to every
+// operation scheduled during it, not just to the few that were in flight.
+//
+// The stub stalls all requests for a 400 ms window. With only 4 executors
+// a closed-loop harness would record at most 4 slow operations; the
+// open-loop engine keeps scheduling through the stall and measures from
+// intended start, so the dozens of operations that arrived during the
+// stall all report large latencies — pushing p90 far above the service
+// time — and none of them is dropped.
+func TestOpenLoopChargesServerStalls(t *testing.T) {
+	start := time.Now()
+	stallFrom := start.Add(200 * time.Millisecond)
+	stallUntil := start.Add(600 * time.Millisecond)
+	srv := stubAPI(t, func(w http.ResponseWriter, r *http.Request) {
+		if now := time.Now(); now.After(stallFrom) && now.Before(stallUntil) {
+			time.Sleep(time.Until(stallUntil))
+		}
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"id": 1})
+	})
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Rate:        200,
+		Duration:    1200 * time.Millisecond,
+		Concurrency: 4,
+		Mix:         map[string]float64{OpSubmit: 1},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduled == 0 {
+		t.Fatal("nothing scheduled")
+	}
+	if rep.Completed != rep.Scheduled {
+		t.Fatalf("open-loop accounting broken: scheduled %d but completed %d",
+			rep.Scheduled, rep.Completed)
+	}
+	sub := rep.Ops[0]
+	if sub.Errors > 0 {
+		t.Fatalf("submit errors: %+v", sub)
+	}
+	// ~80 of ~240 operations arrive inside the 400 ms stall; all must be
+	// charged queueing delay measured from intended start. p90 of the full
+	// run therefore reflects the stall, not the sub-millisecond service
+	// time a closed-loop harness would report.
+	if sub.Latency.P90Ms < 50 {
+		t.Fatalf("p90 = %.1fms: stall was not charged to scheduled arrivals (coordinated omission)",
+			sub.Latency.P90Ms)
+	}
+	if sub.Latency.MaxMs < 200 {
+		t.Fatalf("max = %.1fms: expected at least one arrival to wait out most of the stall",
+			sub.Latency.MaxMs)
+	}
+}
+
+// TestZipfKeySkew runs a submit-only workload with a skewed key draw and
+// checks the keys that reach the wire follow the expected Zipf shape:
+// the hottest key dominates and low-rank keys together carry most load.
+func TestZipfKeySkew(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[int]int{}
+	srv := stubAPI(t, func(w http.ResponseWriter, r *http.Request) {
+		var req dispatch.SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode submit: %v", err)
+		}
+		mu.Lock()
+		counts[req.Payload.ImageID]++
+		mu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"id": 1})
+	})
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Rate:        4000,
+		Duration:    500 * time.Millisecond,
+		Concurrency: 32,
+		Mix:         map[string]float64{OpSubmit: 1},
+		Keys:        50,
+		ZipfS:       1.2,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var total, top, topKey int
+	for key, n := range counts {
+		total += n
+		if n > top {
+			top, topKey = n, key
+		}
+	}
+	if total < 500 {
+		t.Fatalf("too few samples to judge skew: %d", total)
+	}
+	if topKey != 0 {
+		t.Errorf("hottest key = %d, want rank-0 key 0 (counts %v)", topKey, counts)
+	}
+	if frac := float64(top) / float64(total); frac < 0.15 {
+		t.Errorf("hottest key carries %.1f%% of load, want ≥15%% under s=1.2", 100*frac)
+	}
+	lowRank := 0
+	for key := 0; key < 10; key++ {
+		lowRank += counts[key]
+	}
+	if frac := float64(lowRank) / float64(total); frac < 0.6 {
+		t.Errorf("top-10 keys carry %.1f%% of load, want ≥60%% under s=1.2", 100*frac)
+	}
+	_ = rep
+}
+
+// TestRunAgainstRealServer drives a live dispatch server end to end with
+// the full default mix and checks the report is internally consistent.
+func TestRunAgainstRealServer(t *testing.T) {
+	sys := core.New(core.DefaultConfig())
+	srv := httptest.NewServer(dispatch.NewServer(sys))
+	t.Cleanup(srv.Close)
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Rate:        500,
+		Duration:    600 * time.Millisecond,
+		Warmup:      200 * time.Millisecond,
+		Concurrency: 16,
+		Mix: map[string]float64{
+			OpSubmit: 2, OpLease: 2, OpAnswer: 2,
+			OpSubmitBatch: 1, OpLeaseBatch: 1, OpAnswerBatch: 1,
+		},
+		Keys:      128,
+		ZipfS:     1.1,
+		BatchSize: 8,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Scheduled {
+		t.Fatalf("scheduled %d, completed %d", rep.Scheduled, rep.Completed)
+	}
+	if len(rep.Ops) != 6 {
+		t.Fatalf("ops reported: %d", len(rep.Ops))
+	}
+	for _, op := range rep.Ops {
+		if op.Errors > 0 {
+			t.Errorf("%s: %d errors", op.Op, op.Errors)
+		}
+		if got := op.Success + op.Errors + op.Shed + op.Empty; got != op.Count {
+			t.Errorf("%s: classification leak: %d classified, %d counted", op.Op, got, op.Count)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Rate: 0, Duration: time.Second}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Run(context.Background(), Config{Rate: 1, Duration: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Run(context.Background(), Config{
+		Rate: 1, Duration: time.Millisecond, Mix: map[string]float64{"bogus": 1},
+	}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
