@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"humancomp/internal/queue"
 	"humancomp/internal/store"
 	"humancomp/internal/task"
+	"humancomp/internal/trace"
 )
 
 // The dispatch benchmark harness drives the dispatch data plane —
@@ -74,6 +76,7 @@ var requestsPerOp = map[string]int{
 	"submit_batch":              benchBatchSize,     // one POST /v1/tasks:batch moving 64 submits
 	"submit_lease_answer_batch": 3 * benchBatchSize, // tasks:batch + leases:batch + leases:answers
 	"answer_online_ds":          3,                  // the round trip with the online estimator on the answer path
+	"submit_lease_answer_spans": 3,                  // the round trip with a full span tree per iteration
 }
 
 // parallelism converts a requested goroutine count into the
@@ -183,6 +186,48 @@ func runAnswerOnlineDS(shards, goroutines int) testing.BenchmarkResult {
 				if err := sys.SubmitAnswer(lease, task.Answer{Choice: n % 2}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	})
+}
+
+// runSubmitLeaseAnswerSpans benchmarks the dispatch round trip with the
+// request span plane enabled and a full span tree per iteration: a root
+// span plus core.submit / core.lease / core.answer op spans and their
+// queue.lockwait / quality children, finished through the tail sampler.
+// The delta against plain submit_lease_answer is the span plane's whole
+// cost; the overhead gate holds it under 5%.
+func runSubmitLeaseAnswerSpans(shards, goroutines int) testing.BenchmarkResult {
+	factor, _ := parallelism(goroutines)
+	return testing.Benchmark(func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Shards = shards
+		cfg.Spans = trace.SpanConfig{Enabled: true}
+		sys := core.New(cfg)
+		plane := sys.Spans()
+		var wid atomic.Int64
+		b.ReportAllocs()
+		b.SetParallelism(factor)
+		b.RunParallel(func(pb *testing.PB) {
+			worker := fmt.Sprintf("bench-w%d", wid.Add(1))
+			for pb.Next() {
+				h := plane.StartTrace(trace.TraceID{}, trace.SpanID{}, "bench.round")
+				ctx := trace.NewContext(context.Background(), h)
+				if _, err := sys.SubmitTaskCtx(ctx, task.Label, task.Payload{ImageID: 1}, 1, 0); err != nil {
+					b.Fatal(err)
+				}
+				_, lease, err := sys.NextTaskCtx(ctx, worker)
+				if errors.Is(err, queue.ErrEmpty) {
+					plane.Finish(h, "")
+					continue
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.SubmitAnswerCtx(ctx, lease, task.Answer{Words: []int{1}}); err != nil {
+					b.Fatal(err)
+				}
+				plane.Finish(h, "")
 			}
 		})
 	})
@@ -318,6 +363,7 @@ func runDispatchBench(outPath, baselinePath string, maxRegress float64) int {
 	}{
 		{"submit", runSubmit},
 		{"submit_lease_answer", runSubmitLeaseAnswer},
+		{"submit_lease_answer_spans", runSubmitLeaseAnswerSpans},
 		{"answer_online_ds", runAnswerOnlineDS},
 		{"submit_batch", runSubmitBatch},
 		{"submit_lease_answer_batch", runSubmitLeaseAnswerBatch},
@@ -402,6 +448,18 @@ func runDispatchBench(outPath, baselinePath string, maxRegress float64) int {
 			ds.ReqsPerSec, ratio, plain.ReqsPerSec)
 		if ratio < 0.5 {
 			fmt.Fprintf(os.Stderr, "hcbench: online estimator costs too much on the answer path: %.2fx of plain throughput, want >= 0.5x\n", ratio)
+			code = 1
+		}
+	}
+	// The span plane must stay within 5% of plain round-trip throughput at
+	// the gate point when enabled; disabled it costs one nil check, which
+	// the plain op already measures.
+	if plain, sp := findOp("submit_lease_answer"), findOp("submit_lease_answer_spans"); plain != nil && sp != nil && plain.ReqsPerSec > 0 {
+		ratio := sp.ReqsPerSec / plain.ReqsPerSec
+		fmt.Printf("hcbench: span-plane overhead gate: submit_lease_answer_spans %.0f req/s = %.2fx of submit_lease_answer %.0f req/s\n",
+			sp.ReqsPerSec, ratio, plain.ReqsPerSec)
+		if ratio < 0.95 {
+			fmt.Fprintf(os.Stderr, "hcbench: span plane costs too much on the round trip: %.2fx of plain throughput, want >= 0.95x\n", ratio)
 			code = 1
 		}
 	}

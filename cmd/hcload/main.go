@@ -94,6 +94,8 @@ func main() {
 		baseline   = flag.String("baseline", "", "committed BENCH_wire.json to gate decode allocs against (with -decode-allocs)")
 		maxAlloc   = flag.Float64("max-alloc-regress", 0.20, "allowed fractional allocs/op regression on the submit decode path")
 		clean      = flag.Bool("assert-clean", false, "exit nonzero if any operation returned a non-2xx response other than 429")
+		doTrace    = flag.Bool("trace", false, "send traceparent headers and report each op's slowest calls' trace IDs")
+		slowN      = flag.Int("slow-traces", 5, "slowest traced calls to keep per operation (with -trace)")
 	)
 	flag.Parse()
 
@@ -112,6 +114,8 @@ func main() {
 		BatchSize:   *batch,
 		Seed:        *seed,
 		Arrival:     *arrival,
+		Trace:       *doTrace,
+		SlowTraces:  *slowN,
 	}
 
 	run := wireRun{
@@ -350,6 +354,10 @@ func printCell(cell wireCell) {
 		fmt.Printf("  %-13s %8d %6d %6d %6d %7d  %8.2f %8.2f %8.2f %8.2f %9.2f\n",
 			op.Op, op.Count, op.Errors, op.Shed, op.Empty, op.Skipped,
 			op.Latency.MeanMs, op.Latency.P50Ms, op.Latency.P99Ms, op.Latency.P999Ms, op.Latency.MaxMs)
+		for _, st := range op.SlowTraces {
+			fmt.Printf("    slow trace %s  %8.2f ms  status=%d  (GET /v1/debug/spans?trace=%s)\n",
+				st.TraceID, st.Ms, st.Status, st.TraceID)
+		}
 	}
 }
 

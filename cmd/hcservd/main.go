@@ -32,7 +32,15 @@ import (
 	"humancomp/internal/dispatch"
 	"humancomp/internal/store"
 	"humancomp/internal/task"
+	"humancomp/internal/trace"
 )
+
+// version identifies the build on hc_build_info; override with
+// -ldflags "-X main.version=...".
+var version = "dev"
+
+// startTime anchors hc_uptime_seconds.
+var startTime = time.Now()
 
 // logger is the process-wide structured logger, configured from flags in
 // main before anything logs.
@@ -93,8 +101,13 @@ func main() {
 		burst     = flag.Float64("burst", 20, "rate-limit burst size")
 		shards    = flag.Int("shards", 0, "store/queue lock shards, rounded up to a power of two; 0 = auto (GOMAXPROCS)")
 		traceCap  = flag.Int("trace-capacity", 0, "lifecycle trace ring capacity in events; 0 = default, negative disables tracing")
-		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		spansOn    = flag.Bool("spans", true, "record request-scoped span trees, tail-sampled and served at admin GET /v1/debug/spans")
+		spanCap    = flag.Int("span-capacity", 0, "retained span trees in the debug ring; 0 = default (512)")
+		spanSlow   = flag.Duration("span-slow", 0, "root latency at or above which a trace is always retained; 0 = default (100ms), negative disables slow retention")
+		spanSample = flag.Int("span-sample", 0, "keep a deterministic 1-in-N sample of fast clean traces; 0 = default (1024), negative disables sampling")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 
 		qualityOn  = flag.Bool("quality-online", true, "run the online Dawid-Skene quality estimator over choice-task answers")
 		confTarget = flag.Float64("confidence-target", 0, "posterior confidence that completes a choice task before redundancy (0 disables early completion)")
@@ -130,6 +143,12 @@ func main() {
 	cfg.OnlineQuality = *qualityOn
 	cfg.ConfidenceTarget = *confTarget
 	cfg.QualityMinAnswers = *qualityMin
+	cfg.Spans = trace.SpanConfig{
+		Enabled:       *spansOn,
+		Capacity:      *spanCap,
+		SlowThreshold: *spanSlow,
+		SampleEvery:   *spanSample,
+	}
 	if *confTarget > 0 && !*qualityOn {
 		fatal("-confidence-target requires -quality-online")
 	}
@@ -260,6 +279,8 @@ func main() {
 				WAL:         wal,
 				WALRecovery: walStats,
 				Ready:       readyProbe,
+				Start:       startTime,
+				Version:     version,
 			}),
 			ReadHeaderTimeout: *readHeaderTO,
 			ReadTimeout:       *readTO,

@@ -141,7 +141,9 @@ func runLocal(game string, players int, hours float64, seed uint64) {
 }
 
 func runHTTP(url string, nTasks, nWorkers, batch int, seed uint64) {
-	client := dispatch.NewClient(url, nil)
+	// Traceparent headers cost one header per request and let a server
+	// running with -spans attribute any slow call to this driver.
+	client := dispatch.NewClientWith(url, nil, dispatch.ClientOptions{Trace: true})
 	if !client.Healthy() {
 		log.Fatalf("hcsim: no healthy service at %s (start cmd/hcservd first)", url)
 	}

@@ -732,7 +732,8 @@ func TestObservabilityOverHTTP(t *testing.T) {
 		"hc_gwap_throughput_per_hour",
 		"hc_gwap_alp_minutes",
 		"hc_gwap_expected_contribution",
-		`hc_task_time_in_queue_seconds{quantile="0.5"}`,
+		`hc_task_time_in_queue_seconds_bucket{le="+Inf"}`,
+		"hc_task_time_in_queue_seconds_count",
 		"hc_task_lease_to_answer_seconds_count",
 		"hc_task_answers_to_completion_seconds_count",
 		`hc_queue_shard_lock_acquisitions_total{shard="0"}`,

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -63,6 +64,9 @@ type Config struct {
 	// the confidence target may complete it early (guards against one
 	// highly-reputed vote deciding a task alone). 0 selects 2.
 	QualityMinAnswers int
+	// Spans configures the request-scoped span plane (tail-sampled span
+	// trees served at /v1/debug/spans). The zero value leaves it disabled.
+	Spans trace.SpanConfig
 }
 
 // Journal is the event sink a System writes through (see store.WAL).
@@ -76,6 +80,21 @@ type Journal interface {
 // back to per-event Append.
 type BatchJournal interface {
 	AppendBatch([]store.Event) error
+}
+
+// ObservedJournal is the optional timing extension of Journal: the append
+// reports how long the write+flush and the fsync-group wait took, so a
+// traced request records wal.append and wal.fsync as separate child
+// spans. *store.WAL satisfies it; journals without it are timed as one
+// undifferentiated wal.append span.
+type ObservedJournal interface {
+	AppendObserved(store.Event) (write, sync time.Duration, err error)
+}
+
+// ObservedBatchJournal is the batched ObservedJournal. *store.WAL
+// satisfies it.
+type ObservedBatchJournal interface {
+	AppendBatchObserved([]store.Event) (write, sync time.Duration, err error)
 }
 
 // DefaultConfig returns production-shaped defaults: two-minute leases and
@@ -101,6 +120,7 @@ type System struct {
 	gold map[task.ID]task.Answer
 
 	trace *trace.Recorder      // lifecycle event ring; nil when disabled
+	spans *trace.SpanPlane     // request-scoped span trees; nil when disabled
 	gwap  *metrics.ShardedGWAP // live play metrics derived from leases
 	qp    *qualityPlane        // streaming quality plane; nil when disabled
 
@@ -145,8 +165,12 @@ func New(cfg Config) *System {
 	if cfg.OnlineQuality {
 		s.qp = newQualityPlane(s.rep, cfg.QualityMinAnswers)
 	}
+	s.spans = trace.NewSpanPlane(cfg.Spans)
 	return s
 }
+
+// Spans exposes the request-scoped span plane; nil when disabled.
+func (s *System) Spans() *trace.SpanPlane { return s.spans }
 
 // Reputation exposes the worker reputation tracker.
 func (s *System) Reputation() *quality.Reputation { return s.rep }
@@ -155,7 +179,42 @@ func (s *System) Reputation() *quality.Reputation { return s.rep }
 // failure after the task reaches the store, the partial state is rolled
 // back so store, queue and journal never disagree about which tasks exist.
 func (s *System) SubmitTask(kind task.Kind, p task.Payload, redundancy, priority int) (task.ID, error) {
-	return s.submit(kind, p, redundancy, priority, nil)
+	return s.submit(kind, p, redundancy, priority, nil, trace.Handle{})
+}
+
+// SubmitTaskCtx is SubmitTask under the span handle carried by ctx: the
+// core work runs inside a core.submit child span, with queue.lockwait and
+// wal.append/wal.fsync children beneath it. A context without a handle
+// behaves exactly like SubmitTask.
+func (s *System) SubmitTaskCtx(ctx context.Context, kind task.Kind, p task.Payload, redundancy, priority int) (task.ID, error) {
+	h, ref := startOp(trace.FromContext(ctx), "core.submit")
+	id, err := s.submit(kind, p, redundancy, priority, nil, h)
+	endOp(h, ref, err)
+	return id, err
+}
+
+// startOp opens the core-op child span named op and rebases the handle
+// under it, so every span the callee records nests beneath the op span.
+// Invalid handles pass through untouched at zero cost.
+func startOp(h trace.Handle, op string) (trace.Handle, trace.SpanRef) {
+	if !h.Valid() {
+		return h, trace.NoSpan
+	}
+	ref := h.StartSpan(op, trace.NoSpan)
+	return h.Under(ref), ref
+}
+
+// endOp closes the op span opened by startOp, marking it failed when err
+// is non-nil.
+func endOp(h trace.Handle, ref trace.SpanRef, err error) {
+	if ref < 0 {
+		return
+	}
+	if err != nil {
+		h.FailSpan(ref, err.Error())
+	} else {
+		h.EndSpan(ref)
+	}
 }
 
 // submit is the shared submit path. A non-nil gold answer registers the
@@ -163,14 +222,14 @@ func (s *System) SubmitTask(kind task.Kind, p task.Payload, redundancy, priority
 // leases and answers the probe in the window between Add and registration
 // would otherwise escape scoring — and rides in the journal event so the
 // probe survives replay.
-func (s *System) submit(kind task.Kind, p task.Payload, redundancy, priority int, gold *task.Answer) (task.ID, error) {
+func (s *System) submit(kind task.Kind, p task.Payload, redundancy, priority int, gold *task.Answer, h trace.Handle) (task.ID, error) {
 	now := s.clock.Now()
 	t, err := task.New(s.store.NextID(), kind, p, redundancy, now)
 	if err != nil {
 		return 0, err
 	}
 	t.Priority = priority
-	s.emit(trace.StageSubmit, t.ID, "", now)
+	s.emit(trace.StageSubmit, t.ID, "", now, h.Trace())
 	// Snapshot for the journal before the task becomes leasable: once Add
 	// succeeds a concurrent worker may already be mutating t.
 	clean := task.Task(t.View())
@@ -187,12 +246,12 @@ func (s *System) submit(kind task.Kind, p task.Payload, redundancy, priority int
 			s.mu.Unlock()
 		}
 	}
-	if err := s.queue.Add(t); err != nil {
+	if err := s.queue.AddTraced(t, h); err != nil {
 		s.store.Delete(t.ID)
 		dropGold()
 		return 0, err
 	}
-	if err := s.journal(store.Event{Kind: store.EventSubmit, At: now, Task: &clean, Gold: gold}); err != nil {
+	if err := s.journalTraced(h, store.Event{Kind: store.EventSubmit, At: now, Task: &clean, Gold: gold}); err != nil {
 		// Unacknowledged and unjournaled: a crash here would lose the task
 		// anyway, so withdraw it rather than strand it half-submitted.
 		_ = s.queue.Remove(t.ID)
@@ -210,6 +269,33 @@ func (s *System) journal(e store.Event) error {
 		return nil
 	}
 	return s.cfg.Journal.Append(e)
+}
+
+// journalTraced is journal under a span handle: through an
+// ObservedJournal the append splits into wal.append (write+flush) and
+// wal.fsync (group-commit wait) child spans; other journals get one
+// wal.append span covering the whole call. An invalid handle makes it
+// exactly journal.
+func (s *System) journalTraced(h trace.Handle, e store.Event) error {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	if !h.Valid() {
+		return s.cfg.Journal.Append(e)
+	}
+	if oj, ok := s.cfg.Journal.(ObservedJournal); ok {
+		start := time.Now()
+		w, sy, err := oj.AppendObserved(e)
+		h.Observe("wal.append", trace.NoSpan, start, w, 1)
+		if sy > 0 {
+			h.Observe("wal.fsync", trace.NoSpan, start.Add(w), sy, 0)
+		}
+		return err
+	}
+	start := time.Now()
+	err := s.cfg.Journal.Append(e)
+	h.Observe("wal.append", trace.NoSpan, start, time.Since(start), 1)
+	return err
 }
 
 // journalBatch writes events to the configured journal, preferring the
@@ -233,6 +319,34 @@ func (s *System) journalBatch(events []store.Event) (int, error) {
 		}
 	}
 	return len(events), nil
+}
+
+// journalBatchTraced is journalBatch under a span handle, with the same
+// wal.append/wal.fsync split as journalTraced (attr on wal.append: events
+// in the group).
+func (s *System) journalBatchTraced(h trace.Handle, events []store.Event) (int, error) {
+	if s.cfg.Journal == nil || len(events) == 0 {
+		return len(events), nil
+	}
+	if !h.Valid() {
+		return s.journalBatch(events)
+	}
+	if obj, ok := s.cfg.Journal.(ObservedBatchJournal); ok {
+		start := time.Now()
+		w, sy, err := obj.AppendBatchObserved(events)
+		h.Observe("wal.append", trace.NoSpan, start, w, int64(len(events)))
+		if sy > 0 {
+			h.Observe("wal.fsync", trace.NoSpan, start.Add(w), sy, 0)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return len(events), nil
+	}
+	start := time.Now()
+	n, err := s.journalBatch(events)
+	h.Observe("wal.append", trace.NoSpan, start, time.Since(start), int64(len(events)))
+	return n, err
 }
 
 // SubmitSpec is one task of a SubmitBatch call.
@@ -262,10 +376,24 @@ type SubmitOutcome struct {
 // and journal agree about which tasks exist — exactly the single-submit
 // contract, batched.
 func (s *System) SubmitBatch(specs []SubmitSpec) []SubmitOutcome {
+	return s.submitBatch(specs, trace.Handle{})
+}
+
+// SubmitBatchCtx is SubmitBatch under the span handle carried by ctx; the
+// whole batch runs inside one core.submit_batch child span.
+func (s *System) SubmitBatchCtx(ctx context.Context, specs []SubmitSpec) []SubmitOutcome {
+	h, ref := startOp(trace.FromContext(ctx), "core.submit_batch")
+	out := s.submitBatch(specs, h)
+	endOp(h, ref, nil)
+	return out
+}
+
+func (s *System) submitBatch(specs []SubmitSpec, h trace.Handle) []SubmitOutcome {
 	out := make([]SubmitOutcome, len(specs))
 	if len(specs) == 0 {
 		return out
 	}
+	tr := h.Trace()
 	now := s.clock.Now()
 	tasks := make([]*task.Task, 0, len(specs))
 	specIdx := make([]int, 0, len(specs)) // spec index of each created task
@@ -284,7 +412,7 @@ func (s *System) SubmitBatch(specs []SubmitSpec) []SubmitOutcome {
 			continue
 		}
 		t.Priority = sp.Priority
-		s.emit(trace.StageSubmit, t.ID, "", now)
+		s.emit(trace.StageSubmit, t.ID, "", now, tr)
 		tasks = append(tasks, t)
 		specIdx = append(specIdx, i)
 	}
@@ -322,7 +450,7 @@ func (s *System) SubmitBatch(specs []SubmitSpec) []SubmitOutcome {
 			s.mu.Unlock()
 		}
 	}
-	addErrs := s.queue.AddBatch(tasks)
+	addErrs := s.queue.AddBatchTraced(tasks, h)
 	okTasks := make([]*task.Task, 0, len(tasks))
 	okEvents := make([]store.Event, 0, len(tasks))
 	okGolds := make([]*task.Answer, 0, len(tasks))
@@ -339,7 +467,7 @@ func (s *System) SubmitBatch(specs []SubmitSpec) []SubmitOutcome {
 		okGolds = append(okGolds, golds[j])
 		okIdx = append(okIdx, specIdx[j])
 	}
-	acked, jerr := s.journalBatch(okEvents)
+	acked, jerr := s.journalBatchTraced(h, okEvents)
 	for j, t := range okTasks {
 		if j >= acked {
 			// Unacknowledged and unjournaled: withdraw rather than strand
@@ -359,10 +487,12 @@ func (s *System) SubmitBatch(specs []SubmitSpec) []SubmitOutcome {
 // emit appends one lifecycle event to the trace recorder, if tracing is on.
 // Core-level events carry the task's store-shard index, which matches the
 // queue-shard index by construction (same count, same id&mask placement).
-func (s *System) emit(stage trace.Stage, id task.ID, worker string, at time.Time) {
+// A non-zero tr links the event to the request-scoped span tree.
+func (s *System) emit(stage trace.Stage, id task.ID, worker string, at time.Time, tr trace.TraceID) {
 	s.trace.Append(trace.Event{
 		TaskID: id, Stage: stage, At: at, Worker: worker,
 		Shard: int(id) & (s.store.Shards() - 1),
+		Trace: tr,
 	})
 }
 
@@ -375,7 +505,18 @@ func (s *System) SubmitGold(kind task.Kind, p task.Payload, redundancy, priority
 	if err := task.ValidateAnswer(kind, expected); err != nil {
 		return 0, err
 	}
-	return s.submit(kind, p, redundancy, priority, &expected)
+	return s.submit(kind, p, redundancy, priority, &expected, trace.Handle{})
+}
+
+// SubmitGoldCtx is SubmitGold under the span handle carried by ctx.
+func (s *System) SubmitGoldCtx(ctx context.Context, kind task.Kind, p task.Payload, redundancy, priority int, expected task.Answer) (task.ID, error) {
+	if err := task.ValidateAnswer(kind, expected); err != nil {
+		return 0, err
+	}
+	h, ref := startOp(trace.FromContext(ctx), "core.submit")
+	id, err := s.submit(kind, p, redundancy, priority, &expected, h)
+	endOp(h, ref, err)
+	return id, err
 }
 
 // IsGold reports whether id is a gold probe.
@@ -399,6 +540,24 @@ func (s *System) NextTask(workerID string) (task.View, queue.LeaseID, error) {
 	return s.queue.Lease(workerID, s.clock.Now())
 }
 
+// NextTaskCtx is NextTask under the span handle carried by ctx: the lease
+// runs inside a core.lease child span with the queue's shard-lock wait
+// recorded beneath it. queue.ErrEmpty does not mark the span failed — an
+// empty queue is an answer, not an error.
+func (s *System) NextTaskCtx(ctx context.Context, workerID string) (task.View, queue.LeaseID, error) {
+	if workerID == "" {
+		return task.View{}, 0, errors.New("core: worker ID required")
+	}
+	h, ref := startOp(trace.FromContext(ctx), "core.lease")
+	v, id, err := s.queue.LeaseTraced(workerID, s.clock.Now(), h)
+	if errors.Is(err, queue.ErrEmpty) {
+		endOp(h, ref, nil)
+	} else {
+		endOp(h, ref, err)
+	}
+	return v, id, err
+}
+
 // LeaseBatch leases up to max available tasks to workerID in one call
 // (each queue shard lock taken at most twice per batch). It returns
 // however many grants were available; an empty batch is not an error.
@@ -412,19 +571,45 @@ func (s *System) LeaseBatch(workerID string, max int) []queue.LeaseGrant {
 	return s.queue.LeaseBatch(workerID, max, s.clock.Now())
 }
 
+// LeaseBatchCtx is LeaseBatch under the span handle carried by ctx; the
+// batch runs inside one core.lease_batch child span.
+func (s *System) LeaseBatchCtx(ctx context.Context, workerID string, max int) []queue.LeaseGrant {
+	if workerID == "" {
+		return nil
+	}
+	h, ref := startOp(trace.FromContext(ctx), "core.lease_batch")
+	out := s.queue.LeaseBatchTraced(workerID, max, s.clock.Now(), h)
+	endOp(h, ref, nil)
+	return out
+}
+
 // SubmitAnswer records the leaseholder's answer. Gold probes additionally
 // update the worker's reputation. The journal record and the gold check
 // both use the answer the queue returned by value — core never re-reads
 // the task's answer list, so two interleaved submissions can never journal
 // or credit each other's answers.
 func (s *System) SubmitAnswer(lease queue.LeaseID, a task.Answer) error {
+	return s.submitAnswer(lease, a, trace.Handle{})
+}
+
+// SubmitAnswerCtx is SubmitAnswer under the span handle carried by ctx:
+// the work runs inside a core.answer child span, with queue.lockwait,
+// wal.append/wal.fsync and quality.update children beneath it.
+func (s *System) SubmitAnswerCtx(ctx context.Context, lease queue.LeaseID, a task.Answer) error {
+	h, ref := startOp(trace.FromContext(ctx), "core.answer")
+	err := s.submitAnswer(lease, a, h)
+	endOp(h, ref, err)
+	return err
+}
+
+func (s *System) submitAnswer(lease queue.LeaseID, a task.Answer, h trace.Handle) error {
 	now := s.clock.Now()
-	res, err := s.queue.Complete(lease, a, now)
+	res, err := s.queue.CompleteTraced(lease, a, now, h)
 	if err != nil {
 		return err
 	}
 	recorded := res.Answer
-	if err := s.journal(store.Event{Kind: store.EventAnswer, At: now, TaskID: res.TaskID, Answer: &recorded}); err != nil {
+	if err := s.journalTraced(h, store.Event{Kind: store.EventAnswer, At: now, TaskID: res.TaskID, Answer: &recorded}); err != nil {
 		return err
 	}
 	s.answersTotal.Inc()
@@ -436,8 +621,15 @@ func (s *System) SubmitAnswer(lease queue.LeaseID, a task.Answer) error {
 	if res.Status == task.Done {
 		s.gwap.RecordOutputs(1)
 	}
-	s.checkGold(res)
-	s.observeAnswer(res, now)
+	if h.Valid() {
+		qs := time.Now()
+		s.checkGold(res, h.Trace())
+		s.observeAnswer(res, now)
+		h.Observe("quality.update", trace.NoSpan, qs, time.Since(qs), 0)
+	} else {
+		s.checkGold(res, trace.TraceID{})
+		s.observeAnswer(res, now)
+	}
 	return nil
 }
 
@@ -474,12 +666,26 @@ type AnswerOutcome struct {
 // AnswerBatchDetailed is AnswerBatch returning per-item outcomes with the
 // quality plane's posterior view of each answered task.
 func (s *System) AnswerBatchDetailed(items []queue.CompleteItem) []AnswerOutcome {
+	return s.answerBatchDetailed(items, trace.Handle{})
+}
+
+// AnswerBatchDetailedCtx is AnswerBatchDetailed under the span handle
+// carried by ctx; the batch runs inside one core.answer_batch child span
+// with a single quality.update span covering the whole post-journal pass.
+func (s *System) AnswerBatchDetailedCtx(ctx context.Context, items []queue.CompleteItem) []AnswerOutcome {
+	h, ref := startOp(trace.FromContext(ctx), "core.answer_batch")
+	out := s.answerBatchDetailed(items, h)
+	endOp(h, ref, nil)
+	return out
+}
+
+func (s *System) answerBatchDetailed(items []queue.CompleteItem, h trace.Handle) []AnswerOutcome {
 	out := make([]AnswerOutcome, len(items))
 	if len(items) == 0 {
 		return out
 	}
 	now := s.clock.Now()
-	outcomes := s.queue.CompleteBatch(items, now)
+	outcomes := s.queue.CompleteBatchTraced(items, now, h)
 	// recorded answers need stable addresses for the journal events; the
 	// slice is pre-sized so appends never reallocate.
 	recorded := make([]task.Answer, 0, len(items))
@@ -497,7 +703,12 @@ func (s *System) AnswerBatchDetailed(items []queue.CompleteItem) []AnswerOutcome
 		})
 		okIdx = append(okIdx, i)
 	}
-	acked, jerr := s.journalBatch(events)
+	acked, jerr := s.journalBatchTraced(h, events)
+	var qs time.Time
+	tr := h.Trace()
+	if h.Valid() {
+		qs = time.Now()
+	}
 	for j, i := range okIdx {
 		if j >= acked {
 			out[i].Err = jerr
@@ -509,7 +720,7 @@ func (s *System) AnswerBatchDetailed(items []queue.CompleteItem) []AnswerOutcome
 		if res.Status == task.Done {
 			s.gwap.RecordOutputs(1)
 		}
-		s.checkGold(res)
+		s.checkGold(res, tr)
 		conf, post, early := s.observeAnswer(res, now)
 		out[i].TaskID = res.TaskID
 		out[i].Status = res.Status
@@ -520,12 +731,15 @@ func (s *System) AnswerBatchDetailed(items []queue.CompleteItem) []AnswerOutcome
 			out[i].Status = task.Done
 		}
 	}
+	if h.Valid() {
+		h.Observe("quality.update", trace.NoSpan, qs, time.Since(qs), int64(len(okIdx)))
+	}
 	return out
 }
 
 // checkGold scores a just-recorded answer against its task's gold
 // expectation, if any.
-func (s *System) checkGold(res queue.CompleteResult) {
+func (s *System) checkGold(res queue.CompleteResult, tr trace.TraceID) {
 	s.mu.RLock()
 	expected, ok := s.gold[res.TaskID]
 	s.mu.RUnlock()
@@ -534,7 +748,7 @@ func (s *System) checkGold(res queue.CompleteResult) {
 	}
 	s.rep.Record(res.Answer.WorkerID, AnswerMatches(res.Kind, expected, res.Answer))
 	s.goldChecked.Inc()
-	s.emit(trace.StageGold, res.TaskID, res.Answer.WorkerID, res.Answer.At)
+	s.emit(trace.StageGold, res.TaskID, res.Answer.WorkerID, res.Answer.At, tr)
 }
 
 // AnswerMatches reports whether a matches the expected gold answer for a
@@ -666,7 +880,7 @@ func (s *System) AggregateChoice(id task.ID) (ChoiceResult, error) {
 		totalW += w
 	}
 	class, weight, _ := quality.Weighted(votes, s.rep.Weight)
-	s.emit(trace.StageAggregate, id, "", s.clock.Now())
+	s.emit(trace.StageAggregate, id, "", s.clock.Now(), trace.TraceID{})
 	return ChoiceResult{Choice: class, Confidence: weight / totalW, Votes: len(votes)}, nil
 }
 
@@ -707,7 +921,7 @@ func (s *System) AggregateWords(id task.ID) ([]WordCount, error) {
 		}
 		return out[i].Word < out[j].Word
 	})
-	s.emit(trace.StageAggregate, id, "", s.clock.Now())
+	s.emit(trace.StageAggregate, id, "", s.clock.Now(), trace.TraceID{})
 	return out, nil
 }
 

@@ -3,11 +3,16 @@ package dispatch
 import (
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"humancomp/internal/core"
 	"humancomp/internal/metrics"
 	"humancomp/internal/store"
+	"humancomp/internal/trace"
 )
 
 // AdminOptions configures the admin/debug handler.
@@ -25,15 +30,22 @@ type AdminOptions struct {
 	// write path pulls the instance out of rotation before it loses
 	// acknowledged work. Nil means always ready.
 	Ready func() bool
+	// Start, when set, exports hc_uptime_seconds relative to it.
+	Start time.Time
+	// Version is the build identifier on hc_build_info ("dev" when empty).
+	Version string
 }
 
 // NewAdminHandler returns the admin/debug surface served on a separate
 // listener from the public API:
 //
-//	GET /metrics       Prometheus text exposition (0.0.4)
-//	GET /healthz       liveness (always 200 while serving)
-//	GET /readyz        readiness (503 until AdminOptions.Ready)
-//	    /debug/pprof/* runtime profiles
+//	GET /metrics        Prometheus text exposition (0.0.4), or
+//	                    OpenMetrics 1.0 with exemplars when the Accept
+//	                    header asks for application/openmetrics-text
+//	GET /v1/debug/spans tail-sampled request span trees (JSON)
+//	GET /healthz        liveness (always 200 while serving)
+//	GET /readyz         readiness (503 until AdminOptions.Ready)
+//	    /debug/pprof/*  runtime profiles
 //
 // The handler is deliberately unauthenticated — it must only be bound to
 // a loopback or otherwise trusted address (hcservd -admin-addr). api may
@@ -41,8 +53,11 @@ type AdminOptions struct {
 // metrics are then omitted.
 func NewAdminHandler(sys *core.System, api *Server, opts AdminOptions) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		serveProm(w, sys, api, opts)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		serveProm(w, r, sys, api, opts)
+	})
+	mux.HandleFunc("GET /v1/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		serveDebugSpans(w, r, sys)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -65,10 +80,76 @@ func NewAdminHandler(sys *core.System, api *Server, opts AdminOptions) http.Hand
 }
 
 // serveProm assembles every metric family and writes the exposition.
-func serveProm(w http.ResponseWriter, sys *core.System, api *Server, opts AdminOptions) {
+// Content negotiation follows the scraper's Accept header: a request
+// naming application/openmetrics-text gets the OpenMetrics 1.0 body
+// (exemplars on histogram buckets, # EOF trailer); everything else gets
+// the classic 0.0.4 text format.
+func serveProm(w http.ResponseWriter, r *http.Request, sys *core.System, api *Server, opts AdminOptions) {
 	fams := promFamilies(sys, api, opts)
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", metrics.OpenMetricsContentType)
+		_ = metrics.WriteOpenMetrics(w, fams)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = metrics.WriteProm(w, fams)
+}
+
+// SpanDebugResponse is the body of GET /v1/debug/spans.
+type SpanDebugResponse struct {
+	Traces []trace.TraceView `json:"traces"`
+}
+
+// serveDebugSpans serves the tail-sampled span trees. Filters arrive as
+// query parameters: trace (32-hex trace ID), op (exact root op match),
+// min_ms (root duration floor), errors_only, limit (max trees, newest
+// first). A system running without the span plane answers 404.
+func serveDebugSpans(w http.ResponseWriter, r *http.Request, sys *core.System) {
+	p := sys.Spans()
+	if p == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "dispatch: span plane disabled"})
+		return
+	}
+	q := r.URL.Query()
+	var f trace.SpanFilter
+	if raw := q.Get("trace"); raw != "" {
+		id, ok := trace.ParseTraceID(raw)
+		if !ok {
+			badRequest(w, nil, "dispatch: invalid trace id %q", raw)
+			return
+		}
+		f.Trace = id
+	}
+	f.Op = q.Get("op")
+	if raw := q.Get("min_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			badRequest(w, nil, "dispatch: invalid min_ms %q", raw)
+			return
+		}
+		f.MinDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	if raw := q.Get("errors_only"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			badRequest(w, nil, "dispatch: invalid errors_only %q", raw)
+			return
+		}
+		f.ErrorsOnly = v
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > 1000 {
+			badRequest(w, nil, "dispatch: invalid limit %q (1..1000)", raw)
+			return
+		}
+		f.Limit = n
+	}
+	views := p.Snapshot(f)
+	if views == nil {
+		views = []trace.TraceView{}
+	}
+	writeJSON(w, http.StatusOK, SpanDebugResponse{Traces: views})
 }
 
 // promFamilies gathers the system's observable state into Prometheus
@@ -78,6 +159,7 @@ func serveProm(w http.ResponseWriter, sys *core.System, api *Server, opts AdminO
 func promFamilies(sys *core.System, api *Server, opts AdminOptions) []metrics.PromFamily {
 	st := sys.Stats()
 	fams := []metrics.PromFamily{
+		buildInfoFamily(sys, opts),
 		metrics.PromCounterFamily("hc_tasks_submitted_total",
 			"Tasks accepted by SubmitTask/SubmitGold.", st.TasksSubmitted),
 		metrics.PromCounterFamily("hc_answers_total",
@@ -93,6 +175,10 @@ func promFamilies(sys *core.System, api *Server, opts AdminOptions) []metrics.Pr
 		metrics.PromGaugeFamily("hc_store_tasks",
 			"Tasks held in the store, any status.", float64(sys.Store().Len())),
 	}
+	if !opts.Start.IsZero() {
+		fams = append(fams, metrics.PromGaugeFamily("hc_uptime_seconds",
+			"Seconds since the process started serving.", time.Since(opts.Start).Seconds()))
+	}
 
 	qLocks, sLocks := sys.ShardLockCounts()
 	fams = append(fams,
@@ -104,17 +190,32 @@ func promFamilies(sys *core.System, api *Server, opts AdminOptions) []metrics.Pr
 
 	if rec := sys.Trace(); rec != nil {
 		inQueue, leaseToAnswer, toCompletion := rec.Latencies()
+		exInQueue, exLeaseToAnswer, exToCompletion := rec.StageExemplars()
 		fams = append(fams,
 			metrics.PromGaugeFamily("hc_trace_events_retained",
 				"Lifecycle trace events currently held in the ring.", float64(rec.Len())),
 			metrics.PromGaugeFamily("hc_trace_ring_capacity",
 				"Lifecycle trace ring capacity in events.", float64(rec.Capacity())),
-			metrics.PromSummaryFamily("hc_task_time_in_queue_seconds",
-				"Enqueue to first lease.", inQueue),
-			metrics.PromSummaryFamily("hc_task_lease_to_answer_seconds",
-				"Lease grant to that worker's answer.", leaseToAnswer),
-			metrics.PromSummaryFamily("hc_task_answers_to_completion_seconds",
-				"First answer to task completion.", toCompletion),
+			metrics.PromHistogramFamily("hc_task_time_in_queue_seconds",
+				"Enqueue to first lease.", inQueue, exInQueue),
+			metrics.PromHistogramFamily("hc_task_lease_to_answer_seconds",
+				"Lease grant to that worker's answer.", leaseToAnswer, exLeaseToAnswer),
+			metrics.PromHistogramFamily("hc_task_answers_to_completion_seconds",
+				"First answer to task completion.", toCompletion, exToCompletion),
+		)
+	}
+
+	if p := sys.Spans(); p != nil {
+		started, retained, discarded := p.Stats()
+		fams = append(fams,
+			metrics.PromCounterFamily("hc_spans_started_total",
+				"Request span trees opened.", int64(started)),
+			metrics.PromCounterFamily("hc_spans_retained_total",
+				"Span trees kept by the tail sampler (slow, errored, or 1-in-N).", int64(retained)),
+			metrics.PromCounterFamily("hc_spans_discarded_total",
+				"Span trees recycled without retention.", int64(discarded)),
+			metrics.PromGaugeFamily("hc_spans_retained",
+				"Span trees currently held in the debug ring.", float64(p.Retained())),
 		)
 	}
 
@@ -216,11 +317,36 @@ func routeFamilies(snap map[string]*routeStats) []metrics.PromFamily {
 				"Requests served: "+route, rs.requests.Value()),
 			metrics.PromCounterFamily("hc_http_request_errors_total_"+suffix,
 				"Responses with status >= 400: "+route, rs.errors.Value()),
-			metrics.PromSummaryFamily("hc_http_request_duration_seconds_"+suffix,
-				"Request latency: "+route, rs.latency),
+			metrics.PromHistogramFamily("hc_http_request_duration_seconds_"+suffix,
+				"Request latency: "+route, rs.latency, &rs.exemplars),
 		)
 	}
 	return fams
+}
+
+// buildInfoFamily is the constant-1 hc_build_info gauge whose labels
+// carry the build and runtime shape of the serving process.
+func buildInfoFamily(sys *core.System, opts AdminOptions) metrics.PromFamily {
+	version := opts.Version
+	if version == "" {
+		version = "dev"
+	}
+	qLocks, _ := sys.ShardLockCounts()
+	return metrics.PromFamily{
+		Name: "hc_build_info",
+		Help: "Build and runtime identity; value is always 1.",
+		Kind: metrics.PromGauge,
+		Samples: []metrics.PromSample{{
+			Shard: -1,
+			Labels: []metrics.PromLabel{
+				{Name: "version", Value: version},
+				{Name: "goversion", Value: runtime.Version()},
+				{Name: "gomaxprocs", Value: strconv.Itoa(runtime.GOMAXPROCS(0))},
+				{Name: "shards", Value: strconv.Itoa(len(qLocks))},
+			},
+			Value: 1,
+		}},
+	}
 }
 
 // promRouteName folds a mux pattern into a metric-name fragment:

@@ -6,6 +6,7 @@ import (
 	"humancomp/internal/core"
 	"humancomp/internal/queue"
 	"humancomp/internal/task"
+	"humancomp/internal/trace"
 )
 
 // The batched data plane: POST /v1/tasks:batch, /v1/leases:batch and
@@ -102,7 +103,8 @@ func checkBatchSize(w http.ResponseWriter, r *http.Request, n int) bool {
 // their envelope without reaching the core; the remaining items go down as
 // one core.SubmitBatch, which takes each shard lock and the WAL once.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[BatchSubmitRequest](w, r, maxBatchBody)
+	sh := trace.FromContext(r.Context())
+	req, ok := decode[BatchSubmitRequest](w, r, sh, maxBatchBody)
 	if !ok {
 		return
 	}
@@ -135,7 +137,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		specs = append(specs, sp)
 		specIdx = append(specIdx, i)
 	}
-	for j, out := range s.sys.SubmitBatch(specs) {
+	for j, out := range s.sys.SubmitBatchCtx(r.Context(), specs) {
 		i := specIdx[j]
 		if out.Err != nil {
 			results[i] = BatchSubmitResult{Status: statusOf(out.Err), Error: out.Err.Error()}
@@ -143,13 +145,14 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		results[i] = BatchSubmitResult{Status: http.StatusCreated, ID: out.ID}
 	}
-	writeJSON(w, http.StatusOK, BatchSubmitResponse{Results: results})
+	writeJSONSpanned(w, sh, http.StatusOK, BatchSubmitResponse{Results: results})
 }
 
 // handleNextBatch serves POST /v1/leases:batch: up to Max leases for one
 // worker in one exchange.
 func (s *Server) handleNextBatch(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[BatchNextRequest](w, r, maxBatchBody)
+	sh := trace.FromContext(r.Context())
+	req, ok := decode[BatchNextRequest](w, r, sh, maxBatchBody)
 	if !ok {
 		return
 	}
@@ -165,19 +168,20 @@ func (s *Server) handleNextBatch(w http.ResponseWriter, r *http.Request) {
 	if max > maxBatchItems {
 		max = maxBatchItems
 	}
-	grants := s.sys.LeaseBatch(req.WorkerID, max)
+	grants := s.sys.LeaseBatchCtx(r.Context(), req.WorkerID, max)
 	out := BatchNextResponse{Leases: make([]NextResponse, len(grants))}
 	for i, g := range grants {
 		out.Leases[i] = NextResponse{Task: g.Task, Lease: g.Lease}
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSONSpanned(w, sh, http.StatusOK, out)
 }
 
 // handleAnswerBatch serves POST /v1/leases:answers: each item's outcome
 // mirrors what the equivalent POST /v1/leases/{id} would have returned
 // (204 on success).
 func (s *Server) handleAnswerBatch(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[BatchAnswerRequest](w, r, maxBatchBody)
+	sh := trace.FromContext(r.Context())
+	req, ok := decode[BatchAnswerRequest](w, r, sh, maxBatchBody)
 	if !ok {
 		return
 	}
@@ -189,7 +193,7 @@ func (s *Server) handleAnswerBatch(w http.ResponseWriter, r *http.Request) {
 		items[i] = queue.CompleteItem{Lease: a.Lease, Answer: a.Answer}
 	}
 	results := make([]BatchItemStatus, len(items))
-	for i, out := range s.sys.AnswerBatchDetailed(items) {
+	for i, out := range s.sys.AnswerBatchDetailedCtx(r.Context(), items) {
 		if out.Err != nil {
 			results[i] = BatchItemStatus{Status: statusOf(out.Err), Error: out.Err.Error()}
 			continue
@@ -201,5 +205,5 @@ func (s *Server) handleAnswerBatch(w http.ResponseWriter, r *http.Request) {
 			EarlyDone:  out.EarlyDone,
 		}
 	}
-	writeJSON(w, http.StatusOK, BatchAnswerResponse{Results: results})
+	writeJSONSpanned(w, sh, http.StatusOK, BatchAnswerResponse{Results: results})
 }

@@ -16,6 +16,7 @@ import (
 	"humancomp/internal/core"
 	"humancomp/internal/queue"
 	"humancomp/internal/task"
+	"humancomp/internal/trace"
 )
 
 // ErrNoTask is returned by Next when the queue has nothing for the worker.
@@ -60,19 +61,45 @@ type RetryPolicy struct {
 // 100ms base, 5s cap.
 var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
 
+// CallObservation describes one completed logical call (after retries),
+// delivered to ClientOptions.Observer.
+type CallObservation struct {
+	// Path is the request path of the call ("/v1/tasks", "/v1/next", ...).
+	Path string
+	// Status is the final HTTP status (0 when no attempt reached the wire).
+	Status int
+	// Err is the call's final error, nil on success.
+	Err error
+	// Duration covers the whole logical call, backoff sleeps included.
+	Duration time.Duration
+	// Trace is the call's trace ID; zero unless ClientOptions.Trace is set.
+	Trace trace.TraceID
+}
+
 // ClientOptions configures optional client behavior.
 type ClientOptions struct {
 	// Retry selects the retry policy; the zero value performs exactly one
 	// attempt per call.
 	Retry RetryPolicy
+	// Trace, when set, sends a W3C traceparent header on every request:
+	// one trace ID per logical call — constant across its retries — and a
+	// fresh span ID per attempt, so the server's span trees stitch all
+	// attempts of one call into a single distributed trace.
+	Trace bool
+	// Observer, when set, is called once per completed logical call with
+	// its path, final status, duration and trace ID. It runs on the
+	// calling goroutine and must be safe for concurrent use.
+	Observer func(CallObservation)
 }
 
-// Client is a typed client for the dispatch API. Every request carries a
-// generated X-Request-Id, so client- and server-side records of one
-// exchange can be joined. Submit and Answer calls additionally carry an
-// Idempotency-Key that stays constant across retries of one logical call,
-// so a retried submission can never create a second task and a retried
-// answer can never be double-counted.
+// Client is a typed client for the dispatch API. Every logical call
+// carries a generated X-Request-Id that stays constant across its
+// retries, so all attempts of one call — and their server-side log lines
+// — share one identity. Submit and Answer calls additionally carry an
+// Idempotency-Key with the same per-call lifetime, so a retried
+// submission can never create a second task and a retried answer can
+// never be double-counted. With ClientOptions.Trace, calls also carry a
+// W3C traceparent (one trace ID per call, a fresh span ID per attempt).
 type Client struct {
 	baseURL string
 	http    *http.Client
@@ -85,6 +112,14 @@ type Client struct {
 	newIdemKey func() string
 	// sleep waits between attempts; tests replace it to run instantly.
 	sleep func(ctx context.Context, d time.Duration) error
+	// injectTrace mirrors ClientOptions.Trace.
+	injectTrace bool
+	// observer mirrors ClientOptions.Observer.
+	observer func(CallObservation)
+	// newTraceID/newSpanID override trace identifier generation; tests
+	// pin them for deterministic propagation checks.
+	newTraceID func() trace.TraceID
+	newSpanID  func() trace.SpanID
 }
 
 // NewTransport returns an http.Transport tuned for the dispatch wire
@@ -141,12 +176,16 @@ func NewClientWith(baseURL string, httpClient *http.Client, opts ClientOptions) 
 		httpClient = defaultClient
 	}
 	return &Client{
-		baseURL:    baseURL,
-		http:       httpClient,
-		retry:      opts.Retry,
-		newID:      newRequestID,
-		newIdemKey: newRequestID,
-		sleep:      sleepCtx,
+		baseURL:     baseURL,
+		http:        httpClient,
+		retry:       opts.Retry,
+		newID:       newRequestID,
+		newIdemKey:  newRequestID,
+		sleep:       sleepCtx,
+		injectTrace: opts.Trace,
+		observer:    opts.Observer,
+		newTraceID:  trace.NewTraceID,
+		newSpanID:   trace.NewSpanID,
 	}
 }
 
@@ -229,7 +268,11 @@ func (c *Client) backoff(next int, retryAfter time.Duration) time.Duration {
 // do runs one logical API call: marshal once, then attempt the exchange up
 // to MaxAttempts times. The request body is a rewindable bytes.Reader
 // rebuilt per attempt, and every response body is drained and closed so
-// the transport can reuse connections across retries.
+// the transport can reuse connections across retries. The call's identity
+// headers are generated once per logical call: the X-Request-Id and (when
+// tracing) the trace ID are constant across retries, so every attempt of
+// one call shares a log and trace identity; only the traceparent span ID
+// is fresh per attempt, distinguishing the attempts within the trace.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, idemKey string) (int, error) {
 	var payload []byte
 	if in != nil {
@@ -239,6 +282,25 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemK
 			return 0, fmt.Errorf("dispatch: encoding request: %w", err)
 		}
 	}
+	requestID := c.newID()
+	var traceID trace.TraceID
+	if c.injectTrace {
+		traceID = c.newTraceID()
+	}
+	if c.observer == nil {
+		return c.doAttempts(ctx, method, path, payload, out, idemKey, requestID, traceID)
+	}
+	t0 := time.Now()
+	status, err := c.doAttempts(ctx, method, path, payload, out, idemKey, requestID, traceID)
+	c.observer(CallObservation{
+		Path: path, Status: status, Err: err,
+		Duration: time.Since(t0), Trace: traceID,
+	})
+	return status, err
+}
+
+// doAttempts is do's retry loop, after the per-call identity is fixed.
+func (c *Client) doAttempts(ctx context.Context, method, path string, payload []byte, out any, idemKey, requestID string, traceID trace.TraceID) (int, error) {
 	attempts := c.retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -260,8 +322,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemK
 				return status, errors.Join(err, lastErr)
 			}
 		}
+		traceParent := ""
+		if c.injectTrace {
+			traceParent = trace.FormatTraceParent(traceID, c.newSpanID())
+		}
 		var retryable bool
-		status, retryable, lastErr = c.attempt(ctx, method, path, payload, out, idemKey)
+		status, retryable, lastErr = c.attempt(ctx, method, path, payload, out, idemKey, requestID, traceParent)
 		if lastErr == nil || !retryable {
 			return status, lastErr
 		}
@@ -273,7 +339,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemK
 }
 
 // attempt performs one HTTP exchange.
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any, idemKey string) (status int, retryable bool, err error) {
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any, idemKey, requestID, traceParent string) (status int, retryable bool, err error) {
 	var body io.Reader
 	if payload != nil {
 		// *bytes.Reader makes net/http set ContentLength and GetBody, so
@@ -287,7 +353,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	req.Header.Set(requestIDHeader, c.newID())
+	req.Header.Set(requestIDHeader, requestID)
+	if traceParent != "" {
+		req.Header.Set(traceParentHeader, traceParent)
+	}
 	if idemKey != "" {
 		req.Header.Set(idempotencyKeyHeader, idemKey)
 	}

@@ -7,6 +7,9 @@ import (
 	"encoding/hex"
 	"net/http"
 	"sync"
+	"time"
+
+	"humancomp/internal/trace"
 )
 
 // idempotencyKeyHeader is the header clients put idempotency keys on; the
@@ -146,6 +149,23 @@ func principalScope(r *http.Request) string {
 	return hex.EncodeToString(sum[:8])
 }
 
+// lookupSpanned is get plus an "idem.lookup" child span (attr = 1 on a
+// replay hit, 0 on a miss) when the request carries a span handle.
+func (c *idemCache) lookupSpanned(r *http.Request, scoped string) (*idemResponse, bool) {
+	sh := trace.FromContext(r.Context())
+	if !sh.Valid() {
+		return c.get(scoped)
+	}
+	t0 := time.Now()
+	rec, ok := c.get(scoped)
+	var hit int64
+	if ok {
+		hit = 1
+	}
+	sh.Observe("idem.lookup", trace.NoSpan, t0, time.Since(t0), hit)
+	return rec, ok
+}
+
 // wrap makes h idempotent under the given route scope: requests carrying a
 // usable Idempotency-Key replay the cached response of the first completed
 // attempt. Keys are scoped per route AND per authenticated principal: a
@@ -166,7 +186,8 @@ func (c *idemCache) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		scoped := route + "\x00" + principalScope(r) + "\x00" + key
-		if rec, ok := c.get(scoped); ok {
+		rec, ok := c.lookupSpanned(r, scoped)
+		if ok {
 			w.Header().Set(idempotentReplayHdr, "true")
 			if rec.contentType != "" {
 				w.Header().Set("Content-Type", rec.contentType)

@@ -4,15 +4,24 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"humancomp/internal/metrics"
+	"humancomp/internal/trace"
 )
+
+// traceParentHeader is the W3C trace-context header requests arrive and
+// leave on: 00-<trace id>-<span id>-01. The client sends one trace ID for
+// every attempt of a logical call; the server adopts it as the root of
+// the request's span tree.
+const traceParentHeader = "traceparent"
 
 // endpointStats accumulates request counts and latency per route pattern.
 // Routes are registered once at server construction; the hot path writes
@@ -26,7 +35,11 @@ type endpointStats struct {
 type routeStats struct {
 	requests metrics.Counter
 	errors   metrics.Counter // responses with status >= 400
-	latency  *metrics.Histogram
+	latency  *metrics.LatencyHist
+	// exemplars pairs the latency histogram's exposition buckets with the
+	// trace ID of the most recent observation that landed in each, so a
+	// scrape can jump from a latency bucket to GET /v1/debug/spans.
+	exemplars metrics.ExemplarSet
 }
 
 func newEndpointStats() *endpointStats {
@@ -38,7 +51,7 @@ func (s *endpointStats) get(route string) *routeStats {
 	defer s.mu.Unlock()
 	rs := s.byRoute[route]
 	if rs == nil {
-		rs = &routeStats{latency: metrics.NewHistogram(2048)}
+		rs = &routeStats{latency: new(metrics.LatencyHist)}
 		s.byRoute[route] = rs
 	}
 	return rs
@@ -156,22 +169,44 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// instrument wraps a handler with per-route metrics, panic recovery and
-// the structured request log. The routeStats is resolved once, at
-// registration, so the per-request path touches only atomics and the
-// striped latency histogram.
+// instrument wraps a handler with per-route metrics, the request-scoped
+// span tree, panic recovery and the structured request log. The
+// routeStats is resolved once, at registration, so the per-request path
+// touches only atomics and the striped latency histogram. With the span
+// plane enabled, every request gets a root span — adopting the client's
+// traceparent when one arrives, minting a fresh trace otherwise — and the
+// handle rides the request context for handlers to hang child spans on.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	rs := s.stats.get(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		var sh trace.Handle
+		if s.spans != nil {
+			tid, parent, ok := trace.ParseTraceParent(r.Header.Get(traceParentHeader))
+			if !ok {
+				tid, parent = trace.NewTraceID(), trace.SpanID{}
+			}
+			sh = s.spans.StartTrace(tid, parent, route)
+			if sh.Valid() {
+				r = r.WithContext(trace.NewContext(r.Context(), sh))
+			}
+		}
 		start := time.Now()
-		s.serveRecovered(rec, r, route, h)
+		s.serveRecovered(rec, r, route, sh, h)
 		dur := time.Since(start)
 		rs.requests.Inc()
 		if rec.status >= 400 {
 			rs.errors.Inc()
 		}
-		rs.latency.Observe(dur.Seconds())
+		rs.latency.Observe(dur)
+		if sh.Valid() {
+			rs.exemplars.Observe(dur, sh.Trace().Hex())
+			var errMsg string
+			if rec.status >= 500 {
+				errMsg = "http " + strconv.Itoa(rec.status)
+			}
+			s.spans.Finish(sh, errMsg)
+		}
 		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("method", r.Method),
 			slog.String("route", route),
@@ -186,7 +221,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 // serveRecovered runs the handler, converting a panic into a logged JSON
 // 500. The recorder is marked 500 even when the handler panicked after
 // writing its header, so mid-response panics still count as route errors.
-func (s *Server) serveRecovered(rec *statusRecorder, r *http.Request, route string, h http.HandlerFunc) {
+// A valid span handle gets its root span failed with the panic value, so
+// the trace survives tail sampling and records how the request died.
+func (s *Server) serveRecovered(rec *statusRecorder, r *http.Request, route string, sh trace.Handle, h http.HandlerFunc) {
 	defer func() {
 		p := recover()
 		if p == nil {
@@ -196,6 +233,9 @@ func (s *Server) serveRecovered(rec *statusRecorder, r *http.Request, route stri
 			// The sentinel net/http itself uses to abort a response;
 			// suppressing it would hide the abort from the server.
 			panic(p)
+		}
+		if sh.Valid() {
+			sh.FailSpan(sh.Root(), fmt.Sprintf("panic: %v", p))
 		}
 		s.logger.LogAttrs(r.Context(), slog.LevelError, "handler panic",
 			slog.String("route", route),
@@ -235,14 +275,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	out := make([]RouteMetrics, 0, len(routes))
 	for _, route := range routes {
 		rs := snap[route]
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 		out = append(out, RouteMetrics{
 			Route:    route,
 			Requests: rs.requests.Value(),
 			Errors:   rs.errors.Value(),
-			MeanMs:   rs.latency.Mean() * 1000,
-			P50Ms:    rs.latency.Quantile(0.5) * 1000,
-			P99Ms:    rs.latency.Quantile(0.99) * 1000,
-			MaxMs:    rs.latency.Max() * 1000,
+			MeanMs:   ms(rs.latency.Mean()),
+			P50Ms:    ms(rs.latency.Quantile(0.5)),
+			P99Ms:    ms(rs.latency.Quantile(0.99)),
+			MaxMs:    ms(rs.latency.Max()),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -326,7 +326,8 @@ func TestAdminHandlerMetricsAndProbes(t *testing.T) {
 		"hc_trace_events_retained",
 		`hc_queue_shard_lock_acquisitions_total{shard="0"}`,
 		`hc_store_shard_lock_acquisitions_total{shard="0"}`,
-		`hc_task_time_in_queue_seconds{quantile="0.5"}`,
+		`hc_task_time_in_queue_seconds_bucket{le="+Inf"}`,
+		"hc_task_time_in_queue_seconds_count",
 		"hc_task_lease_to_answer_seconds_count",
 		"hc_task_answers_to_completion_seconds_count",
 		"hc_http_requests_total_post_v1_tasks",

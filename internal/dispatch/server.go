@@ -44,6 +44,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"humancomp/internal/core"
 	"humancomp/internal/jsonx"
@@ -119,7 +120,8 @@ type Server struct {
 	handler http.Handler // mux wrapped with the request-ID middleware
 	stats   *endpointStats
 	logger  *slog.Logger
-	idem    *idemCache // Idempotency-Key replay cache; nil when disabled
+	idem    *idemCache       // Idempotency-Key replay cache; nil when disabled
+	spans   *trace.SpanPlane // request span plane; nil when disabled
 }
 
 // NewServer returns a ready-to-serve open dispatch server over sys. Every
@@ -134,7 +136,8 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	if logger == nil {
 		logger = DiscardLogger()
 	}
-	s := &Server{sys: sys, mux: http.NewServeMux(), stats: newEndpointStats(), logger: logger}
+	s := &Server{sys: sys, mux: http.NewServeMux(), stats: newEndpointStats(), logger: logger,
+		spans: sys.Spans()}
 	if opts.IdempotencyCapacity >= 0 {
 		s.idem = newIdemCache(opts.IdempotencyCapacity)
 	}
@@ -313,15 +316,40 @@ func (c *reqCarrier) decodeInto(w http.ResponseWriter, r *http.Request, v any, l
 	return true
 }
 
+// decodeSpanned is decodeInto plus an "http.decode" child span (attr =
+// body bytes) when the request carries a span handle; the invalid-handle
+// path costs nothing beyond the Valid check.
+func (c *reqCarrier) decodeSpanned(w http.ResponseWriter, r *http.Request, sh trace.Handle, v any, limit int64) bool {
+	if !sh.Valid() {
+		return c.decodeInto(w, r, v, limit)
+	}
+	t0 := time.Now()
+	ok := c.decodeInto(w, r, v, limit)
+	sh.Observe("http.decode", trace.NoSpan, t0, time.Since(t0), int64(c.buf.Len()))
+	return ok
+}
+
+// writeJSONSpanned is writeJSON plus an "http.encode" child span (attr =
+// response status) when the request carries a span handle.
+func writeJSONSpanned(w http.ResponseWriter, sh trace.Handle, status int, v any) {
+	if !sh.Valid() {
+		writeJSON(w, status, v)
+		return
+	}
+	t0 := time.Now()
+	writeJSON(w, status, v)
+	sh.Observe("http.encode", trace.NoSpan, t0, time.Since(t0), int64(status))
+}
+
 // decode parses a bounded request body into a fresh T; the cold-route
 // form (batch requests and anything without a carrier slot). The decoded
 // value owns all its memory — json copies strings and allocates slices —
 // so it outlives the pooled buffer.
-func decode[T any](w http.ResponseWriter, r *http.Request, limit int64) (T, bool) {
+func decode[T any](w http.ResponseWriter, r *http.Request, sh trace.Handle, limit int64) (T, bool) {
 	var v T
 	c := getCarrier()
 	defer putCarrier(c)
-	ok := c.decodeInto(w, r, &v, limit)
+	ok := c.decodeSpanned(w, r, sh, &v, limit)
 	return v, ok
 }
 
@@ -336,11 +364,12 @@ func pathID[T ~int64](w http.ResponseWriter, r *http.Request) (T, bool) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sh := trace.FromContext(r.Context())
 	c := getCarrier()
 	defer putCarrier(c)
 	c.submit = SubmitRequest{}
 	req := &c.submit
-	if !c.decodeInto(w, r, req, maxSingleBody) {
+	if !c.decodeSpanned(w, r, sh, req, maxSingleBody) {
 		return
 	}
 	kind, err := task.ParseKind(req.Kind)
@@ -354,15 +383,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			badRequest(w, r, "dispatch: gold task requires expected answer")
 			return
 		}
-		id, err = s.sys.SubmitGold(kind, req.Payload, req.Redundancy, req.Priority, *req.Expected)
+		id, err = s.sys.SubmitGoldCtx(r.Context(), kind, req.Payload, req.Redundancy, req.Priority, *req.Expected)
 	} else {
-		id, err = s.sys.SubmitTask(kind, req.Payload, req.Redundancy, req.Priority)
+		id, err = s.sys.SubmitTaskCtx(r.Context(), kind, req.Payload, req.Redundancy, req.Priority)
 	}
 	if err != nil {
 		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, SubmitResponse{ID: id})
+	writeJSONSpanned(w, sh, http.StatusCreated, SubmitResponse{ID: id})
 }
 
 // TaskList is the body returned by GET /v1/tasks.
@@ -511,23 +540,24 @@ func (s *Server) handlePosterior(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	sh := trace.FromContext(r.Context())
 	c := getCarrier()
 	defer putCarrier(c)
 	c.next = NextRequest{}
 	req := &c.next
-	if !c.decodeInto(w, r, req, maxSingleBody) {
+	if !c.decodeSpanned(w, r, sh, req, maxSingleBody) {
 		return
 	}
 	if req.WorkerID == "" {
 		badRequest(w, r, "dispatch: worker_id required")
 		return
 	}
-	t, lease, err := s.sys.NextTask(req.WorkerID)
+	t, lease, err := s.sys.NextTaskCtx(r.Context(), req.WorkerID)
 	if err != nil {
 		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, NextResponse{Task: t, Lease: lease})
+	writeJSONSpanned(w, sh, http.StatusOK, NextResponse{Task: t, Lease: lease})
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
@@ -535,14 +565,15 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sh := trace.FromContext(r.Context())
 	c := getCarrier()
 	defer putCarrier(c)
 	c.answer = AnswerRequest{}
 	req := &c.answer
-	if !c.decodeInto(w, r, req, maxSingleBody) {
+	if !c.decodeSpanned(w, r, sh, req, maxSingleBody) {
 		return
 	}
-	if err := s.sys.SubmitAnswer(id, req.Answer); err != nil {
+	if err := s.sys.SubmitAnswerCtx(r.Context(), id, req.Answer); err != nil {
 		writeError(w, r, err)
 		return
 	}

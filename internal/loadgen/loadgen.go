@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,25 @@ type Config struct {
 	// LeasePoolCap bounds the pool of leases carried from lease operations
 	// to answer operations. Zero means 4096.
 	LeasePoolCap int
+	// Trace makes the client send a W3C traceparent header on every call
+	// (one trace ID per logical call, shared by its retries) and records
+	// the slowest calls' trace IDs per operation, so a tail-latency report
+	// links straight to the server's GET /v1/debug/spans view.
+	Trace bool
+	// SlowTraces caps how many slow-call trace IDs each operation keeps
+	// when Trace is set. Zero means 5.
+	SlowTraces int
+}
+
+// SlowTrace pairs a traced call's ID with its observed service latency.
+// Feed the ID to GET /v1/debug/spans?trace=... on the server's admin
+// listener to see where the time went. Ms is service time (first byte of
+// the request to the last of the response, including client retries), not
+// the open-loop latency-from-intended-start in OpReport.Latency.
+type SlowTrace struct {
+	TraceID string  `json:"trace_id"`
+	Ms      float64 `json:"ms"`
+	Status  int     `json:"status"`
 }
 
 // OpReport is one operation's outcome counts and latency distribution.
@@ -98,6 +118,9 @@ type OpReport struct {
 	Empty   int64                  `json:"empty"`
 	Skipped int64                  `json:"skipped"`
 	Latency metrics.LatencySummary `json:"latency"`
+	// SlowTraces holds the slowest traced calls for this operation in the
+	// measurement window, slowest first; empty unless Config.Trace is set.
+	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
 }
 
 // Report is the outcome of one run. Scheduled counts arrivals whose
@@ -131,11 +154,85 @@ type job struct {
 
 // engine holds the per-run state shared by the scheduler and executors.
 type engine struct {
-	cfg    Config
-	client *dispatch.Client
-	warm   map[string]*opStats
-	meas   map[string]*opStats
-	leases chan queue.LeaseID
+	cfg       Config
+	client    *dispatch.Client
+	warm      map[string]*opStats
+	meas      map[string]*opStats
+	leases    chan queue.LeaseID
+	slow      *slowTracker
+	measuring atomic.Bool
+}
+
+// slowTracker keeps the K slowest traced calls per operation. The client
+// observer fires once per logical call on the calling goroutine, so a
+// plain mutex is fine — the engine is nowhere near lock-bound on it.
+type slowTracker struct {
+	mu   sync.Mutex
+	max  int
+	byOp map[string][]SlowTrace
+}
+
+func newSlowTracker(max int) *slowTracker {
+	if max <= 0 {
+		max = 5
+	}
+	return &slowTracker{max: max, byOp: map[string][]SlowTrace{}}
+}
+
+// observe inserts the call into its op's slowest-first list, keeping at
+// most max entries.
+func (t *slowTracker) observe(op string, st SlowTrace) {
+	if t == nil || op == "" || st.TraceID == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.byOp[op]
+	if len(list) == t.max && st.Ms <= list[len(list)-1].Ms {
+		return
+	}
+	i := sort.Search(len(list), func(i int) bool { return list[i].Ms < st.Ms })
+	list = append(list, SlowTrace{})
+	copy(list[i+1:], list[i:])
+	list[i] = st
+	if len(list) > t.max {
+		list = list[:t.max]
+	}
+	t.byOp[op] = list
+}
+
+// take returns and clears the recorded slow calls for op.
+func (t *slowTracker) take(op string) []SlowTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.byOp[op]
+	delete(t.byOp, op)
+	return list
+}
+
+// opForPath maps a client call path back to the operation name it serves.
+// Exact matches come first because the batch paths share the "/v1/leases"
+// prefix with the single-lease answer path.
+func opForPath(path string) string {
+	switch path {
+	case "/v1/tasks":
+		return OpSubmit
+	case "/v1/next":
+		return OpLease
+	case "/v1/tasks:batch":
+		return OpSubmitBatch
+	case "/v1/leases:batch":
+		return OpLeaseBatch
+	case "/v1/leases:answers":
+		return OpAnswerBatch
+	}
+	if strings.HasPrefix(path, "/v1/leases/") {
+		return OpAnswer
+	}
+	return ""
 }
 
 // Run executes one load run and blocks until every scheduled operation
@@ -177,10 +274,31 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 
 	e := &engine{
 		cfg:    cfg,
-		client: dispatch.NewClient(cfg.BaseURL, cfg.HTTPClient),
 		warm:   map[string]*opStats{},
 		meas:   map[string]*opStats{},
 		leases: make(chan queue.LeaseID, cfg.LeasePoolCap),
+	}
+	if cfg.Trace {
+		e.slow = newSlowTracker(cfg.SlowTraces)
+		e.client = dispatch.NewClientWith(cfg.BaseURL, cfg.HTTPClient, dispatch.ClientOptions{
+			Trace: true,
+			Observer: func(o dispatch.CallObservation) {
+				// Warmup calls are discarded like their latencies; the
+				// measuring flag flips when the first measured arrival is
+				// scheduled, so an in-flight warmup straggler may slip in —
+				// acceptable for a debugging aid.
+				if !e.measuring.Load() || o.Trace.IsZero() {
+					return
+				}
+				e.slow.observe(opForPath(o.Path), SlowTrace{
+					TraceID: o.Trace.String(),
+					Ms:      float64(o.Duration) / float64(time.Millisecond),
+					Status:  o.Status,
+				})
+			},
+		})
+	} else {
+		e.client = dispatch.NewClient(cfg.BaseURL, cfg.HTTPClient)
 	}
 	for _, name := range names {
 		e.warm[name] = &opStats{}
@@ -243,6 +361,9 @@ schedule:
 		select {
 		case jobs <- j:
 			if j.measured {
+				if scheduled == 0 {
+					e.measuring.Store(true)
+				}
 				scheduled++
 			}
 		case <-ctx.Done():
@@ -270,6 +391,7 @@ schedule:
 			Skipped: st.skipped.Load(),
 			Latency: st.hist.Summary(),
 		}
+		or.SlowTraces = e.slow.take(name)
 		rep.Completed += or.Count + or.Skipped
 		rep.Ops = append(rep.Ops, or)
 	}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram exemplars: each exposition bucket remembers the trace ID of
+// the most recent observation that landed in it, so a percentile spike on
+// a dashboard is one hop away from a concrete span tree. The storage is
+// lock-free and fixed-size — an ExemplarSet is safe to pair with any
+// latency histogram on the hot path.
+
+// ExemplarBounds are the cumulative bucket upper bounds, in seconds, used
+// when a LatencyHist is exposed as a Prometheus histogram. An ExemplarSet
+// keeps one slot per bound plus a final +Inf slot.
+var ExemplarBounds = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+const exemplarSlots = len(ExemplarBounds) + 1 // +Inf
+
+// Exemplar links one histogram bucket to the trace that most recently
+// landed in it.
+type Exemplar struct {
+	TraceID string    // 32 lowercase hex digits
+	Value   float64   // observed latency, seconds
+	At      time.Time // wall time of the observation
+}
+
+// exemplarSlot is a seqlock-style record built entirely from atomics so
+// the race detector sees every access synchronized: seq is odd while a
+// writer owns the slot and bumps by 2 per published update; readers
+// retry on a seq change. The trace ID's 32 hex bytes pack into four
+// words.
+type exemplarSlot struct {
+	seq atomic.Uint64
+	tr  [4]atomic.Uint64
+	ns  atomic.Int64
+	at  atomic.Int64 // unix nanos
+}
+
+// ExemplarSet records the most recent observation per exposition bucket.
+// The zero value is ready to use; a nil set ignores writes and answers
+// every read empty.
+type ExemplarSet struct {
+	slots [exemplarSlots]exemplarSlot
+}
+
+// exemplarBucket maps seconds to the slot index (last slot is +Inf).
+func exemplarBucket(sec float64) int {
+	for i, b := range ExemplarBounds {
+		if sec <= b {
+			return i
+		}
+	}
+	return len(ExemplarBounds)
+}
+
+// Observe records d for the trace with the given 32-hex-digit ID.
+// Newest-wins with no blocking: if another writer owns the slot this
+// observation is simply skipped.
+func (s *ExemplarSet) Observe(d time.Duration, trace [32]byte) {
+	if s == nil || d < 0 {
+		return
+	}
+	sl := &s.slots[exemplarBucket(d.Seconds())]
+	seq := sl.seq.Load()
+	if seq&1 == 1 || !sl.seq.CompareAndSwap(seq, seq+1) {
+		return
+	}
+	for i := range sl.tr {
+		sl.tr[i].Store(binary.LittleEndian.Uint64(trace[8*i:]))
+	}
+	sl.ns.Store(int64(d))
+	sl.at.Store(time.Now().UnixNano())
+	sl.seq.Store(seq + 2)
+}
+
+// Load returns the exemplar in slot i (an index into ExemplarBounds, or
+// len(ExemplarBounds) for +Inf); ok is false when the slot is empty or a
+// writer kept it busy across the bounded retries.
+func (s *ExemplarSet) Load(i int) (Exemplar, bool) {
+	if s == nil || i < 0 || i >= exemplarSlots {
+		return Exemplar{}, false
+	}
+	sl := &s.slots[i]
+	for tries := 0; tries < 4; tries++ {
+		seq := sl.seq.Load()
+		if seq == 0 {
+			return Exemplar{}, false
+		}
+		if seq&1 == 1 {
+			continue
+		}
+		var hex [32]byte
+		for j := range sl.tr {
+			binary.LittleEndian.PutUint64(hex[8*j:], sl.tr[j].Load())
+		}
+		ns, at := sl.ns.Load(), sl.at.Load()
+		if sl.seq.Load() == seq {
+			return Exemplar{
+				TraceID: string(hex[:]),
+				Value:   float64(ns) / 1e9,
+				At:      time.Unix(0, at),
+			}, true
+		}
+	}
+	return Exemplar{}, false
+}

@@ -76,6 +76,24 @@ func (h *LatencyHist) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *LatencyHist) Count() int64 { return h.count.Load() }
 
+// Sum returns the total of all observations.
+func (h *LatencyHist) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// CountLE returns the number of observations at most d, to bucket
+// resolution: a bucket counts only when its whole range fits under d, so
+// the answer is monotone in d and never overcounts.
+func (h *LatencyHist) CountLE(d time.Duration) int64 {
+	ns := int64(d)
+	var n int64
+	for i := 0; i < latBuckets; i++ {
+		if latUpper(i) > ns {
+			break
+		}
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
 // Max returns the largest observation (to within bucket resolution it is
 // exact: the true maximum is tracked separately).
 func (h *LatencyHist) Max() time.Duration { return time.Duration(h.max.Load()) }
@@ -90,9 +108,10 @@ func (h *LatencyHist) Mean() time.Duration {
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) as the upper edge of the
-// bucket holding the target observation, or 0 when empty. Concurrent
-// Observe calls make the answer approximate; read after the run settles
-// for exact bucket counts.
+// bucket holding the target observation, clamped to the exact tracked
+// maximum (a bucket edge past the true max would report an impossible
+// quantile), or 0 when empty. Concurrent Observe calls make the answer
+// approximate; read after the run settles for exact bucket counts.
 func (h *LatencyHist) Quantile(q float64) time.Duration {
 	if q < 0 {
 		q = 0
@@ -112,7 +131,11 @@ func (h *LatencyHist) Quantile(q float64) time.Duration {
 	for i := range h.buckets {
 		seen += h.buckets[i].Load()
 		if seen > target {
-			return time.Duration(latUpper(i))
+			edge := time.Duration(latUpper(i))
+			if max := h.Max(); edge > max {
+				return max
+			}
+			return edge
 		}
 	}
 	return h.Max()

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Gauge is a value that can go up and down — queue depth, in-flight
@@ -44,11 +45,27 @@ type PromKind string
 
 // Family kinds understood by WriteProm.
 const (
-	PromCounter PromKind = "counter"
-	PromGauge   PromKind = "gauge"
-	PromSummary PromKind = "summary"
-	PromUntyped PromKind = "untyped"
+	PromCounter   PromKind = "counter"
+	PromGauge     PromKind = "gauge"
+	PromSummary   PromKind = "summary"
+	PromHistogram PromKind = "histogram"
+	PromUntyped   PromKind = "untyped"
 )
+
+// PromLabel is one name="value" pair on a sample.
+type PromLabel struct {
+	Name  string
+	Value string
+}
+
+// PromExemplar is an OpenMetrics exemplar attached to a histogram bucket
+// sample: the trace that most recently landed in the bucket. WriteProm
+// (classic text format) ignores it; WriteOpenMetrics renders it.
+type PromExemplar struct {
+	TraceID string
+	Value   float64 // seconds
+	At      time.Time
+}
 
 // PromSample is one exposition line within a family.
 type PromSample struct {
@@ -59,7 +76,12 @@ type PromSample struct {
 	Quantile string
 	// Shard, when >= 0, emits a {shard="N"} label. Use -1 for none.
 	Shard int
-	Value float64
+	// Labels are additional name="value" pairs, rendered before the
+	// structural quantile/shard labels.
+	Labels []PromLabel
+	Value  float64
+	// Exemplar, when non-nil, attaches an OpenMetrics exemplar.
+	Exemplar *PromExemplar
 }
 
 // PromFamily is one metric family: a # HELP line, a # TYPE line, and its
@@ -105,6 +127,40 @@ func PromSummaryFamily(name, help string, h *Histogram) PromFamily {
 	}}
 }
 
+// PromHistogramFamily renders a LatencyHist as a Prometheus histogram:
+// cumulative buckets at the ExemplarBounds, a +Inf bucket, _sum and
+// _count. When ex is non-nil, each bucket sample carries the exemplar of
+// the most recent observation that landed in it.
+func PromHistogramFamily(name, help string, h *LatencyHist, ex *ExemplarSet) PromFamily {
+	f := PromFamily{Name: name, Help: help, Kind: PromHistogram}
+	attach := func(s PromSample, slot int) PromSample {
+		if e, ok := ex.Load(slot); ok {
+			s.Exemplar = &PromExemplar{TraceID: e.TraceID, Value: e.Value, At: e.At}
+		}
+		return s
+	}
+	for i, ub := range ExemplarBounds {
+		f.Samples = append(f.Samples, attach(PromSample{
+			Suffix: "_bucket",
+			Shard:  -1,
+			Labels: []PromLabel{{Name: "le", Value: formatPromValue(ub)}},
+			Value:  float64(h.CountLE(time.Duration(ub * float64(time.Second)))),
+		}, i))
+	}
+	count := h.Count()
+	f.Samples = append(f.Samples, attach(PromSample{
+		Suffix: "_bucket",
+		Shard:  -1,
+		Labels: []PromLabel{{Name: "le", Value: "+Inf"}},
+		Value:  float64(count),
+	}, len(ExemplarBounds)))
+	f.Samples = append(f.Samples,
+		PromSample{Suffix: "_sum", Shard: -1, Value: h.Sum().Seconds()},
+		PromSample{Suffix: "_count", Shard: -1, Value: float64(count)},
+	)
+	return f
+}
+
 // validPromName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
 func validPromName(s string) bool {
 	if s == "" {
@@ -140,10 +196,53 @@ func formatPromValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WriteProm writes the families to w in the Prometheus text exposition
-// format, in the order given. It returns an error on an invalid metric
-// name rather than emitting a line a scraper would reject.
-func WriteProm(w io.Writer, fams []PromFamily) error {
+// escapeLabelValue escapes backslashes, quotes, and newlines per the
+// exposition format.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeLabels renders the merged label set of s: explicit Labels first,
+// then the structural quantile/shard label.
+func writeLabels(b *strings.Builder, s PromSample) {
+	extra := ""
+	switch {
+	case s.Quantile != "":
+		extra = `quantile="` + s.Quantile + `"`
+	case s.Shard >= 0:
+		extra = `shard="` + strconv.Itoa(s.Shard) + `"`
+	}
+	if len(s.Labels) == 0 && extra == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(s.Labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+}
+
+// writeExposition renders fams in the classic text format, or in
+// OpenMetrics format (exemplars on bucket samples, "unknown" for
+// untyped, trailing # EOF) when openMetrics is set.
+func writeExposition(w io.Writer, fams []PromFamily, openMetrics bool) error {
 	var b strings.Builder
 	for _, f := range fams {
 		if !validPromName(f.Name) {
@@ -152,30 +251,64 @@ func WriteProm(w io.Writer, fams []PromFamily) error {
 		if f.Kind == "" {
 			f.Kind = PromUntyped
 		}
+		kind := string(f.Kind)
+		if openMetrics && f.Kind == PromUntyped {
+			kind = "unknown"
+		}
 		if f.Help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, kind)
 		for _, s := range f.Samples {
 			name := f.Name + s.Suffix
 			if !validPromName(name) {
 				return fmt.Errorf("metrics: invalid prometheus sample name %q", name)
 			}
-			b.WriteString(name)
-			switch {
-			case s.Quantile != "":
-				fmt.Fprintf(&b, "{quantile=%q}", s.Quantile)
-			case s.Shard >= 0:
-				fmt.Fprintf(&b, "{shard=%q}", strconv.Itoa(s.Shard))
+			for _, l := range s.Labels {
+				if !validPromName(l.Name) {
+					return fmt.Errorf("metrics: invalid prometheus label name %q", l.Name)
+				}
 			}
+			b.WriteString(name)
+			writeLabels(&b, s)
 			b.WriteByte(' ')
 			b.WriteString(formatPromValue(s.Value))
+			if openMetrics && s.Exemplar != nil && s.Exemplar.TraceID != "" {
+				fmt.Fprintf(&b, ` # {trace_id="%s"} %s`,
+					escapeLabelValue(s.Exemplar.TraceID), formatPromValue(s.Exemplar.Value))
+				if !s.Exemplar.At.IsZero() {
+					b.WriteByte(' ')
+					b.WriteString(strconv.FormatFloat(
+						float64(s.Exemplar.At.UnixNano())/1e9, 'f', 3, 64))
+				}
+			}
 			b.WriteByte('\n')
 		}
 	}
 	if b.Len() == 0 {
 		return errors.New("metrics: no families to write")
 	}
+	if openMetrics {
+		b.WriteString("# EOF\n")
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteProm writes the families to w in the Prometheus text exposition
+// format, in the order given. It returns an error on an invalid metric
+// name rather than emitting a line a scraper would reject. Exemplars are
+// omitted — the classic format has no syntax for them.
+func WriteProm(w io.Writer, fams []PromFamily) error {
+	return writeExposition(w, fams, false)
+}
+
+// OpenMetricsContentType is the Content-Type of a WriteOpenMetrics body.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics writes the families in the OpenMetrics text format:
+// exemplars are rendered on the samples that carry them and the body
+// ends with the required # EOF marker.
+func WriteOpenMetrics(w io.Writer, fams []PromFamily) error {
+	return writeExposition(w, fams, true)
 }

@@ -181,9 +181,24 @@ func (q *Queue) shardFor(id task.ID) *qshard { return q.shards[uint64(id)&q.mask
 // shardIndex returns the shard index a task ID maps to.
 func (q *Queue) shardIndex(id task.ID) int { return int(uint64(id) & q.mask) }
 
-// emit appends one lifecycle event to the attached recorder, if any.
-func (q *Queue) emit(stage trace.Stage, id task.ID, worker string, at time.Time) {
-	q.rec.Append(trace.Event{TaskID: id, Stage: stage, At: at, Shard: q.shardIndex(id), Worker: worker})
+// emit appends one lifecycle event to the attached recorder, if any. A
+// non-zero tr links the event to the request-scoped span tree that caused
+// it; maintenance paths (release, cancel, expiry) pass the zero ID.
+func (q *Queue) emit(stage trace.Stage, id task.ID, worker string, at time.Time, tr trace.TraceID) {
+	q.rec.Append(trace.Event{TaskID: id, Stage: stage, At: at, Shard: q.shardIndex(id), Worker: worker, Trace: tr})
+}
+
+// lockShard acquires sh's lock, clocking the wait into *wait when the
+// caller is traced; a nil wait — the untraced path — never reads the
+// clock.
+func (q *Queue) lockShard(sh *qshard, wait *time.Duration) {
+	if wait == nil {
+		sh.lock()
+		return
+	}
+	t0 := time.Now()
+	sh.lock()
+	*wait += time.Since(t0)
 }
 
 // leaseShard returns the shard a lease ID was allocated on.
@@ -208,8 +223,32 @@ func (q *Queue) unlockTask(id task.ID) {
 // Add enqueues an open task. The queue takes ownership of the task; callers
 // must not mutate it afterwards except through queue methods.
 func (q *Queue) Add(t *task.Task) error {
+	return q.AddTraced(t, trace.Handle{})
+}
+
+// AddTraced is Add under a request-scoped span handle: the shard-lock wait
+// is recorded as a queue.lockwait child span (attr: shard index) and the
+// enqueue lifecycle event carries the request's trace ID. An invalid
+// handle makes it exactly Add.
+func (q *Queue) AddTraced(t *task.Task, h trace.Handle) error {
+	var tr trace.TraceID
+	var wait *time.Duration
+	var start time.Time
+	if h.Valid() {
+		tr = h.Trace()
+		wait = new(time.Duration)
+		start = time.Now()
+	}
+	err := q.add(t, tr, wait)
+	if wait != nil {
+		h.Observe("queue.lockwait", trace.NoSpan, start, *wait, int64(q.shardIndex(t.ID)))
+	}
+	return err
+}
+
+func (q *Queue) add(t *task.Task, tr trace.TraceID, wait *time.Duration) error {
 	sh := q.shardFor(t.ID)
-	sh.lock()
+	q.lockShard(sh, wait)
 	defer sh.mu.Unlock()
 	if _, dup := sh.entries[t.ID]; dup {
 		return ErrDuplicateID
@@ -220,7 +259,7 @@ func (q *Queue) Add(t *task.Task) error {
 	e := &entry{t: t, index: -1, holders: make(map[string]bool)}
 	sh.entries[t.ID] = e
 	heap.Push(&sh.heap, e)
-	q.emit(trace.StageEnqueue, t.ID, "", t.CreatedAt)
+	q.emit(trace.StageEnqueue, t.ID, "", t.CreatedAt, tr)
 	return nil
 }
 
@@ -230,9 +269,32 @@ func (q *Queue) Add(t *task.Task) error {
 // non-nil one carries the same error Add would have returned. One bad
 // task never fails the rest of the batch.
 func (q *Queue) AddBatch(ts []*task.Task) []error {
+	return q.AddBatchTraced(ts, trace.Handle{})
+}
+
+// AddBatchTraced is AddBatch under a span handle: the waits for every
+// shard lock the batch touches accumulate into one queue.lockwait span
+// (attr: shards locked), and each enqueue event carries the trace ID.
+func (q *Queue) AddBatchTraced(ts []*task.Task, h trace.Handle) []error {
+	var tr trace.TraceID
+	var wait *time.Duration
+	var start time.Time
+	if h.Valid() {
+		tr = h.Trace()
+		wait = new(time.Duration)
+		start = time.Now()
+	}
+	errs, shards := q.addBatch(ts, tr, wait)
+	if wait != nil {
+		h.Observe("queue.lockwait", trace.NoSpan, start, *wait, int64(shards))
+	}
+	return errs
+}
+
+func (q *Queue) addBatch(ts []*task.Task, tr trace.TraceID, wait *time.Duration) ([]error, int) {
 	errs := make([]error, len(ts))
 	if len(ts) == 0 {
-		return errs
+		return errs, 0
 	}
 	byShard := make(map[*qshard][]int, len(q.shards))
 	for i, t := range ts {
@@ -240,7 +302,7 @@ func (q *Queue) AddBatch(ts []*task.Task) []error {
 		byShard[sh] = append(byShard[sh], i)
 	}
 	for sh, idxs := range byShard {
-		sh.lock()
+		q.lockShard(sh, wait)
 		for _, i := range idxs {
 			t := ts[i]
 			if _, dup := sh.entries[t.ID]; dup {
@@ -254,11 +316,11 @@ func (q *Queue) AddBatch(ts []*task.Task) []error {
 			e := &entry{t: t, index: -1, holders: make(map[string]bool)}
 			sh.entries[t.ID] = e
 			heap.Push(&sh.heap, e)
-			q.emit(trace.StageEnqueue, t.ID, "", t.CreatedAt)
+			q.emit(trace.StageEnqueue, t.ID, "", t.CreatedAt, tr)
 		}
 		sh.mu.Unlock()
 	}
-	return errs
+	return errs, len(byShard)
 }
 
 // leaseKey is the heap ordering key of a candidate entry, captured under
@@ -299,18 +361,41 @@ func (k leaseKey) before(o leaseKey) bool {
 // candidate can be taken between peek and lease, in which case the scan
 // retries, degrading to first-eligible order rather than blocking.
 func (q *Queue) Lease(workerID string, now time.Time) (task.View, LeaseID, error) {
+	return q.LeaseTraced(workerID, now, trace.Handle{})
+}
+
+// LeaseTraced is Lease under a span handle: the waits for every shard
+// lock the scan takes accumulate into one queue.lockwait span and the
+// lease lifecycle event carries the request's trace ID.
+func (q *Queue) LeaseTraced(workerID string, now time.Time, h trace.Handle) (task.View, LeaseID, error) {
+	var tr trace.TraceID
+	var wait *time.Duration
+	var start time.Time
+	if h.Valid() {
+		tr = h.Trace()
+		wait = new(time.Duration)
+		start = time.Now()
+	}
+	v, id, err := q.lease(workerID, now, tr, wait)
+	if wait != nil {
+		h.Observe("queue.lockwait", trace.NoSpan, start, *wait, 0)
+	}
+	return v, id, err
+}
+
+func (q *Queue) lease(workerID string, now time.Time, tr trace.TraceID, wait *time.Duration) (task.View, LeaseID, error) {
 	const exactAttempts = 4
 	for attempt := 0; ; attempt++ {
 		best := -1
 		var bestKey leaseKey
 		for i, sh := range q.shards {
-			sh.lock()
+			q.lockShard(sh, wait)
 			q.expireShardLocked(sh, now)
 			if attempt >= exactAttempts {
 				// Racing writers keep invalidating peeked candidates; take
 				// the first eligible task directly so Lease always
 				// terminates.
-				if v, id, ok := q.leaseBestLocked(sh, workerID, now); ok {
+				if v, id, ok := q.leaseBestLocked(sh, workerID, now, tr); ok {
 					sh.mu.Unlock()
 					return v, id, nil
 				}
@@ -331,9 +416,9 @@ func (q *Queue) Lease(workerID string, now time.Time) (task.View, LeaseID, error
 			return task.View{}, 0, ErrEmpty
 		}
 		sh := q.shards[best]
-		sh.lock()
+		q.lockShard(sh, wait)
 		if e, ok := sh.entries[bestKey.id]; ok && q.eligibleLocked(e, workerID) {
-			v, id := q.leaseEntryLocked(sh, e, workerID, now)
+			v, id := q.leaseEntryLocked(sh, e, workerID, now, tr)
 			sh.mu.Unlock()
 			return v, id, nil
 		}
@@ -374,7 +459,7 @@ func (q *Queue) peekEligibleLocked(sh *qshard, workerID string) (leaseKey, bool)
 // leaseBestLocked pops until an eligible entry is found and leases it —
 // the historical single-shard algorithm, used as the guaranteed-progress
 // fallback when exact global selection keeps losing races.
-func (q *Queue) leaseBestLocked(sh *qshard, workerID string, now time.Time) (task.View, LeaseID, bool) {
+func (q *Queue) leaseBestLocked(sh *qshard, workerID string, now time.Time, tr trace.TraceID) (task.View, LeaseID, bool) {
 	var skipped []*entry
 	defer func() {
 		for _, e := range skipped {
@@ -392,7 +477,7 @@ func (q *Queue) leaseBestLocked(sh *qshard, workerID string, now time.Time) (tas
 			continue
 		}
 		heap.Push(&sh.heap, e)
-		v, id := q.leaseEntryLocked(sh, e, workerID, now)
+		v, id := q.leaseEntryLocked(sh, e, workerID, now, tr)
 		return v, id, true
 	}
 	return task.View{}, 0, false
@@ -419,6 +504,29 @@ type LeaseGrant struct {
 // global priority — that is the documented relaxation that buys
 // one-lock-per-shard batching.
 func (q *Queue) LeaseBatch(workerID string, max int, now time.Time) []LeaseGrant {
+	return q.LeaseBatchTraced(workerID, max, now, trace.Handle{})
+}
+
+// LeaseBatchTraced is LeaseBatch under a span handle: shard-lock waits
+// accumulate into one queue.lockwait span and every granted lease's
+// lifecycle event carries the trace ID.
+func (q *Queue) LeaseBatchTraced(workerID string, max int, now time.Time, h trace.Handle) []LeaseGrant {
+	var tr trace.TraceID
+	var wait *time.Duration
+	var start time.Time
+	if h.Valid() {
+		tr = h.Trace()
+		wait = new(time.Duration)
+		start = time.Now()
+	}
+	out := q.leaseBatch(workerID, max, now, tr, wait)
+	if wait != nil {
+		h.Observe("queue.lockwait", trace.NoSpan, start, *wait, int64(len(out)))
+	}
+	return out
+}
+
+func (q *Queue) leaseBatch(workerID string, max int, now time.Time, tr trace.TraceID, wait *time.Duration) []LeaseGrant {
 	if max <= 0 || workerID == "" {
 		return nil
 	}
@@ -433,11 +541,11 @@ func (q *Queue) LeaseBatch(workerID string, max int, now time.Time) []LeaseGrant
 			if pass == 0 && want > quota {
 				want = quota
 			}
-			sh.lock()
+			q.lockShard(sh, wait)
 			if pass == 0 {
 				q.expireShardLocked(sh, now)
 			}
-			out = append(out, q.leaseManyLocked(sh, workerID, now, want)...)
+			out = append(out, q.leaseManyLocked(sh, workerID, now, want, tr)...)
 			sh.mu.Unlock()
 		}
 	}
@@ -446,14 +554,14 @@ func (q *Queue) LeaseBatch(workerID string, max int, now time.Time) []LeaseGrant
 
 // leaseManyLocked leases up to want eligible entries from sh, best-first.
 // Caller holds the shard lock.
-func (q *Queue) leaseManyLocked(sh *qshard, workerID string, now time.Time, want int) []LeaseGrant {
+func (q *Queue) leaseManyLocked(sh *qshard, workerID string, now time.Time, want int, tr trace.TraceID) []LeaseGrant {
 	var out []LeaseGrant
 	var popped []*entry
 	for sh.heap.Len() > 0 && len(out) < want {
 		e := heap.Pop(&sh.heap).(*entry)
 		if q.eligibleLocked(e, workerID) {
 			popped = append(popped, e)
-			v, id := q.leaseEntryLocked(sh, e, workerID, now)
+			v, id := q.leaseEntryLocked(sh, e, workerID, now, tr)
 			out = append(out, LeaseGrant{Task: v, Lease: id})
 			continue
 		}
@@ -472,14 +580,14 @@ func (q *Queue) leaseManyLocked(sh *qshard, workerID string, now time.Time, want
 // leaseEntryLocked records a lease on e for workerID. The entry stays in
 // the heap while leased: other workers may take the remaining redundancy
 // slots concurrently, and the heap key does not depend on lease state.
-func (q *Queue) leaseEntryLocked(sh *qshard, e *entry, workerID string, now time.Time) (task.View, LeaseID) {
+func (q *Queue) leaseEntryLocked(sh *qshard, e *entry, workerID string, now time.Time, tr trace.TraceID) (task.View, LeaseID) {
 	e.inFlight++
 	e.holders[workerID] = true
 	sh.seq++
 	id := LeaseID(sh.seq<<q.shardBits | int64(uint64(e.t.ID)&q.mask))
 	l := &Lease{ID: id, TaskID: e.t.ID, WorkerID: workerID, LeasedAt: now, Expiry: now.Add(q.ttl)}
 	sh.leases[id] = l
-	q.emit(trace.StageLease, e.t.ID, workerID, now)
+	q.emit(trace.StageLease, e.t.ID, workerID, now, tr)
 	return e.t.View(), id
 }
 
@@ -519,16 +627,34 @@ type CompleteResult struct {
 // Complete records the leaseholder's answer and releases the lease. If the
 // answer fulfills the task's redundancy the task leaves the queue as Done.
 func (q *Queue) Complete(id LeaseID, a task.Answer, now time.Time) (CompleteResult, error) {
+	return q.CompleteTraced(id, a, now, trace.Handle{})
+}
+
+// CompleteTraced is Complete under a span handle: the shard-lock wait is
+// recorded as a queue.lockwait child span and the answer/complete
+// lifecycle events carry the request's trace ID.
+func (q *Queue) CompleteTraced(id LeaseID, a task.Answer, now time.Time, h trace.Handle) (CompleteResult, error) {
+	var tr trace.TraceID
+	var wait *time.Duration
+	var start time.Time
+	if h.Valid() {
+		tr = h.Trace()
+		wait = new(time.Duration)
+		start = time.Now()
+	}
 	sh := q.leaseShard(id)
-	sh.lock()
+	q.lockShard(sh, wait)
+	if wait != nil {
+		h.Observe("queue.lockwait", trace.NoSpan, start, *wait, int64(uint64(id)&q.mask))
+	}
 	defer sh.mu.Unlock()
 	q.expireShardLocked(sh, now)
-	return q.completeLocked(sh, id, a, now)
+	return q.completeLocked(sh, id, a, now, tr)
 }
 
 // completeLocked is the body of Complete; caller holds sh's lock and has
 // already expired overdue leases on it.
-func (q *Queue) completeLocked(sh *qshard, id LeaseID, a task.Answer, now time.Time) (CompleteResult, error) {
+func (q *Queue) completeLocked(sh *qshard, id LeaseID, a task.Answer, now time.Time, tr trace.TraceID) (CompleteResult, error) {
 	l, ok := sh.leases[id]
 	if !ok {
 		return CompleteResult{}, ErrUnknownLease
@@ -561,9 +687,9 @@ func (q *Queue) completeLocked(sh *qshard, id LeaseID, a task.Answer, now time.T
 	e.inFlight--
 	delete(e.holders, l.WorkerID)
 	q.fixLocked(sh, e)
-	q.emit(trace.StageAnswer, res.TaskID, l.WorkerID, now)
+	q.emit(trace.StageAnswer, res.TaskID, l.WorkerID, now, tr)
 	if res.Status == task.Done {
-		q.emit(trace.StageComplete, res.TaskID, "", now)
+		q.emit(trace.StageComplete, res.TaskID, "", now, tr)
 	}
 	return res, nil
 }
@@ -586,9 +712,32 @@ type CompleteOutcome struct {
 // The returned slice is index-aligned with items; one bad item (unknown
 // lease, repeat worker) never fails the rest.
 func (q *Queue) CompleteBatch(items []CompleteItem, now time.Time) []CompleteOutcome {
+	return q.CompleteBatchTraced(items, now, trace.Handle{})
+}
+
+// CompleteBatchTraced is CompleteBatch under a span handle: shard-lock
+// waits accumulate into one queue.lockwait span (attr: shards locked) and
+// every answer/complete lifecycle event carries the trace ID.
+func (q *Queue) CompleteBatchTraced(items []CompleteItem, now time.Time, h trace.Handle) []CompleteOutcome {
+	var tr trace.TraceID
+	var wait *time.Duration
+	var start time.Time
+	if h.Valid() {
+		tr = h.Trace()
+		wait = new(time.Duration)
+		start = time.Now()
+	}
+	out, shards := q.completeBatch(items, now, tr, wait)
+	if wait != nil {
+		h.Observe("queue.lockwait", trace.NoSpan, start, *wait, int64(shards))
+	}
+	return out
+}
+
+func (q *Queue) completeBatch(items []CompleteItem, now time.Time, tr trace.TraceID, wait *time.Duration) ([]CompleteOutcome, int) {
 	out := make([]CompleteOutcome, len(items))
 	if len(items) == 0 {
-		return out
+		return out, 0
 	}
 	byShard := make(map[*qshard][]int, len(q.shards))
 	for i, it := range items {
@@ -596,14 +745,14 @@ func (q *Queue) CompleteBatch(items []CompleteItem, now time.Time) []CompleteOut
 		byShard[sh] = append(byShard[sh], i)
 	}
 	for sh, idxs := range byShard {
-		sh.lock()
+		q.lockShard(sh, wait)
 		q.expireShardLocked(sh, now)
 		for _, i := range idxs {
-			out[i].Result, out[i].Err = q.completeLocked(sh, items[i].Lease, items[i].Answer, now)
+			out[i].Result, out[i].Err = q.completeLocked(sh, items[i].Lease, items[i].Answer, now, tr)
 		}
 		sh.mu.Unlock()
 	}
-	return out
+	return out, len(byShard)
 }
 
 // Release returns a leased task to the pool without an answer (the worker
@@ -623,7 +772,7 @@ func (q *Queue) Release(id LeaseID, now time.Time) error {
 		delete(e.holders, l.WorkerID)
 		q.fixLocked(sh, e)
 	}
-	q.emit(trace.StageRelease, l.TaskID, l.WorkerID, now)
+	q.emit(trace.StageRelease, l.TaskID, l.WorkerID, now, trace.TraceID{})
 	return nil
 }
 
@@ -643,7 +792,7 @@ func (q *Queue) Cancel(id task.ID, now time.Time) error {
 		return err
 	}
 	q.fixLocked(sh, e)
-	q.emit(trace.StageCancel, id, "", now)
+	q.emit(trace.StageCancel, id, "", now, trace.TraceID{})
 	return nil
 }
 
@@ -673,7 +822,7 @@ func (q *Queue) FinishEarly(id task.ID, now time.Time) (task.View, bool) {
 		return task.View{}, false
 	}
 	q.fixLocked(sh, e)
-	q.emit(trace.StageComplete, id, "", now)
+	q.emit(trace.StageComplete, id, "", now, trace.TraceID{})
 	return v, true
 }
 
@@ -722,7 +871,7 @@ func (q *Queue) expireShardLocked(sh *qshard, now time.Time) {
 			delete(e.holders, l.WorkerID)
 			q.fixLocked(sh, e)
 		}
-		q.emit(trace.StageExpire, l.TaskID, l.WorkerID, now)
+		q.emit(trace.StageExpire, l.TaskID, l.WorkerID, now, trace.TraceID{})
 	}
 }
 

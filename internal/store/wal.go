@@ -240,29 +240,80 @@ func encodeEvent(e Event) ([]byte, error) {
 	return enc, nil
 }
 
+// AppendObserved is Append, additionally reporting where the time went:
+// write covers the wait for the write lock plus framing, buffered write
+// and flush; sync is the fsync-group wait (zero except under SyncAlways).
+// The span plane uses the split to record wal.append and wal.fsync as
+// separate child spans.
+func (l *WAL) AppendObserved(e Event) (write, sync time.Duration, err error) {
+	enc, err := encodeEvent(e)
+	if err != nil {
+		return 0, 0, err
+	}
+	return l.appendPayloadsTimed([][]byte{enc}, true)
+}
+
+// AppendBatchObserved is AppendBatch with AppendObserved's timing split.
+func (l *WAL) AppendBatchObserved(events []Event) (write, sync time.Duration, err error) {
+	if len(events) == 0 {
+		return 0, 0, nil
+	}
+	payloads := make([][]byte, len(events))
+	for i, e := range events {
+		enc, err := encodeEvent(e)
+		if err != nil {
+			return 0, 0, err
+		}
+		payloads[i] = enc
+	}
+	return l.appendPayloadsTimed(payloads, true)
+}
+
 // appendPayloads frames and writes the encoded events under one lock
 // acquisition, one flush and (under SyncAlways) one shared fsync.
 func (l *WAL) appendPayloads(payloads [][]byte) error {
+	_, _, err := l.appendPayloadsTimed(payloads, false)
+	return err
+}
+
+// appendPayloadsTimed is the shared append path; timed selects whether
+// the write/sync phases are clocked (untraced appends skip the
+// time.Now calls entirely).
+func (l *WAL) appendPayloadsTimed(payloads [][]byte, timed bool) (write, sync time.Duration, err error) {
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	l.mu.Lock()
 	if err := l.writeRecords(payloads); err != nil {
 		l.lastErr = err
 		l.mu.Unlock()
 		l.failures.Add(1)
-		return err
+		return 0, 0, err
 	}
 	l.lastErr = nil
 	seq := l.writeSeq
 	l.mu.Unlock()
+	if timed {
+		write = time.Since(t0)
+	}
 	if l.policy == SyncAlways && l.syncer != nil {
+		var t1 time.Time
+		if timed {
+			t1 = time.Now()
+		}
 		if err := l.syncTo(seq); err != nil {
 			l.mu.Lock()
 			l.lastErr = err
 			l.mu.Unlock()
 			l.failures.Add(1)
-			return err
+			return write, 0, err
+		}
+		if timed {
+			sync = time.Since(t1)
 		}
 	}
-	return nil
+	return write, sync, nil
 }
 
 // writeRecords frames and writes the payloads with a single trailing

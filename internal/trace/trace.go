@@ -50,7 +50,9 @@ const (
 	StageCancel    Stage = "cancel"
 )
 
-// Event is one recorded lifecycle step.
+// Event is one recorded lifecycle step. Trace, when non-zero, links the
+// event to the request-scoped span tree that caused it, joining the
+// per-task timeline to GET /v1/debug/spans.
 type Event struct {
 	Seq    uint64    `json:"seq"`
 	TaskID task.ID   `json:"task_id"`
@@ -58,6 +60,7 @@ type Event struct {
 	At     time.Time `json:"at"`
 	Shard  int       `json:"shard"`
 	Worker string    `json:"worker,omitempty"`
+	Trace  TraceID   `json:"trace,omitempty"`
 }
 
 // traceStripes is the number of independently locked ring stripes. Power
@@ -159,9 +162,15 @@ type Recorder struct {
 	maxPending int // open-task latency entries per stripe
 	stripes    [traceStripes]stripe
 
-	inQueue       *metrics.Histogram // enqueue → first lease, seconds
-	leaseToAnswer *metrics.Histogram // lease → answer per worker, seconds
-	toCompletion  *metrics.Histogram // first answer → done, seconds
+	inQueue       *metrics.LatencyHist // enqueue → first lease
+	leaseToAnswer *metrics.LatencyHist // lease → answer per worker
+	toCompletion  *metrics.LatencyHist // first answer → done
+
+	// Exemplars pair each stage histogram with the trace ID of the most
+	// recent observation per bucket, fed from Event.Trace.
+	exInQueue       metrics.ExemplarSet
+	exLeaseToAnswer metrics.ExemplarSet
+	exToCompletion  metrics.ExemplarSet
 }
 
 // NewRecorder returns a recorder bounded at capacity events in total
@@ -175,9 +184,9 @@ func NewRecorder(capacity int) *Recorder {
 	r := &Recorder{
 		perStripe:     per,
 		maxPending:    per,
-		inQueue:       metrics.NewHistogram(2048),
-		leaseToAnswer: metrics.NewHistogram(2048),
-		toCompletion:  metrics.NewHistogram(2048),
+		inQueue:       new(metrics.LatencyHist),
+		leaseToAnswer: new(metrics.LatencyHist),
+		toCompletion:  new(metrics.LatencyHist),
 	}
 	for i := range r.stripes {
 		r.stripes[i].ring = make([]Event, 0, per)
@@ -239,7 +248,11 @@ func (r *Recorder) observeLocked(s *stripe, e Event) {
 		}
 		if !p.leased {
 			p.leased = true
-			r.inQueue.Observe(e.At.Sub(p.enqueuedAt).Seconds())
+			d := e.At.Sub(p.enqueuedAt)
+			r.inQueue.Observe(d)
+			if !e.Trace.IsZero() {
+				r.exInQueue.Observe(d, e.Trace.Hex())
+			}
 		}
 		p.setLease(e.Worker, e.At)
 	case StageAnswer:
@@ -248,7 +261,11 @@ func (r *Recorder) observeLocked(s *stripe, e Event) {
 			return
 		}
 		if at, ok := p.takeLease(e.Worker); ok {
-			r.leaseToAnswer.Observe(e.At.Sub(at).Seconds())
+			d := e.At.Sub(at)
+			r.leaseToAnswer.Observe(d)
+			if !e.Trace.IsZero() {
+				r.exLeaseToAnswer.Observe(d, e.Trace.Hex())
+			}
 		}
 		if p.firstAnswer.IsZero() {
 			p.firstAnswer = e.At
@@ -260,7 +277,11 @@ func (r *Recorder) observeLocked(s *stripe, e Event) {
 	case StageComplete:
 		if p := s.open[e.TaskID]; p != nil {
 			if !p.firstAnswer.IsZero() {
-				r.toCompletion.Observe(e.At.Sub(p.firstAnswer).Seconds())
+				d := e.At.Sub(p.firstAnswer)
+				r.toCompletion.Observe(d)
+				if !e.Trace.IsZero() {
+					r.exToCompletion.Observe(d, e.Trace.Hex())
+				}
 			}
 			delete(s.open, e.TaskID)
 			s.putPending(p, r.maxPending)
@@ -322,12 +343,21 @@ func (r *Recorder) Len() int {
 	return n
 }
 
-// Latencies exposes the stage-latency histograms (seconds): time-in-queue
-// (enqueue → first lease), lease-to-answer, and answers-to-completion
-// (first answer → done). Nil on a nil recorder.
-func (r *Recorder) Latencies() (inQueue, leaseToAnswer, answersToCompletion *metrics.Histogram) {
+// Latencies exposes the stage-latency histograms: time-in-queue (enqueue
+// → first lease), lease-to-answer, and answers-to-completion (first
+// answer → done). Nil on a nil recorder.
+func (r *Recorder) Latencies() (inQueue, leaseToAnswer, answersToCompletion *metrics.LatencyHist) {
 	if r == nil {
 		return nil, nil, nil
 	}
 	return r.inQueue, r.leaseToAnswer, r.toCompletion
+}
+
+// StageExemplars exposes the exemplar sets paired with the stage
+// histograms, in the same order as Latencies. Nil on a nil recorder.
+func (r *Recorder) StageExemplars() (inQueue, leaseToAnswer, answersToCompletion *metrics.ExemplarSet) {
+	if r == nil {
+		return nil, nil, nil
+	}
+	return &r.exInQueue, &r.exLeaseToAnswer, &r.exToCompletion
 }

@@ -150,18 +150,18 @@ func TestStageLatencies(t *testing.T) {
 	if got := inQueue.Count(); got != 1 {
 		t.Errorf("inQueue count = %d, want 1 (first lease only)", got)
 	}
-	if got := inQueue.Max(); got != 2 {
-		t.Errorf("inQueue = %vs, want 2s", got)
+	if got := inQueue.Max(); got != 2*time.Second {
+		t.Errorf("inQueue = %v, want 2s", got)
 	}
 	if got := leaseToAnswer.Count(); got != 2 {
 		t.Errorf("leaseToAnswer count = %d, want 2", got)
 	}
-	if got := leaseToAnswer.Max(); got != 4 {
-		t.Errorf("leaseToAnswer max = %vs, want 4s", got)
+	if got := leaseToAnswer.Max(); got != 4*time.Second {
+		t.Errorf("leaseToAnswer max = %v, want 4s", got)
 	}
 	// First answer at +5s, completion at +10s.
-	if got := toCompletion.Max(); got != 5 {
-		t.Errorf("toCompletion = %vs, want 5s", got)
+	if got := toCompletion.Max(); got != 5*time.Second {
+		t.Errorf("toCompletion = %v, want 5s", got)
 	}
 	// Completion closes the pending entry: later events observe nothing.
 	r.Append(Event{TaskID: id, Stage: StageLease, At: t0.Add(20 * time.Second), Worker: "c"})
