@@ -18,18 +18,22 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"humancomp/internal/core"
 	"humancomp/internal/dispatch"
+	"humancomp/internal/repl"
 	"humancomp/internal/store"
 	"humancomp/internal/task"
 	"humancomp/internal/trace"
@@ -121,6 +125,9 @@ func main() {
 		requestTO    = flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (503 past it); 0 disables")
 		maxInflight  = flag.Int("max-inflight", 1024, "per-route concurrent request cap; excess is shed with 429; 0 disables")
 		idemCap      = flag.Int("idempotency-capacity", 0, "Idempotency-Key replay cache entries; 0 = default (4096), negative disables")
+
+		follow = flag.String("follow", "", "run as replication follower of the leader at this base URL (requires -wal and -snapshot); writes are rejected with 503 + X-Leader until promotion (POST /v1/repl/promote or SIGHUP)")
+		maxLag = flag.Duration("max-replica-lag", 10*time.Second, "follower readiness degrades (503 on /readyz) when replication staleness exceeds this; 0 disables the check")
 	)
 	flag.Parse()
 
@@ -153,65 +160,163 @@ func main() {
 		fatal("-confidence-target requires -quality-online")
 	}
 
-	// Recovery order: snapshot first, then the WAL tail written after it
-	// (torn or corrupt tails are truncated, not fatal), then a fresh
-	// snapshot so the WAL can start empty.
+	// Recovery order (leader): snapshot first, then the WAL tail written
+	// after it (torn or corrupt tails are truncated, not fatal), then a
+	// fresh snapshot so the WAL can start empty. The boot snapshot plus
+	// the current WAL is therefore always the complete state — the
+	// contract replication bootstrap relies on.
 	var (
-		wal      *store.WAL
-		walFile  *os.File
-		walStats *store.ReplayStats
+		wal        *store.WAL
+		walFile    *os.File
+		walStats   *store.ReplayStats
+		replSource *repl.Source
+		follower   *repl.Follower
+		switchable *repl.SwitchableJournal
+		termPath   string
+		stopFollow context.CancelFunc
+		followDone chan struct{}
+		followErr  error
+		sys        *core.System
 	)
-	sys := core.New(cfg)
-	logger.Info("dispatch core ready", "shards", sys.Shards())
-	if *snapshot != "" {
-		if err := restore(sys, *snapshot); err != nil {
-			fatal("restoring snapshot", "err", err)
-		}
-	}
 	if *walPath != "" {
-		if tail, err := os.OpenFile(*walPath, os.O_RDWR, 0); err == nil {
-			st, rerr := store.RecoverWALObserved(tail, sys.Store(), sys.ObserveRecoveredEvent)
-			tail.Close()
-			if rerr != nil {
-				fatal("recovering wal", "err", rerr)
-			}
-			walStats = &st
-			if st.TruncatedBytes > 0 {
-				logger.Warn("truncated damaged wal tail",
-					"bytes", st.TruncatedBytes, "good_bytes", st.GoodBytes)
-			}
-			if st.Applied > 0 {
-				logger.Info("replayed wal events",
-					"events", st.Applied, "legacy_v1", st.LegacyEvents)
-				if err := sys.RequeueOpen(); err != nil {
-					fatal("requeueing after wal replay", "err", err)
-				}
-			}
-		} else if !errors.Is(err, os.ErrNotExist) {
-			fatal("opening wal", "err", err)
+		termPath = *walPath + ".term"
+	}
+	if *follow != "" {
+		// Follower boot: fetch the leader's sequence-0 snapshot, adopt it
+		// as our own (so chained followers can bootstrap from us), start a
+		// fresh local WAL, and tail the stream read-only.
+		if *walPath == "" || *snapshot == "" {
+			fatal("-follow requires -wal and -snapshot")
 		}
-		if *snapshot != "" {
-			if err := save(sys, *snapshot); err != nil {
-				fatal("checkpointing after replay", "err", err)
-			}
+		term, err := repl.LoadTerm(termPath)
+		if err != nil {
+			fatal("loading replication term", "err", err)
 		}
-		walFile, err = os.Create(*walPath) // truncate: the snapshot covers history
+		switchable = &repl.SwitchableJournal{}
+		cfg.Journal = switchable
+		sys = core.New(cfg)
+		sys.SetReadOnly(true)
+		logger.Info("dispatch core ready (follower)", "shards", sys.Shards(), "leader", *follow, "term", term)
+
+		snapBytes, err := fetchLeaderSnapshot(*follow)
+		if err != nil {
+			fatal("bootstrapping from leader snapshot", "leader", *follow, "err", err)
+		}
+		if err := sys.Restore(bytes.NewReader(snapBytes)); err != nil {
+			fatal("restoring leader snapshot", "err", err)
+		}
+		if err := writeFileDurable(*snapshot, snapBytes); err != nil {
+			fatal("saving bootstrap snapshot", "err", err)
+		}
+		logger.Info("bootstrapped from leader snapshot",
+			"tasks", sys.Store().Len(), "bytes", len(snapBytes))
+
+		walFile, err = os.Create(*walPath) // fresh log: sequence 1 = leader sequence 1
 		if err != nil {
 			fatal("creating wal", "err", err)
 		}
 		defer walFile.Close()
+		replSource = repl.NewSource(repl.SourceOptions{
+			Term:     term,
+			WALPath:  *walPath,
+			Snapshot: repl.SnapshotFile(*snapshot),
+		})
 		wal = store.NewWALWith(walFile, store.WALOptions{
 			Policy:   syncPolicy,
 			Interval: *walSyncIv,
+			OnRecord: replSource.OnRecord,
 		})
 		defer wal.Close()
-		cfg.Journal = wal
-		logger.Info("wal open", "path", *walPath, "sync", syncPolicy.String())
-		// Rebuild the system with the journal attached, re-adopting the
-		// recovered store contents.
-		recovered := sys
+
+		follower = repl.NewFollower(repl.FollowerOptions{
+			Leader: *follow,
+			Term:   term,
+			Apply: func(seq int64, e store.Event) error {
+				if err := store.ApplyEvent(sys.Store(), e); err != nil {
+					return err
+				}
+				sys.ObserveRecoveredEvent(e)
+				return wal.Append(e)
+			},
+			OnTermChange: func(t int64) error {
+				replSource.SetTerm(t)
+				return repl.SaveTerm(termPath, t)
+			},
+			Logger: logger,
+		})
+		var followCtx context.Context
+		followCtx, stopFollow = context.WithCancel(context.Background())
+		followDone = make(chan struct{})
+		go func() {
+			followErr = follower.Run(followCtx)
+			if followErr != nil {
+				logger.Error("replication stream ended", "err", followErr)
+			}
+			close(followDone)
+		}()
+	} else {
 		sys = core.New(cfg)
-		swapStore(sys, recovered)
+		logger.Info("dispatch core ready", "shards", sys.Shards())
+		if *snapshot != "" {
+			if err := restore(sys, *snapshot); err != nil {
+				fatal("restoring snapshot", "err", err)
+			}
+		}
+		if *walPath != "" {
+			if tail, err := os.OpenFile(*walPath, os.O_RDWR, 0); err == nil {
+				st, rerr := store.RecoverWALObserved(tail, sys.Store(), sys.ObserveRecoveredEvent)
+				tail.Close()
+				if rerr != nil {
+					fatal("recovering wal", "err", rerr)
+				}
+				walStats = &st
+				if st.TruncatedBytes > 0 {
+					logger.Warn("truncated damaged wal tail",
+						"bytes", st.TruncatedBytes, "good_bytes", st.GoodBytes)
+				}
+				if st.Applied > 0 {
+					logger.Info("replayed wal events",
+						"events", st.Applied, "legacy_v1", st.LegacyEvents)
+					if err := sys.RequeueOpen(); err != nil {
+						fatal("requeueing after wal replay", "err", err)
+					}
+				}
+			} else if !errors.Is(err, os.ErrNotExist) {
+				fatal("opening wal", "err", err)
+			}
+			if *snapshot != "" {
+				if err := save(sys, *snapshot); err != nil {
+					fatal("checkpointing after replay", "err", err)
+				}
+			}
+			term, err := repl.LoadTerm(termPath)
+			if err != nil {
+				fatal("loading replication term", "err", err)
+			}
+			srcOpts := repl.SourceOptions{Term: term, WALPath: *walPath}
+			if *snapshot != "" {
+				srcOpts.Snapshot = repl.SnapshotFile(*snapshot)
+			}
+			replSource = repl.NewSource(srcOpts)
+			walFile, err = os.Create(*walPath) // truncate: the snapshot covers history
+			if err != nil {
+				fatal("creating wal", "err", err)
+			}
+			defer walFile.Close()
+			wal = store.NewWALWith(walFile, store.WALOptions{
+				Policy:   syncPolicy,
+				Interval: *walSyncIv,
+				OnRecord: replSource.OnRecord,
+			})
+			defer wal.Close()
+			cfg.Journal = wal
+			logger.Info("wal open", "path", *walPath, "sync", syncPolicy.String(), "term", term)
+			// Rebuild the system with the journal attached, re-adopting the
+			// recovered store contents.
+			recovered := sys
+			sys = core.New(cfg)
+			swapStore(sys, recovered)
+		}
 	}
 
 	stopExpiry := make(chan struct{})
@@ -238,6 +343,10 @@ func main() {
 		MaxInFlight:         *maxInflight,
 		IdempotencyCapacity: *idemCap,
 	}
+	if *follow != "" {
+		opts.Writable = func() bool { return !sys.ReadOnly() }
+		opts.LeaderHint = func() string { return *follow }
+	}
 	if *apiKeys != "" {
 		// Trim and drop empty entries so "a,b," never registers the empty
 		// string as a valid key (which would admit unauthenticated requests).
@@ -251,9 +360,57 @@ func main() {
 		}
 	}
 	api := dispatch.NewServerWith(sys, opts)
+
+	// Promotion flips a follower into a writable leader: stop tailing,
+	// bump and persist the term (fencing the old leader's streams), attach
+	// the local WAL as the journal, and open the write path. Idempotent —
+	// invoked by POST /v1/repl/promote or SIGHUP.
+	var promoteOnce sync.Once
+	promote := func() {
+		promoteOnce.Do(func() {
+			logger.Info("promoting to leader")
+			stopFollow()
+			<-followDone
+			newTerm := follower.Term() + 1
+			if err := repl.SaveTerm(termPath, newTerm); err != nil {
+				fatal("persisting promotion term", "err", err)
+			}
+			replSource.SetTerm(newTerm)
+			switchable.Set(wal)
+			if err := sys.RequeueOpen(); err != nil {
+				fatal("requeueing after promotion", "err", err)
+			}
+			sys.SetReadOnly(false)
+			logger.Info("promoted to leader", "term", newTerm, "applied", follower.Applied())
+		})
+	}
+	var promoteHandler http.HandlerFunc
+	if follower != nil {
+		promoteHandler = func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			promote()
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"term\":%d,\"last_seq\":%d}\n", replSource.Term(), replSource.LastSeq())
+		}
+	}
+
+	// The public handler: /v1/repl/* (when a WAL backs this node) serves
+	// replication peers; everything else is the dispatch API.
+	var handler http.Handler = api
+	if replSource != nil {
+		replHandler := replSource.Handler(promoteHandler)
+		mux := http.NewServeMux()
+		mux.Handle("/v1/repl/", replHandler)
+		mux.Handle("/", api)
+		handler = mux
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api,
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTO,
 		ReadTimeout:       *readTO,
 		WriteTimeout:      *writeTO,
@@ -262,26 +419,54 @@ func main() {
 	}
 
 	// ready flips once the API listener is up; /readyz serves 503 before —
-	// and degrades again if the WAL write path starts failing, pulling the
-	// instance out of rotation before it can lose acknowledged work.
+	// and degrades again if the WAL write path starts failing (pulling the
+	// instance out of rotation before it can lose acknowledged work) or,
+	// on an unpromoted follower, when replication staleness exceeds
+	// -max-replica-lag.
 	var ready atomic.Bool
-	readyProbe := func() bool {
+	readyProbe := func() error {
 		if !ready.Load() {
-			return false
+			return errors.New("not serving")
 		}
-		return wal == nil || wal.Healthy()
+		if wal != nil && !wal.Healthy() {
+			if err := wal.Err(); err != nil {
+				return fmt.Errorf("wal unhealthy: %v", err)
+			}
+			return errors.New("wal unhealthy")
+		}
+		if follower != nil && sys.ReadOnly() && *maxLag > 0 {
+			if lag := follower.Lag(); lag.Seconds > maxLag.Seconds() {
+				return fmt.Errorf("replication lag %.1fs (%d records) exceeds %s",
+					lag.Seconds, lag.Seq, *maxLag)
+			}
+		}
+		return nil
+	}
+	replState := func() dispatch.ReplState {
+		rs := dispatch.ReplState{Term: replSource.Term()}
+		if follower != nil && sys.ReadOnly() {
+			lag := follower.Lag()
+			rs.Follower = true
+			rs.LagSeq = lag.Seq
+			rs.LagSeconds = lag.Seconds
+		}
+		return rs
 	}
 	var admin *http.Server
 	if *adminAddr != "" {
+		adminOpts := dispatch.AdminOptions{
+			WAL:         wal,
+			WALRecovery: walStats,
+			Ready:       readyProbe,
+			Start:       startTime,
+			Version:     version,
+		}
+		if replSource != nil {
+			adminOpts.Repl = replState
+		}
 		admin = &http.Server{
-			Addr: *adminAddr,
-			Handler: dispatch.NewAdminHandler(sys, api, dispatch.AdminOptions{
-				WAL:         wal,
-				WALRecovery: walStats,
-				Ready:       readyProbe,
-				Start:       startTime,
-				Version:     version,
-			}),
+			Addr:              *adminAddr,
+			Handler:           dispatch.NewAdminHandler(sys, api, adminOpts),
 			ReadHeaderTimeout: *readHeaderTO,
 			ReadTimeout:       *readTO,
 			WriteTimeout:      *writeTO,
@@ -305,11 +490,30 @@ func main() {
 	}()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP {
+			// SIGHUP promotes a follower (the out-of-band path when the old
+			// leader is unreachable); a leader ignores it.
+			if follower != nil {
+				promote()
+			} else {
+				logger.Info("ignoring SIGHUP: not a follower")
+			}
+			continue
+		}
+		break
+	}
 	logger.Info("shutting down")
 	ready.Store(false)
 	close(stopExpiry)
+	if stopFollow != nil {
+		stopFollow()
+		<-followDone
+	}
+	if replSource != nil {
+		replSource.Close()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -346,6 +550,65 @@ func main() {
 			}
 		}
 	}
+}
+
+// fetchLeaderSnapshot pulls the leader's bootstrap snapshot, retrying for
+// up to 30 seconds so a follower can start slightly before its leader.
+func fetchLeaderSnapshot(leader string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var lastErr error
+	for {
+		rc, err := repl.FetchSnapshot(ctx, nil, leader)
+		if err == nil {
+			data, rerr := io.ReadAll(rc)
+			rc.Close()
+			if rerr == nil {
+				return data, nil
+			}
+			err = rerr
+		}
+		lastErr = err
+		logger.Warn("leader snapshot fetch failed; retrying", "err", err)
+		select {
+		case <-ctx.Done():
+			return nil, lastErr
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// writeFileDurable writes data atomically: temp file, fsync, rename,
+// directory sync — the same contract as save().
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
 }
 
 // restore loads a snapshot and re-enqueues open tasks; a missing file is

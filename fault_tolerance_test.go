@@ -2,14 +2,20 @@ package humancomp_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"humancomp/internal/core"
+	"humancomp/internal/dispatch"
 	"humancomp/internal/faultinject"
+	"humancomp/internal/repl"
 	"humancomp/internal/store"
 	"humancomp/internal/task"
 )
@@ -317,4 +323,263 @@ func TestShutdownExpiresLeasesBeforeSnapshot(t *testing.T) {
 	if got := restarted.Reputation().Probes("w"); got != 1 {
 		t.Fatalf("worker has %d probes after restart, want 1", got)
 	}
+}
+
+// replWaitFor polls cond until it holds or the deadline passes.
+func replWaitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// replSoakTraffic drives submits, leases and answers through the public
+// HTTP API, pressing on through server-side failures (the leader's WAL may
+// die mid-run). Acknowledged operations — the ones whose call returned
+// nil — are exactly the durable, replicable set.
+func replSoakTraffic(c *dispatch.Client) (ackedTasks map[task.ID]bool, ackedAnswers map[task.ID]int) {
+	ackedTasks = make(map[task.ID]bool)
+	ackedAnswers = make(map[task.ID]int)
+	for i := 1; i <= 12; i++ {
+		id, err := c.Submit(task.Label, task.Payload{ImageID: i}, 1, 0)
+		if err == nil {
+			ackedTasks[id] = true
+		}
+		tv, lease, err := c.Next("w")
+		if err != nil {
+			continue
+		}
+		if err := c.Answer(lease, task.Answer{Words: []int{int(tv.ID)}}); err == nil {
+			ackedAnswers[tv.ID]++
+		}
+	}
+	return ackedTasks, ackedAnswers
+}
+
+// saveArtifact copies a WAL into HC_ARTIFACT_DIR (when set) so CI can
+// upload the evidence from a failed trial.
+func saveArtifact(t *testing.T, path, name string) {
+	dir := os.Getenv("HC_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Logf("artifact %s: %v", name, err)
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Logf("artifact %s: %v", name, err)
+	}
+}
+
+// TestKillLeaderFailoverSoak is the end-to-end replication soak: a leader
+// serving real HTTP traffic ships its WAL to a live follower; the leader's
+// log is cut at a seeded byte offset (the crash moment — after it nothing
+// more is acknowledged); the follower drains what the leader acked,
+// promotes, and must then hold the full consistency contract: every acked
+// submit and answer present, nothing unacked resurrected, no task ID
+// reissued, and the dead leader's epoch fenced by the term check.
+func TestKillLeaderFailoverSoak(t *testing.T) {
+	// Reference run to size the log so cut offsets spread across it.
+	var ref bytes.Buffer
+	refCfg := core.DefaultConfig()
+	refCfg.Journal = store.NewWAL(&ref)
+	refSrv := httptest.NewServer(dispatch.NewServer(core.New(refCfg)))
+	replSoakTraffic(dispatch.NewClient(refSrv.URL, refSrv.Client()))
+	refSrv.Close()
+	total := int64(ref.Len())
+	if total < 100 {
+		t.Fatalf("reference log implausibly small: %d bytes", total)
+	}
+
+	const trials = 12
+	for k := 0; k < trials; k++ {
+		cut := 1 + int64(k)*(total-2)/(trials-1)
+		t.Run(fmt.Sprintf("cut@%d", cut), func(t *testing.T) {
+			killLeaderTrial(t, cut)
+		})
+	}
+}
+
+func killLeaderTrial(t *testing.T, cut int64) {
+	dir := t.TempDir()
+
+	// Leader: WAL on a cut writer (dies at the seeded offset), tapped into
+	// a replication source, public API and /v1/repl on one server.
+	leaderWALPath := filepath.Join(dir, "leader.wal")
+	lf, err := os.Create(leaderWALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	src := repl.NewSource(repl.SourceOptions{
+		Term:     1,
+		WALPath:  leaderWALPath,
+		Snapshot: repl.SnapshotBytes(emptySnapshot(t)),
+	})
+	wal := store.NewWALWith(faultinject.NewCutWriter(lf, cut), store.WALOptions{OnRecord: src.OnRecord})
+	defer wal.Close()
+	cfg := core.DefaultConfig()
+	cfg.Journal = wal
+	leaderSys := core.New(cfg)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/repl/", src.Handler(nil))
+	mux.Handle("/", dispatch.NewServer(leaderSys))
+	leaderSrv := httptest.NewServer(mux)
+	defer leaderSrv.Close()
+	defer src.Close() // runs before leaderSrv.Close: ends blocked streams
+
+	// Follower: bootstrap from the leader's snapshot, own WAL (also
+	// tapped, so the promoted node can serve its own followers), read-only
+	// core behind a switchable journal.
+	followerWALPath := filepath.Join(dir, "follower.wal")
+	ff, err := os.Create(followerWALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ff.Close()
+	fsrc := repl.NewSource(repl.SourceOptions{Term: 1, WALPath: followerWALPath})
+	defer fsrc.Close()
+	fwal := store.NewWALWith(ff, store.WALOptions{OnRecord: fsrc.OnRecord})
+	defer fwal.Close()
+	sj := &repl.SwitchableJournal{}
+	fcfg := core.DefaultConfig()
+	fcfg.Journal = sj
+	fsys := core.New(fcfg)
+	fsys.SetReadOnly(true)
+	snap, err := repl.FetchSnapshot(context.Background(), nil, leaderSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+	follower := repl.NewFollower(repl.FollowerOptions{
+		Leader: leaderSrv.URL,
+		Term:   1,
+		Apply: func(seq int64, e store.Event) error {
+			if err := store.ApplyEvent(fsys.Store(), e); err != nil {
+				return err
+			}
+			fsys.ObserveRecoveredEvent(e)
+			return fwal.Append(e)
+		},
+	})
+	fctx, fcancel := context.WithCancel(context.Background())
+	followDone := make(chan error, 1)
+	go func() { followDone <- follower.Run(fctx) }()
+	defer fcancel()
+
+	// Drive traffic until the WAL dies (or the run completes, for late
+	// cuts). Acked == durable == replicable.
+	client := dispatch.NewClient(leaderSrv.URL, leaderSrv.Client())
+	ackedTasks, ackedAnswers := replSoakTraffic(client)
+	ackedEvents := len(ackedTasks)
+	for _, n := range ackedAnswers {
+		ackedEvents += n
+	}
+
+	failed := func() {
+		saveArtifact(t, leaderWALPath, fmt.Sprintf("leader-cut%d.wal", cut))
+		saveArtifact(t, followerWALPath, fmt.Sprintf("follower-cut%d.wal", cut))
+	}
+
+	// The follower drains everything the leader acknowledged. The leader's
+	// LastSeq counts exactly the flushed (acked) records — the cut write
+	// was never acked and never tapped.
+	lastAcked := wal.LastSeq()
+	if lastAcked != int64(ackedEvents) {
+		failed()
+		t.Fatalf("leader acked %d events but LastSeq=%d", ackedEvents, lastAcked)
+	}
+	replWaitFor(t, 10*time.Second, "follower to drain the acked log", func() bool {
+		return follower.Applied() >= lastAcked
+	})
+
+	// Kill the leader and promote the follower.
+	fcancel()
+	if err := <-followDone; err != nil {
+		failed()
+		t.Fatalf("follower ended with %v", err)
+	}
+	leaderSrv.CloseClientConnections()
+	newTerm := follower.Term() + 1
+	fsrc.SetTerm(newTerm)
+	sj.Set(fwal)
+	if err := fsys.RequeueOpen(); err != nil {
+		failed()
+		t.Fatal(err)
+	}
+	fsys.SetReadOnly(false)
+
+	// Contract 1: every acked submit and answer survived the failover.
+	if got := fsys.Store().Len(); got != len(ackedTasks) {
+		failed()
+		t.Fatalf("promoted follower has %d tasks, acked %d", got, len(ackedTasks))
+	}
+	maxID := task.ID(0)
+	for id := range ackedTasks {
+		tk, err := fsys.Task(id)
+		if err != nil {
+			failed()
+			t.Fatalf("acked task %d lost in failover: %v", id, err)
+		}
+		if len(tk.Answers) != ackedAnswers[id] {
+			failed()
+			t.Fatalf("task %d has %d answers after failover, acked %d",
+				id, len(tk.Answers), ackedAnswers[id])
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+
+	// Contract 2: new submits on the promoted leader never reuse an ID.
+	for i := 0; i < 3; i++ {
+		id, err := fsys.SubmitTask(task.Label, task.Payload{ImageID: 900 + i}, 1, 0)
+		if err != nil {
+			failed()
+			t.Fatalf("submit after promotion: %v", err)
+		}
+		if ackedTasks[id] || id <= maxID {
+			failed()
+			t.Fatalf("task ID %d reissued after failover (max replicated %d)", id, maxID)
+		}
+	}
+
+	// Contract 3: the old epoch is fenced. A consumer carrying the new
+	// term refuses the dead leader's stream outright.
+	zombie := repl.NewFollower(repl.FollowerOptions{
+		Leader: leaderSrv.URL,
+		Term:   newTerm,
+		Apply:  func(int64, store.Event) error { return nil },
+	})
+	zctx, zcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer zcancel()
+	if err := zombie.Run(zctx); !errors.Is(err, repl.ErrStaleTerm) {
+		failed()
+		t.Fatalf("stream from fenced leader = %v, want ErrStaleTerm", err)
+	}
+}
+
+// emptySnapshot returns a pristine system's snapshot — the leader's "state
+// at sequence 0" when it booted fresh.
+func emptySnapshot(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.New(core.DefaultConfig()).Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }

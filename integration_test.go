@@ -643,7 +643,7 @@ func TestObservabilityOverHTTP(t *testing.T) {
 
 	admin := httptest.NewServer(dispatch.NewAdminHandler(sys, api, dispatch.AdminOptions{
 		WAL:   wal,
-		Ready: func() bool { return true },
+		Ready: func() error { return nil },
 	}))
 	defer admin.Close()
 
@@ -720,6 +720,7 @@ func TestObservabilityOverHTTP(t *testing.T) {
 		"hc_gwap_outputs_total":    "1",
 		"hc_gwap_sessions_total":   "2",
 		"hc_wal_events_total":      "3", // 1 submit + 2 answers
+		"hc_wal_last_seq":          "3",
 	} {
 		if got := values[name]; got != want {
 			t.Errorf("%s = %q, want %q", name, got, want)

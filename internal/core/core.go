@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"humancomp/internal/metrics"
@@ -127,7 +128,16 @@ type System struct {
 	tasksSubmitted metrics.Counter
 	answersTotal   metrics.Counter
 	goldChecked    metrics.Counter
+
+	// readOnly fences every mutating entry point (replication followers
+	// serve reads from replayed state until promoted).
+	readOnly atomic.Bool
 }
+
+// ErrReadOnly is returned by every mutating call while the system is in
+// read-only (follower) mode. The dispatch layer maps it to 503 plus a
+// leader hint.
+var ErrReadOnly = errors.New("core: system is read-only (follower)")
 
 // New returns an empty system.
 func New(cfg Config) *System {
@@ -168,6 +178,15 @@ func New(cfg Config) *System {
 	s.spans = trace.NewSpanPlane(cfg.Spans)
 	return s
 }
+
+// SetReadOnly flips follower fencing: while true, every mutating call
+// (submit, lease, answer, release, cancel) fails with ErrReadOnly and the
+// read paths — task views, posteriors, traces, aggregates — keep serving
+// the replicated state. Promotion flips it back off.
+func (s *System) SetReadOnly(v bool) { s.readOnly.Store(v) }
+
+// ReadOnly reports whether the system is fenced read-only.
+func (s *System) ReadOnly() bool { return s.readOnly.Load() }
 
 // Spans exposes the request-scoped span plane; nil when disabled.
 func (s *System) Spans() *trace.SpanPlane { return s.spans }
@@ -223,6 +242,9 @@ func endOp(h trace.Handle, ref trace.SpanRef, err error) {
 // would otherwise escape scoring — and rides in the journal event so the
 // probe survives replay.
 func (s *System) submit(kind task.Kind, p task.Payload, redundancy, priority int, gold *task.Answer, h trace.Handle) (task.ID, error) {
+	if s.readOnly.Load() {
+		return 0, ErrReadOnly
+	}
 	now := s.clock.Now()
 	t, err := task.New(s.store.NextID(), kind, p, redundancy, now)
 	if err != nil {
@@ -393,6 +415,12 @@ func (s *System) submitBatch(specs []SubmitSpec, h trace.Handle) []SubmitOutcome
 	if len(specs) == 0 {
 		return out
 	}
+	if s.readOnly.Load() {
+		for i := range out {
+			out[i].Err = ErrReadOnly
+		}
+		return out
+	}
 	tr := h.Trace()
 	now := s.clock.Now()
 	tasks := make([]*task.Task, 0, len(specs))
@@ -537,6 +565,9 @@ func (s *System) NextTask(workerID string) (task.View, queue.LeaseID, error) {
 	if workerID == "" {
 		return task.View{}, 0, errors.New("core: worker ID required")
 	}
+	if s.readOnly.Load() {
+		return task.View{}, 0, ErrReadOnly
+	}
 	return s.queue.Lease(workerID, s.clock.Now())
 }
 
@@ -547,6 +578,9 @@ func (s *System) NextTask(workerID string) (task.View, queue.LeaseID, error) {
 func (s *System) NextTaskCtx(ctx context.Context, workerID string) (task.View, queue.LeaseID, error) {
 	if workerID == "" {
 		return task.View{}, 0, errors.New("core: worker ID required")
+	}
+	if s.readOnly.Load() {
+		return task.View{}, 0, ErrReadOnly
 	}
 	h, ref := startOp(trace.FromContext(ctx), "core.lease")
 	v, id, err := s.queue.LeaseTraced(workerID, s.clock.Now(), h)
@@ -565,7 +599,7 @@ func (s *System) NextTaskCtx(ctx context.Context, workerID string) (task.View, q
 // draws round-robin from a rotating start, trading exact global priority
 // order for one-lock-per-shard batching (see queue.LeaseBatch).
 func (s *System) LeaseBatch(workerID string, max int) []queue.LeaseGrant {
-	if workerID == "" {
+	if workerID == "" || s.readOnly.Load() {
 		return nil
 	}
 	return s.queue.LeaseBatch(workerID, max, s.clock.Now())
@@ -574,7 +608,7 @@ func (s *System) LeaseBatch(workerID string, max int) []queue.LeaseGrant {
 // LeaseBatchCtx is LeaseBatch under the span handle carried by ctx; the
 // batch runs inside one core.lease_batch child span.
 func (s *System) LeaseBatchCtx(ctx context.Context, workerID string, max int) []queue.LeaseGrant {
-	if workerID == "" {
+	if workerID == "" || s.readOnly.Load() {
 		return nil
 	}
 	h, ref := startOp(trace.FromContext(ctx), "core.lease_batch")
@@ -603,6 +637,9 @@ func (s *System) SubmitAnswerCtx(ctx context.Context, lease queue.LeaseID, a tas
 }
 
 func (s *System) submitAnswer(lease queue.LeaseID, a task.Answer, h trace.Handle) error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	now := s.clock.Now()
 	res, err := s.queue.CompleteTraced(lease, a, now, h)
 	if err != nil {
@@ -682,6 +719,12 @@ func (s *System) AnswerBatchDetailedCtx(ctx context.Context, items []queue.Compl
 func (s *System) answerBatchDetailed(items []queue.CompleteItem, h trace.Handle) []AnswerOutcome {
 	out := make([]AnswerOutcome, len(items))
 	if len(items) == 0 {
+		return out
+	}
+	if s.readOnly.Load() {
+		for i := range out {
+			out[i].Err = ErrReadOnly
+		}
 		return out
 	}
 	now := s.clock.Now()
@@ -784,6 +827,9 @@ func AnswerMatches(kind task.Kind, expected, got task.Answer) bool {
 
 // ReleaseTask returns a leased task to the pool unanswered.
 func (s *System) ReleaseTask(lease queue.LeaseID) error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	return s.queue.Release(lease, s.clock.Now())
 }
 
@@ -791,6 +837,9 @@ func (s *System) ReleaseTask(lease queue.LeaseID) error {
 // (done or canceled) returns task.ErrWrongStatus; a task the system never
 // saw returns queue.ErrUnknownTask.
 func (s *System) CancelTask(id task.ID) error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	now := s.clock.Now()
 	err := s.queue.Cancel(id, now)
 	if errors.Is(err, queue.ErrUnknownTask) {

@@ -25,15 +25,40 @@ type AdminOptions struct {
 	// hc_wal_recovered_events (applied from the surviving log) and
 	// hc_wal_truncated_bytes (torn/corrupt tail cut off).
 	WALRecovery *store.ReplayStats
-	// Ready gates /readyz: the probe returns 200 once Ready reports true
-	// and 503 before. Wire WAL health into it (hcservd does) so a dying
-	// write path pulls the instance out of rotation before it loses
-	// acknowledged work. Nil means always ready.
-	Ready func() bool
+	// Ready gates /readyz: the probe returns 200 while Ready returns nil
+	// and 503 with the error as a JSON reason otherwise. Wire WAL health
+	// and replication lag into it (hcservd does) so a dying write path or
+	// a stale follower pulls the instance out of rotation. Nil means
+	// always ready.
+	Ready func() error
+	// Repl, when set, contributes replication gauges: hc_repl_term on any
+	// replicating node, hc_repl_follower_lag_seq and
+	// hc_repl_follower_lag_seconds on followers.
+	Repl func() ReplState
 	// Start, when set, exports hc_uptime_seconds relative to it.
 	Start time.Time
 	// Version is the build identifier on hc_build_info ("dev" when empty).
 	Version string
+}
+
+// ReplState is a point-in-time view of a node's replication position,
+// feeding the admin metrics and the readiness probe.
+type ReplState struct {
+	// Term is the node's current epoch (bumped at each promotion).
+	Term int64
+	// Follower reports whether the node is tailing a leader; the lag
+	// fields are meaningful only then.
+	Follower bool
+	// LagSeq is the sequence delta behind the leader.
+	LagSeq int64
+	// LagSeconds is the wall-clock staleness of the replica.
+	LagSeconds float64
+}
+
+// readyResponse is the JSON body of /readyz.
+type readyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // NewAdminHandler returns the admin/debug surface served on a separate
@@ -64,12 +89,14 @@ func NewAdminHandler(sys *core.System, api *Server, opts AdminOptions) http.Hand
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if opts.Ready != nil && !opts.Ready() {
-			http.Error(w, "not ready", http.StatusServiceUnavailable)
-			return
+		if opts.Ready != nil {
+			if err := opts.Ready(); err != nil {
+				writeJSON(w, http.StatusServiceUnavailable,
+					readyResponse{Ready: false, Reason: err.Error()})
+				return
+			}
 		}
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ready\n"))
+		writeJSON(w, http.StatusOK, readyResponse{Ready: true})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -276,7 +303,23 @@ func promFamilies(sys *core.System, api *Server, opts AdminOptions) []metrics.Pr
 				"WAL appends or fsyncs that returned an error.", opts.WAL.Failures()),
 			metrics.PromGaugeFamily("hc_wal_healthy",
 				"1 while the WAL write path works, 0 after a failure.", healthy),
+			metrics.PromGaugeFamily("hc_wal_last_seq",
+				"Sequence number of the newest acknowledged WAL record.", float64(opts.WAL.LastSeq())),
 		)
+	}
+
+	if opts.Repl != nil {
+		rs := opts.Repl()
+		fams = append(fams, metrics.PromGaugeFamily("hc_repl_term",
+			"Replication epoch; bumped and persisted at each promotion.", float64(rs.Term)))
+		if rs.Follower {
+			fams = append(fams,
+				metrics.PromGaugeFamily("hc_repl_follower_lag_seq",
+					"Sequences the follower is behind its leader.", float64(rs.LagSeq)),
+				metrics.PromGaugeFamily("hc_repl_follower_lag_seconds",
+					"Wall-clock staleness of the follower's replica.", rs.LagSeconds),
+			)
+		}
 	}
 
 	if opts.WALRecovery != nil {

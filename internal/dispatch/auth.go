@@ -35,6 +35,14 @@ type Options struct {
 	// Idempotency-Key replay on submit/answer routes. 0 selects the
 	// default (4096 entries); negative disables replay.
 	IdempotencyCapacity int
+	// Writable, when non-nil, gates every mutating route: while it reports
+	// false the route answers 503 with an X-Leader hint (see LeaderHint)
+	// before the body is even read. Replication followers use it; nil
+	// means always writable.
+	Writable func() bool
+	// LeaderHint supplies the current leader's base URL for the X-Leader
+	// header on rejected writes; nil or empty omits the header.
+	LeaderHint func() string
 }
 
 // limiterStripes is the number of independently locked token-bucket

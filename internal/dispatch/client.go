@@ -29,6 +29,11 @@ type APIError struct {
 	Status    int
 	Message   string
 	RequestID string
+	// Leader is the base URL from a 503 response's X-Leader header: the
+	// node that can take the write this one (a replication follower)
+	// refused. The retry loop follows it transparently once per logical
+	// call.
+	Leader string
 
 	// retryAfter carries the response's parsed Retry-After hint into the
 	// retry loop.
@@ -299,54 +304,70 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemK
 	return status, err
 }
 
-// doAttempts is do's retry loop, after the per-call identity is fixed.
+// doAttempts is do's retry loop, after the per-call identity is fixed. A
+// 503 whose X-Leader header names another node re-routes the call there —
+// once per logical call, consuming no attempt and no backoff sleep — with
+// the same request ID and idempotency key, so a write that raced a
+// failover lands exactly once wherever it ends up.
 func (c *Client) doAttempts(ctx context.Context, method, path string, payload []byte, out any, idemKey, requestID string, traceID trace.TraceID) (int, error) {
 	attempts := c.retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
+	base := c.baseURL
+	rerouted := false
 	var (
 		status  int
 		lastErr error
 	)
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			retryAfter := time.Duration(0)
-			var apiErr *APIError
-			if errors.As(lastErr, &apiErr) {
-				retryAfter = apiErr.retryAfter
-			}
-			if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
-				// Joined so callers can match either the cancellation or
-				// the underlying failure that was being retried.
-				return status, errors.Join(err, lastErr)
-			}
-		}
+	for attempt := 0; ; {
 		traceParent := ""
 		if c.injectTrace {
 			traceParent = trace.FormatTraceParent(traceID, c.newSpanID())
 		}
 		var retryable bool
-		status, retryable, lastErr = c.attempt(ctx, method, path, payload, out, idemKey, requestID, traceParent)
+		status, retryable, lastErr = c.attempt(ctx, base, method, path, payload, out, idemKey, requestID, traceParent)
 		if lastErr == nil || !retryable {
 			return status, lastErr
 		}
 		if ctx.Err() != nil {
 			return status, lastErr
 		}
+		if !rerouted {
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) && apiErr.Status == http.StatusServiceUnavailable &&
+				apiErr.Leader != "" && apiErr.Leader != base {
+				base = apiErr.Leader
+				rerouted = true
+				continue
+			}
+		}
+		attempt++
+		if attempt >= attempts {
+			return status, lastErr
+		}
+		retryAfter := time.Duration(0)
+		var apiErr *APIError
+		if errors.As(lastErr, &apiErr) {
+			retryAfter = apiErr.retryAfter
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			// Joined so callers can match either the cancellation or
+			// the underlying failure that was being retried.
+			return status, errors.Join(err, lastErr)
+		}
 	}
-	return status, lastErr
 }
 
-// attempt performs one HTTP exchange.
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any, idemKey, requestID, traceParent string) (status int, retryable bool, err error) {
+// attempt performs one HTTP exchange against base.
+func (c *Client) attempt(ctx context.Context, base, method, path string, payload []byte, out any, idemKey, requestID, traceParent string) (status int, retryable bool, err error) {
 	var body io.Reader
 	if payload != nil {
 		// *bytes.Reader makes net/http set ContentLength and GetBody, so
 		// the transport can replay the body after a dropped connection.
 		body = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return 0, false, err
 	}
@@ -382,6 +403,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 			Status:     resp.StatusCode,
 			Message:    apiErr.Error,
 			RequestID:  rid,
+			Leader:     resp.Header.Get("X-Leader"),
 			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 		}
 		return resp.StatusCode, retryableStatus(resp.StatusCode), e

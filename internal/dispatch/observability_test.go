@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -259,7 +260,12 @@ func TestAdminHandlerMetricsAndProbes(t *testing.T) {
 	_ = id
 
 	ready := false
-	admin := httptest.NewServer(NewAdminHandler(sys, api, AdminOptions{Ready: func() bool { return ready }}))
+	admin := httptest.NewServer(NewAdminHandler(sys, api, AdminOptions{Ready: func() error {
+		if !ready {
+			return errors.New("not serving")
+		}
+		return nil
+	}}))
 	t.Cleanup(admin.Close)
 
 	get := func(path string) (*http.Response, string) {

@@ -154,20 +154,42 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	routeIdem := func(pattern string, h http.HandlerFunc) {
 		route(pattern, s.idem.wrap(pattern, h))
 	}
-	routeIdem("POST /v1/tasks", s.handleSubmit)
-	routeIdem("POST /v1/tasks:batch", s.handleSubmitBatch)
+	// write gates a mutating route behind Options.Writable: a follower
+	// answers 503 + X-Leader before reading the body. It sits inside the
+	// idempotency wrapper, which caches only 2xx responses, so a rejected
+	// write is never replayed as a success after promotion.
+	write := func(h http.HandlerFunc) http.HandlerFunc {
+		if opts.Writable == nil {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			if opts.Writable() {
+				h(w, r)
+				return
+			}
+			if opts.LeaderHint != nil {
+				if leader := opts.LeaderHint(); leader != "" {
+					w.Header().Set("X-Leader", leader)
+				}
+			}
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: core.ErrReadOnly.Error(), RequestID: requestIDOf(r)})
+		}
+	}
+	routeIdem("POST /v1/tasks", write(s.handleSubmit))
+	routeIdem("POST /v1/tasks:batch", write(s.handleSubmitBatch))
 	route("GET /v1/tasks", s.handleListTasks)
 	route("GET /v1/tasks/{id}", s.handleGetTask)
-	route("DELETE /v1/tasks/{id}", s.handleCancel)
+	route("DELETE /v1/tasks/{id}", write(s.handleCancel))
 	route("GET /v1/tasks/{id}/words", s.handleWords)
 	route("GET /v1/tasks/{id}/choice", s.handleChoice)
 	route("GET /v1/tasks/{id}/posterior", s.handlePosterior)
 	route("GET /v1/tasks/{id}/trace", s.handleTrace)
-	route("POST /v1/next", s.handleNext)
-	route("POST /v1/leases:batch", s.handleNextBatch)
-	routeIdem("POST /v1/leases:answers", s.handleAnswerBatch)
-	routeIdem("POST /v1/leases/{id}", s.handleAnswer)
-	route("DELETE /v1/leases/{id}", s.handleRelease)
+	route("POST /v1/next", write(s.handleNext))
+	route("POST /v1/leases:batch", write(s.handleNextBatch))
+	routeIdem("POST /v1/leases:answers", write(s.handleAnswerBatch))
+	routeIdem("POST /v1/leases/{id}", write(s.handleAnswer))
+	route("DELETE /v1/leases/{id}", write(s.handleRelease))
 	route("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", guard.wrap(s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -229,6 +251,10 @@ func statusOf(err error) int {
 		errors.Is(err, core.ErrWrongKind),
 		errors.Is(err, core.ErrQualityDisabled):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrReadOnly):
+		// A follower: the client should retry against the leader (the
+		// route-level guard adds the X-Leader hint).
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }

@@ -1,0 +1,253 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"humancomp/internal/store"
+)
+
+// Lag is a follower's replication position relative to its leader.
+type Lag struct {
+	// Seq is the sequence delta: leader's newest known sequence minus the
+	// follower's last applied one.
+	Seq int64
+	// Seconds is the wall-clock staleness: how long ago the follower last
+	// made progress (applied a record or confirmed it was caught up).
+	Seconds float64
+	// Connected reports whether the stream is currently attached.
+	Connected bool
+}
+
+// FollowerOptions configures a Follower.
+type FollowerOptions struct {
+	// Leader is the leader's base URL (scheme://host:port).
+	Leader string
+	// Client is the HTTP client for the stream; nil selects a default with
+	// no overall timeout (the stream is long-lived).
+	Client *http.Client
+	// Term is the follower's current epoch (from its term file). Streams
+	// with a lower term are refused.
+	Term int64
+	// Apply consumes one verified record in sequence order. A non-nil
+	// error is fatal to the follower: applied state has diverged from the
+	// log, which no retry can mend.
+	Apply func(seq int64, e store.Event) error
+	// OnTermChange, when non-nil, is called (before further applies) when
+	// the stream header carries a higher term than the follower's own, so
+	// the caller can persist the new epoch.
+	OnTermChange func(term int64) error
+	// ReconnectDelay is the pause between stream attempts; 0 selects 100ms.
+	ReconnectDelay time.Duration
+	// Logger receives reconnect/refusal diagnostics; nil discards them.
+	Logger *slog.Logger
+}
+
+// Follower tails a leader's WAL stream: it connects from its last applied
+// sequence, verifies and applies each record, and keeps reconnecting
+// through drops until its context is cancelled. It does NOT bootstrap the
+// snapshot — do that first (FetchSnapshot) so sequence 1 lands on the
+// right base state.
+type Follower struct {
+	leader  string
+	hc      *http.Client
+	apply   func(seq int64, e store.Event) error
+	onTerm  func(term int64) error
+	delay   time.Duration
+	log     *slog.Logger
+	term    atomic.Int64
+	applied atomic.Int64
+	// leaderSeq is the newest sequence the leader has advertised (stream
+	// headers and applied records); lag is leaderSeq - applied.
+	leaderSeq atomic.Int64
+	// progressNS is the unix-nano time of the last forward progress.
+	progressNS atomic.Int64
+	connected  atomic.Bool
+}
+
+// NewFollower returns a follower ready to Run.
+func NewFollower(opts FollowerOptions) *Follower {
+	f := &Follower{
+		leader: opts.Leader,
+		hc:     opts.Client,
+		apply:  opts.Apply,
+		onTerm: opts.OnTermChange,
+		delay:  opts.ReconnectDelay,
+		log:    opts.Logger,
+	}
+	if f.hc == nil {
+		f.hc = &http.Client{}
+	}
+	if f.delay <= 0 {
+		f.delay = 100 * time.Millisecond
+	}
+	if f.log == nil {
+		f.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	f.term.Store(opts.Term)
+	f.progressNS.Store(time.Now().UnixNano())
+	return f
+}
+
+// FetchSnapshot streams the leader's bootstrap snapshot — the state at
+// sequence 0 of its current WAL.
+func FetchSnapshot(ctx context.Context, hc *http.Client, leader string) (io.ReadCloser, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, leader+"/v1/repl/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("repl: snapshot fetch: %s: %s", resp.Status, body)
+	}
+	return resp.Body, nil
+}
+
+// Term returns the follower's current epoch.
+func (f *Follower) Term() int64 { return f.term.Load() }
+
+// Applied returns the last sequence applied to the local store.
+func (f *Follower) Applied() int64 { return f.applied.Load() }
+
+// Lag reports the follower's current replication lag. Seconds is 0 while
+// the stream is attached and fully applied (idle with no traffic is not
+// lag); otherwise it is the time since the follower last made progress,
+// which covers both a stalled catch-up and a dead leader.
+func (f *Follower) Lag() Lag {
+	lag := f.leaderSeq.Load() - f.applied.Load()
+	if lag < 0 {
+		lag = 0
+	}
+	connected := f.connected.Load()
+	secs := 0.0
+	if !connected || lag > 0 {
+		secs = time.Since(time.Unix(0, f.progressNS.Load())).Seconds()
+	}
+	return Lag{Seq: lag, Seconds: secs, Connected: connected}
+}
+
+// Run tails the leader until ctx is cancelled, reconnecting through
+// transport drops. It returns nil on cancellation, ErrStaleTerm when the
+// leader is a fenced old epoch, and other errors only when applying a
+// record failed (local state diverged).
+func (f *Follower) Run(ctx context.Context) error {
+	for {
+		err := f.stream(ctx)
+		f.connected.Store(false)
+		switch {
+		case ctx.Err() != nil:
+			return nil
+		case err == nil:
+			// Stream ended cleanly (leader shut down); retry.
+		case err == ErrStaleTerm:
+			return err
+		case isFatalApply(err):
+			return err
+		default:
+			f.log.Debug("repl stream dropped; reconnecting", "err", err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(f.delay):
+		}
+	}
+}
+
+// fatalApplyError marks apply-path failures that reconnecting cannot fix.
+type fatalApplyError struct{ err error }
+
+func (e fatalApplyError) Error() string { return e.err.Error() }
+func (e fatalApplyError) Unwrap() error { return e.err }
+
+func isFatalApply(err error) bool {
+	_, ok := err.(fatalApplyError)
+	return ok
+}
+
+// stream runs one connection: request from applied+1, check terms, apply
+// records as they arrive.
+func (f *Follower) stream(ctx context.Context) error {
+	from := f.applied.Load() + 1
+	u := fmt.Sprintf("%s/v1/repl/wal?from=%s", f.leader, url.QueryEscape(fmt.Sprint(from)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("repl: stream: %s: %s", resp.Status, body)
+	}
+
+	br := bufio.NewReaderSize(resp.Body, 64*1024)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("repl: reading stream header: %w", err)
+	}
+	var hdr StreamHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return fmt.Errorf("repl: decoding stream header: %w", err)
+	}
+	switch cur := f.term.Load(); {
+	case hdr.Term < cur:
+		f.log.Warn("refusing stream from fenced leader", "leader_term", hdr.Term, "term", cur)
+		return ErrStaleTerm
+	case hdr.Term > cur:
+		if f.onTerm != nil {
+			if err := f.onTerm(hdr.Term); err != nil {
+				return fatalApplyError{fmt.Errorf("repl: persisting term %d: %w", hdr.Term, err)}
+			}
+		}
+		f.term.Store(hdr.Term)
+	}
+	if hdr.LastSeq > f.leaderSeq.Load() {
+		f.leaderSeq.Store(hdr.LastSeq)
+	}
+	f.connected.Store(true)
+	if hdr.LastSeq <= f.applied.Load() {
+		f.progressNS.Store(time.Now().UnixNano())
+	}
+
+	sc := store.NewRecordScanner(br, from-1)
+	for sc.Scan() {
+		seq := sc.Seq()
+		if err := f.apply(seq, sc.Event()); err != nil {
+			return fatalApplyError{fmt.Errorf("repl: applying seq %d: %w", seq, err)}
+		}
+		f.applied.Store(seq)
+		if seq > f.leaderSeq.Load() {
+			f.leaderSeq.Store(seq)
+		}
+		f.progressNS.Store(time.Now().UnixNano())
+	}
+	// Clean EOF or torn mid-record cut: either way resume from the last
+	// fully applied sequence on the next connection.
+	if err := sc.Err(); err != nil && err != store.ErrTornRecord {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

@@ -91,6 +91,11 @@ func (p SyncPolicy) String() string {
 // Syncer is the subset of *os.File the WAL needs for durability.
 type Syncer interface{ Sync() error }
 
+// ErrWALClosed is returned by Append/AppendBatch after Close. Callers that
+// race shutdown (a late request, a replication tap) get a stable sentinel
+// instead of a buffered-writer error from a half-torn-down log.
+var ErrWALClosed = errors.New("store: wal closed")
+
 // WALOptions configures a write-ahead log writer.
 type WALOptions struct {
 	// Policy selects the fsync discipline. Without a Syncer (and the
@@ -102,6 +107,14 @@ type WALOptions struct {
 	// Syncer overrides fsync target detection; nil type-asserts the
 	// writer itself.
 	Syncer Syncer
+	// OnRecord, when set, is called once per appended record after the
+	// record has been flushed to the OS (i.e. once the append will be
+	// acknowledged), in sequence order, with the record's 1-based sequence
+	// number and its framed bytes (length prefix, checksum, payload). The
+	// frame is a fresh copy the callee may retain. Called with the WAL's
+	// append lock held: keep it short — replication uses it to feed an
+	// in-memory tail, never to block on I/O.
+	OnRecord func(seq int64, frame []byte)
 }
 
 // WAL is a write-ahead log of task events: every submission, answer and
@@ -117,9 +130,11 @@ type WAL struct {
 	wroteHdr bool
 	writeSeq int64 // appends flushed to the OS
 	lastErr  error // most recent append/sync failure; nil once healthy again
+	closed   bool  // Close called; further appends fail with ErrWALClosed
 
-	policy SyncPolicy
-	syncer Syncer
+	policy   SyncPolicy
+	syncer   Syncer
+	onRecord func(seq int64, frame []byte)
 
 	// syncMu serializes fsyncs for group commit; syncedSeq (guarded by it)
 	// is the highest writeSeq known durable.
@@ -171,11 +186,12 @@ func NewWAL(w io.Writer) *WAL { return NewWALWith(w, WALOptions{Policy: SyncNeve
 // stop the background sync loop and flush the tail.
 func NewWALWith(w io.Writer, opts WALOptions) *WAL {
 	l := &WAL{
-		w:      bufio.NewWriter(w),
-		policy: opts.Policy,
-		syncer: opts.Syncer,
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		w:        bufio.NewWriter(w),
+		policy:   opts.Policy,
+		syncer:   opts.Syncer,
+		onRecord: opts.OnRecord,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	if l.syncer == nil {
 		l.syncer, _ = w.(Syncer)
@@ -285,6 +301,10 @@ func (l *WAL) appendPayloadsTimed(payloads [][]byte, timed bool) (write, sync ti
 		t0 = time.Now()
 	}
 	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, 0, ErrWALClosed
+	}
 	if err := l.writeRecords(payloads); err != nil {
 		l.lastErr = err
 		l.mu.Unlock()
@@ -326,7 +346,22 @@ func (l *WAL) writeRecords(payloads [][]byte) error {
 		l.wroteHdr = true
 		l.bytes += int64(len(walMagic))
 	}
+	var frames [][]byte // retained copies for the OnRecord tap, if installed
+	if l.onRecord != nil {
+		frames = make([][]byte, 0, len(payloads))
+	}
 	for _, payload := range payloads {
+		if frames != nil {
+			frame := make([]byte, walRecordHeader+len(payload))
+			binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+			copy(frame[walRecordHeader:], payload)
+			if _, err := l.w.Write(frame); err != nil {
+				return err
+			}
+			frames = append(frames, frame)
+			continue
+		}
 		var hdr [walRecordHeader]byte
 		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
@@ -342,11 +377,15 @@ func (l *WAL) writeRecords(payloads [][]byte) error {
 	}
 	n := int64(len(payloads))
 	l.n += n
+	base := l.writeSeq
 	l.writeSeq += n
 	for _, payload := range payloads {
 		l.bytes += walRecordHeader + int64(len(payload))
 	}
 	l.dirty = true
+	for i, frame := range frames {
+		l.onRecord(base+int64(i)+1, frame)
+	}
 	return nil
 }
 
@@ -398,11 +437,13 @@ func (l *WAL) syncLoop(interval time.Duration) {
 }
 
 // Close stops the background sync loop and performs a final flush+fsync.
-// It does not close the underlying writer.
+// It does not close the underlying writer. Appends after Close fail with
+// ErrWALClosed.
 func (l *WAL) Close() error {
 	l.stopOnce.Do(func() { close(l.stop) })
 	<-l.done
 	l.mu.Lock()
+	l.closed = true
 	err := l.w.Flush()
 	l.mu.Unlock()
 	if l.syncer != nil && l.policy != SyncNever {
@@ -418,6 +459,17 @@ func (l *WAL) Len() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.n
+}
+
+// LastSeq returns the sequence number of the newest record flushed to the
+// OS: the count of acknowledged appends through this WAL instance. Because
+// the service truncates its WAL at every snapshot, sequence N is the N-th
+// record in the current file — the contract the replication stream's
+// from=<seq> cursor relies on.
+func (l *WAL) LastSeq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeSeq
 }
 
 // Size returns the number of bytes appended through this WAL instance
@@ -704,6 +756,12 @@ func RecoverWALObserved(f *os.File, s *Store, obs func(Event)) (ReplayStats, err
 	}
 	return st, nil
 }
+
+// ApplyEvent applies one decoded WAL event onto the store under the same
+// rules as replay: duplicate submits and answers to unknown tasks are real
+// inconsistency and fail. Replication followers use it to apply records one
+// at a time as they arrive, instead of replaying a whole log.
+func ApplyEvent(s *Store, e Event) error { return applyEvent(s, e) }
 
 func applyEvent(s *Store, e Event) error {
 	if err := validateEvent(e); err != nil {

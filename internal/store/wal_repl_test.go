@@ -1,0 +1,202 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"humancomp/internal/task"
+)
+
+// TestWALAppendAfterClose pins the shutdown contract: a closed WAL refuses
+// appends with a stable error instead of racing the closed syncer or
+// writing records nothing will ever flush.
+func TestWALAppendAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	wal := NewWAL(&buf)
+	if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, 2, 1)})
+	if !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("append after close = %v, want ErrWALClosed", err)
+	}
+	if err := wal.AppendBatch([]Event{{Kind: EventCancel, At: t0, TaskID: 1}}); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("batch append after close = %v, want ErrWALClosed", err)
+	}
+	if got := wal.LastSeq(); got != 1 {
+		t.Fatalf("LastSeq after close = %d, want 1", got)
+	}
+}
+
+// TestRecoverWALReadOnlyFile covers recovery against a file that cannot be
+// truncated. A clean log recovers fine (nothing to cut); a torn log must
+// surface the truncation failure as an error — silently continuing would
+// leave a tail that the next boot replays differently.
+func TestRecoverWALReadOnlyFile(t *testing.T) {
+	dir := t.TempDir()
+
+	build := func(torn bool) string {
+		var buf bytes.Buffer
+		wal := NewWAL(&buf)
+		if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, 1, 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := wal.Append(Event{Kind: EventAnswer, At: t0.Add(time.Minute), TaskID: 1,
+			Answer: &answer1}); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		if torn {
+			data = data[:len(data)-5]
+		}
+		path := filepath.Join(dir, map[bool]string{false: "clean.wal", true: "torn.wal"}[torn])
+		if err := os.WriteFile(path, data, 0o444); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Clean log: read-only recovery succeeds, both events applied.
+	f, err := os.Open(build(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := New()
+	st, err := RecoverWAL(f, s)
+	if err != nil || st.Applied != 2 {
+		t.Fatalf("clean read-only recovery: %+v, %v", st, err)
+	}
+
+	// Torn log: the good prefix applies, but the impossible truncation is
+	// reported, not swallowed.
+	f2, err := os.Open(build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	s2 := New()
+	st2, err := RecoverWAL(f2, s2)
+	if err == nil {
+		t.Fatal("torn tail on read-only file recovered without error")
+	}
+	if st2.Applied != 1 {
+		t.Fatalf("applied = %d, want the 1-record good prefix", st2.Applied)
+	}
+	if _, gerr := s2.Get(1); gerr != nil {
+		t.Fatal("good prefix not applied before the truncation failure")
+	}
+}
+
+// answer1 is a valid answer body shared by recovery tests.
+var answer1 = task.Answer{WorkerID: "alice", Words: []int{3}}
+
+// TestRecordScannerResumesAfterMidRecordCut models a replication stream
+// dropped mid-record: the scanner applies every complete record, reports
+// ErrTornRecord (not a hard failure), and a new scan from the full log
+// resumes at the next sequence with nothing lost or double-applied.
+func TestRecordScannerResumesAfterMidRecordCut(t *testing.T) {
+	var buf bytes.Buffer
+	wal := NewWAL(&buf)
+	const total = 8
+	for i := 1; i <= total; i++ {
+		if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, task.ID(1000+i), 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+
+	// Cut inside the 6th record: keep 5 full records plus a fragment.
+	sc := NewRecordScanner(bytes.NewReader(full), 0)
+	var offsets []int // cumulative frame sizes, after the file header
+	off := len(walMagic)
+	for sc.Scan() {
+		off += len(sc.Frame())
+		offsets = append(offsets, off)
+	}
+	if sc.Err() != nil || len(offsets) != total {
+		t.Fatalf("baseline scan: %d records, err %v", len(offsets), sc.Err())
+	}
+	cut := offsets[4] + (offsets[5]-offsets[4])/2
+
+	applied := map[int64]bool{}
+	sc = NewRecordScanner(bytes.NewReader(full[:cut]), 0)
+	for sc.Scan() {
+		applied[sc.Seq()] = true
+	}
+	if err := sc.Err(); err != ErrTornRecord {
+		t.Fatalf("cut stream err = %v, want ErrTornRecord", err)
+	}
+	if len(applied) != 5 || !applied[5] || applied[6] {
+		t.Fatalf("cut stream applied %v, want exactly seqs 1-5", applied)
+	}
+
+	// Resume: rescan the full log, skipping what is already applied.
+	sc = NewRecordScanner(bytes.NewReader(full), 0)
+	for sc.Scan() {
+		if applied[sc.Seq()] {
+			continue // already applied before the cut
+		}
+		applied[sc.Seq()] = true
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	for i := int64(1); i <= total; i++ {
+		if !applied[i] {
+			t.Fatalf("seq %d missing after resume", i)
+		}
+	}
+}
+
+// TestWALOnRecordTap verifies the replication tap: one call per acked
+// record, in order, 1-based, with frames that round-trip through the
+// record scanner.
+func TestWALOnRecordTap(t *testing.T) {
+	var buf bytes.Buffer
+	var seqs []int64
+	var frames [][]byte
+	wal := NewWALWith(&buf, WALOptions{OnRecord: func(seq int64, frame []byte) {
+		seqs = append(seqs, seq)
+		frames = append(frames, frame)
+	}})
+	if err := wal.Append(Event{Kind: EventSubmit, At: t0, Task: walTask(t, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.AppendBatch([]Event{
+		{Kind: EventSubmit, At: t0, Task: walTask(t, 2, 1)},
+		{Kind: EventCancel, At: t0, TaskID: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{1, 2, 3}; len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 2 || seqs[2] != 3 {
+		t.Fatalf("tap seqs = %v, want %v", seqs, want)
+	}
+	if wal.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d", wal.LastSeq())
+	}
+	// Concatenated tap frames must be a valid headerless record stream —
+	// exactly what the replication source ships.
+	var stream bytes.Buffer
+	for _, f := range frames {
+		stream.Write(f)
+	}
+	sc := NewRecordScanner(&stream, 0)
+	n := 0
+	for sc.Scan() {
+		n++
+		if sc.Seq() != int64(n) {
+			t.Fatalf("scanned seq %d at position %d", sc.Seq(), n)
+		}
+	}
+	if sc.Err() != nil || n != 3 {
+		t.Fatalf("frame stream scan: %d records, err %v", n, sc.Err())
+	}
+}
