@@ -277,7 +277,13 @@ func runCell(servd string, gmp int, shardMode string, cfg loadgen.Config) (wireC
 	listen := fmt.Sprintf("127.0.0.1:%d", port)
 	base := "http://" + listen
 
-	cmd := exec.Command(servd, "-addr", listen, "-shards", shards, "-log-level", "warn")
+	args := []string{"-addr", listen, "-shards", shards, "-log-level", "warn"}
+	if _, ok := cfg.Mix[loadgen.OpSession]; ok {
+		// The session op needs the live session plane; a short matchmaking
+		// wait keeps lone stragglers from idling out the cell.
+		args = append(args, "-sessions", "64", "-match-timeout", "500ms")
+	}
+	cmd := exec.Command(servd, args...)
 	cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", gmp))
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr

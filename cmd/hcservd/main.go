@@ -31,12 +31,15 @@ import (
 	"syscall"
 	"time"
 
+	"humancomp/internal/agree"
 	"humancomp/internal/core"
 	"humancomp/internal/dispatch"
 	"humancomp/internal/repl"
+	"humancomp/internal/session"
 	"humancomp/internal/store"
 	"humancomp/internal/task"
 	"humancomp/internal/trace"
+	"humancomp/internal/vocab"
 )
 
 // version identifies the build on hc_build_info; override with
@@ -128,6 +131,10 @@ func main() {
 
 		follow = flag.String("follow", "", "run as replication follower of the leader at this base URL (requires -wal and -snapshot); writes are rejected with 503 + X-Leader until promotion (POST /v1/repl/promote or SIGHUP)")
 		maxLag = flag.Duration("max-replica-lag", 10*time.Second, "follower readiness degrades (503 on /readyz) when replication staleness exceeds this; 0 disables the check")
+
+		sessItems = flag.Int("sessions", 0, "live session plane: distinct game items players are matched over; 0 disables the /v1/sessions API")
+		matchTO   = flag.Duration("match-timeout", 2*time.Second, "matchmaking wait before a lone player falls back to a replayed partner")
+		roundTO   = flag.Duration("round-timeout", 60*time.Second, "live round deadline; sessions past it end with reason timeout")
 	)
 	flag.Parse()
 
@@ -319,6 +326,35 @@ func main() {
 		}
 	}
 
+	// The live session plane is leader-local, in-memory state: games and
+	// matchmaking queues are not replicated, players reconnect after a
+	// failover. It rides on the final sys (post-WAL rebuild) so session
+	// agreements journal like any other answer.
+	var (
+		sessions      *session.Plane
+		sessionBridge *dispatch.SessionBridge
+	)
+	if *sessItems > 0 {
+		if *follow != "" {
+			fatal("-sessions cannot be combined with -follow (sessions are leader-local)")
+		}
+		sessionBridge = dispatch.NewSessionBridge(sys, *sessItems, 2, 1)
+		sessions, err = session.New(session.Config{
+			MatchTimeout: *matchTO,
+			RoundTimeout: *roundTO,
+			Match:        agree.Exact,
+			Lexicon:      vocab.NewLexicon(vocab.DefaultLexiconConfig()),
+			NextItem:     sessionBridge.NextItem,
+			OnResult:     sessionBridge.OnResult,
+			Seed:         1,
+		})
+		if err != nil {
+			fatal("starting session plane", "err", err)
+		}
+		logger.Info("session plane ready", "items", *sessItems,
+			"match_timeout", *matchTO, "round_timeout", *roundTO)
+	}
+
 	stopExpiry := make(chan struct{})
 	go func() {
 		t := time.NewTicker(*expiry)
@@ -342,6 +378,7 @@ func main() {
 		RequestTimeout:      *requestTO,
 		MaxInFlight:         *maxInflight,
 		IdempotencyCapacity: *idemCap,
+		Sessions:            sessions,
 	}
 	if *follow != "" {
 		opts.Writable = func() bool { return !sys.ReadOnly() }
@@ -455,11 +492,13 @@ func main() {
 	var admin *http.Server
 	if *adminAddr != "" {
 		adminOpts := dispatch.AdminOptions{
-			WAL:         wal,
-			WALRecovery: walStats,
-			Ready:       readyProbe,
-			Start:       startTime,
-			Version:     version,
+			WAL:           wal,
+			WALRecovery:   walStats,
+			Ready:         readyProbe,
+			Start:         startTime,
+			Version:       version,
+			Sessions:      sessions,
+			SessionBridge: sessionBridge,
 		}
 		if replSource != nil {
 			adminOpts.Repl = replState
@@ -513,6 +552,12 @@ func main() {
 	}
 	if replSource != nil {
 		replSource.Close()
+	}
+
+	if sessions != nil {
+		// Closing the plane unblocks parked long-polls so the HTTP drain
+		// below does not wait out their timers.
+		sessions.Close()
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "local", "local (virtual-clock crowd) or http (drive a live hcservd)")
+		mode    = flag.String("mode", "local", "local (virtual-clock crowd), http (drive a live hcservd), session (live paired sessions against hcservd -sessions), or quality")
 		game    = flag.String("game", "esp", "local mode: esp, peekaboom, verbosity, tagatune, matchin, squigl, phetch")
 		players = flag.Int("players", 200, "local mode: population size")
 		hours   = flag.Float64("hours", 24, "local mode: simulated horizon")
@@ -45,6 +45,7 @@ func main() {
 		batch   = flag.Int("batch", 1, "http mode: batch size for submits/leases/answers (1 = single-call API)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 
+		rounds     = flag.Int("rounds", 2, "session mode: rounds each player plays before leaving")
 		redundancy = flag.Int("redundancy", 5, "quality mode: answers per task in the fixed arm")
 		target     = flag.Float64("target", 0.95, "quality mode: posterior confidence that completes a task early")
 		gate       = flag.Bool("gate", false, "quality mode: exit non-zero unless adaptive redundancy saves >=20% answers at <=1 point accuracy cost")
@@ -56,6 +57,14 @@ func main() {
 		runLocal(*game, *players, *hours, *seed)
 	case "http":
 		runHTTP(*url, *tasks, *workers, *batch, *seed)
+	case "session":
+		n := *players
+		if n == 200 {
+			// The shared -players default is sized for local mode; live
+			// HTTP sessions want a smaller concurrent crowd.
+			n = 40
+		}
+		runSession(*url, n, *rounds, *seed)
 	case "quality":
 		n := *tasks
 		if n == 100 && *workers == 8 {

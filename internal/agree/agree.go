@@ -109,6 +109,24 @@ func (r *OutputRound) Submit(player, word int) (matched bool, err error) {
 	return false, nil
 }
 
+// AddTaboo bars word (by its canonical form) for the rest of the round —
+// the live-session path for taboo promotions that land mid-game on other
+// sessions of the same item. Words already entered stay entered: promotion
+// only blocks future guesses, it never retroactively unwinds a round.
+func (r *OutputRound) AddTaboo(word int) {
+	r.taboo[r.lex.Canonical(word)] = true
+}
+
+// Taboo returns the canonical IDs barred this round, in no particular
+// order.
+func (r *OutputRound) Taboo() []int {
+	out := make([]int, 0, len(r.taboo))
+	for w := range r.taboo {
+		out = append(out, w)
+	}
+	return out
+}
+
 // Agreed returns the agreed word and true once the round has matched.
 func (r *OutputRound) Agreed() (int, bool) { return r.agreed, r.done && r.agreed >= 0 }
 

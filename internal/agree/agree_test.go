@@ -305,3 +305,68 @@ func TestMatchModeString(t *testing.T) {
 		t.Error("unknown mode should stringify")
 	}
 }
+
+// TestOutputRoundTabooNonCanonicalExact pins the taboo contract in Exact
+// mode: taboo is by concept even when matching is literal. A round seeded
+// with a non-canonical member of a synonym group must reject every member
+// of the group — canonical, the listed word, and its siblings — while
+// unrelated words still submit fine.
+func TestOutputRoundTabooNonCanonicalExact(t *testing.T) {
+	l := lex(t)
+	a, b := synonymPair(t, l)
+	// Pick whichever of the pair is NOT canonical, so the taboo list
+	// itself holds a non-canonical ID.
+	nonCanon := a
+	if l.Canonical(a) == a {
+		nonCanon = b
+	}
+	r := NewOutputRound(l, Exact, []int{nonCanon})
+	for _, w := range l.Synonyms(nonCanon) {
+		if _, err := r.Submit(0, w); !errors.Is(err, ErrTabooWord) {
+			t.Fatalf("group member %d accepted despite taboo on %d: %v", w, nonCanon, err)
+		}
+	}
+	if _, err := r.Submit(0, l.Canonical(nonCanon)); !errors.Is(err, ErrTabooWord) {
+		t.Fatalf("canonical form accepted despite non-canonical taboo: %v", err)
+	}
+	// An unrelated word still goes through.
+	other := -1
+	for id := 0; id < l.Size(); id++ {
+		if !l.AreSynonyms(id, nonCanon) {
+			other = id
+			break
+		}
+	}
+	if _, err := r.Submit(0, other); err != nil {
+		t.Fatalf("unrelated word rejected: %v", err)
+	}
+}
+
+// TestOutputRoundAddTaboo covers mid-round promotion: AddTaboo blocks the
+// word (and its synonyms) for future guesses without unwinding guesses
+// already entered.
+func TestOutputRoundAddTaboo(t *testing.T) {
+	l := lex(t)
+	a, b := synonymPair(t, l)
+	r := NewOutputRound(l, Exact, nil)
+	if _, err := r.Submit(0, a); err != nil {
+		t.Fatalf("pre-promotion guess rejected: %v", err)
+	}
+	r.AddTaboo(a)
+	if _, err := r.Submit(1, a); !errors.Is(err, ErrTabooWord) {
+		t.Fatalf("promoted word accepted: %v", err)
+	}
+	if _, err := r.Submit(1, b); !errors.Is(err, ErrTabooWord) {
+		t.Fatalf("synonym of promoted word accepted: %v", err)
+	}
+	// The earlier guess is still on the record.
+	if g := r.Guesses(0); len(g) != 1 || g[0] != a {
+		t.Fatalf("Guesses(0) = %v", g)
+	}
+	if len(r.Taboo()) != 1 || r.Taboo()[0] != l.Canonical(a) {
+		t.Fatalf("Taboo() = %v, want [%d]", r.Taboo(), l.Canonical(a))
+	}
+	if r.Done() {
+		t.Fatal("AddTaboo ended the round")
+	}
+}

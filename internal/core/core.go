@@ -592,6 +592,22 @@ func (s *System) NextTaskCtx(ctx context.Context, workerID string) (task.View, q
 	return v, id, err
 }
 
+// LeaseTaskFor leases the specific task id to workerID — the targeted
+// path that lets the session plane attach a completed agreement to the
+// task backing its item, flowing through the same lease/answer machinery
+// (and therefore the same WAL, quality plane, and GWAP accounting) as any
+// worker answer. Eligibility rules are exactly NextTask's: an Open task
+// this worker has not answered, with a redundancy slot free.
+func (s *System) LeaseTaskFor(id task.ID, workerID string) (task.View, queue.LeaseID, error) {
+	if workerID == "" {
+		return task.View{}, 0, errors.New("core: worker ID required")
+	}
+	if s.readOnly.Load() {
+		return task.View{}, 0, ErrReadOnly
+	}
+	return s.queue.LeaseTask(id, workerID, s.clock.Now())
+}
+
 // LeaseBatch leases up to max available tasks to workerID in one call
 // (each queue shard lock taken at most twice per batch). It returns
 // however many grants were available; an empty batch is not an error.

@@ -11,6 +11,7 @@ import (
 
 	"humancomp/internal/core"
 	"humancomp/internal/metrics"
+	"humancomp/internal/session"
 	"humancomp/internal/store"
 	"humancomp/internal/trace"
 )
@@ -35,6 +36,12 @@ type AdminOptions struct {
 	// replicating node, hc_repl_follower_lag_seq and
 	// hc_repl_follower_lag_seconds on followers.
 	Repl func() ReplState
+	// Sessions, when set, contributes live-session-plane metrics:
+	// hc_sessions_open, match latency, replay-mode ratio and friends.
+	Sessions *session.Plane
+	// SessionBridge, when set, exports how many session agreements were
+	// placed as (or dropped before becoming) task answers.
+	SessionBridge *SessionBridge
 	// Start, when set, exports hc_uptime_seconds relative to it.
 	Start time.Time
 	// Version is the build identifier on hc_build_info ("dev" when empty).
@@ -288,6 +295,50 @@ func promFamilies(sys *core.System, api *Server, opts AdminOptions) []metrics.Pr
 		metrics.PromGaugeFamily("hc_gwap_expected_contribution",
 			"Expected outputs per player: throughput x ALP.", gwap.ExpectedContribution),
 	)
+
+	if opts.Sessions != nil {
+		ss := opts.Sessions.Stats()
+		fams = append(fams,
+			metrics.PromGaugeFamily("hc_sessions_open",
+				"Live-session rounds currently running.", float64(ss.Open)),
+			metrics.PromGaugeFamily("hc_sessions_resident",
+				"Sessions held in memory, lingering finished ones included.", float64(ss.Resident)),
+			metrics.PromGaugeFamily("hc_sessions_waiting_players",
+				"Players pooled in the matchmaker right now.", float64(ss.Waiting)),
+			metrics.PromGaugeFamily("hc_sessions_oldest_wait_seconds",
+				"Age of the longest-waiting pooled player.", float64(ss.OldestWaitMs)/1000),
+			metrics.PromCounterFamily("hc_sessions_live_total",
+				"Sessions started with two live players.", ss.Live),
+			metrics.PromCounterFamily("hc_sessions_replay_total",
+				"Sessions started against a replayed transcript.", ss.Replay),
+			metrics.PromGaugeFamily("hc_sessions_replay_ratio",
+				"Fraction of all sessions served in replay mode.", ss.ReplayRatio),
+			metrics.PromCounterFamily("hc_sessions_agreements_total",
+				"Rounds that ended in output agreement.", ss.Agreements),
+			metrics.PromCounterFamily("hc_sessions_timeouts_total",
+				"Rounds ended by the round clock.", ss.Timeouts),
+			metrics.PromCounterFamily("hc_sessions_abandons_total",
+				"Rounds ended by a player leaving.", ss.Abandons),
+			metrics.PromCounterFamily("hc_sessions_no_partner_total",
+				"Joins refused: no partner and no replay transcript.", ss.NoPartner),
+			metrics.PromCounterFamily("hc_sessions_taboo_promotions_total",
+				"Words promoted to taboo by session agreements.", ss.TabooPromotions),
+			metrics.PromGaugeFamily("hc_sessions_replay_stored",
+				"Transcripts held by the replay store.", float64(ss.ReplayStored)),
+			metrics.PromHistogramFamily("hc_sessions_match_wait_seconds",
+				"Time from join to session start (matchmaking latency).",
+				opts.Sessions.MatchWaitHist(), nil),
+		)
+	}
+	if opts.SessionBridge != nil {
+		placed, dropped := opts.SessionBridge.Stats()
+		fams = append(fams,
+			metrics.PromCounterFamily("hc_sessions_answers_placed_total",
+				"Session agreements recorded as task answers.", placed),
+			metrics.PromCounterFamily("hc_sessions_answers_dropped_total",
+				"Session agreements the bridge could not place as answers.", dropped),
+		)
+	}
 
 	if opts.WAL != nil {
 		healthy := 0.0

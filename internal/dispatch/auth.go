@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"humancomp/internal/antifraud"
+	"humancomp/internal/session"
 )
 
 // Options configures optional server hardening. The zero value is an open
@@ -43,6 +44,11 @@ type Options struct {
 	// LeaderHint supplies the current leader's base URL for the X-Leader
 	// header on rejected writes; nil or empty omits the header.
 	LeaderHint func() string
+	// Sessions, when set, mounts the live session plane under
+	// /v1/sessions/* (paired GWAP matchmaking, long-poll event streams,
+	// replay fallback). Nil leaves the routes unregistered; followers run
+	// without a plane since sessions are leader-local in-memory state.
+	Sessions *session.Plane
 }
 
 // limiterStripes is the number of independently locked token-bucket

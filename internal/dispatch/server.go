@@ -48,7 +48,9 @@ import (
 
 	"humancomp/internal/core"
 	"humancomp/internal/jsonx"
+	"humancomp/internal/match"
 	"humancomp/internal/queue"
+	"humancomp/internal/session"
 	"humancomp/internal/task"
 	"humancomp/internal/trace"
 )
@@ -115,13 +117,14 @@ func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }
 
 // Server wires a core.System into an http.Handler.
 type Server struct {
-	sys     *core.System
-	mux     *http.ServeMux
-	handler http.Handler // mux wrapped with the request-ID middleware
-	stats   *endpointStats
-	logger  *slog.Logger
-	idem    *idemCache       // Idempotency-Key replay cache; nil when disabled
-	spans   *trace.SpanPlane // request span plane; nil when disabled
+	sys      *core.System
+	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped with the request-ID middleware
+	stats    *endpointStats
+	logger   *slog.Logger
+	idem     *idemCache       // Idempotency-Key replay cache; nil when disabled
+	spans    *trace.SpanPlane // request span plane; nil when disabled
+	sessions *session.Plane   // live session plane; nil when disabled
 }
 
 // NewServer returns a ready-to-serve open dispatch server over sys. Every
@@ -191,6 +194,23 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	routeIdem("POST /v1/leases/{id}", write(s.handleAnswer))
 	route("DELETE /v1/leases/{id}", write(s.handleRelease))
 	route("GET /v1/stats", s.handleStats)
+	if opts.Sessions != nil {
+		s.sessions = opts.Sessions
+		// Session routes block by design (matchmaking deadline, long-poll
+		// wait): they keep the auth/rate-limit guard and instrumentation
+		// but skip the shedder and request timeout — a parked long-poll is
+		// idle, not stuck, and must not eat the in-flight budget or be cut
+		// off mid-wait.
+		live := func(pattern string, h http.HandlerFunc) {
+			s.mux.HandleFunc(pattern, guard.wrap(s.instrument(pattern, h)))
+		}
+		live("POST /v1/sessions/join", s.handleSessionJoin)
+		live("GET /v1/sessions/{id}/events", s.handleSessionEvents)
+		live("POST /v1/sessions/{id}/guess", s.handleSessionGuess)
+		live("POST /v1/sessions/{id}/pass", s.handleSessionPass)
+		live("POST /v1/sessions/{id}/leave", s.handleSessionLeave)
+		live("GET /v1/sessions/stats", s.handleSessionStats)
+	}
 	s.mux.HandleFunc("GET /v1/metrics", guard.wrap(s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -238,12 +258,20 @@ func statusOf(err error) int {
 		return http.StatusNoContent
 	case errors.Is(err, queue.ErrUnknownLease),
 		errors.Is(err, queue.ErrUnknownTask),
-		errors.Is(err, core.ErrNoPosterior):
+		errors.Is(err, core.ErrNoPosterior),
+		errors.Is(err, session.ErrUnknown):
 		return http.StatusNotFound
+	case errors.Is(err, session.ErrNotPlayer):
+		return http.StatusForbidden
 	case errors.Is(err, task.ErrWrongStatus),
 		errors.Is(err, task.ErrWorkerRepeat),
-		errors.Is(err, queue.ErrDuplicateID):
+		errors.Is(err, queue.ErrDuplicateID),
+		errors.Is(err, session.ErrEnded),
+		errors.Is(err, match.ErrAlreadyWaiting):
 		return http.StatusConflict
+	case errors.Is(err, session.ErrBadWord),
+		errors.Is(err, session.ErrNoPlayer):
+		return http.StatusBadRequest
 	case errors.Is(err, task.ErrEmptyAnswer),
 		errors.Is(err, task.ErrBadChoice),
 		errors.Is(err, task.ErrBadRedundancy),
@@ -251,9 +279,13 @@ func statusOf(err error) int {
 		errors.Is(err, core.ErrWrongKind),
 		errors.Is(err, core.ErrQualityDisabled):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, core.ErrReadOnly):
-		// A follower: the client should retry against the leader (the
-		// route-level guard adds the X-Leader hint).
+	case errors.Is(err, core.ErrReadOnly),
+		errors.Is(err, session.ErrNoPartner),
+		errors.Is(err, session.ErrClosed):
+		// Transient refusals: a follower rejecting a write (the
+		// route-level guard adds the X-Leader hint), or a lone player the
+		// session plane cannot seat yet. The client retry loop backs off
+		// and tries again.
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError

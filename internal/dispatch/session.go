@@ -1,0 +1,203 @@
+package dispatch
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"humancomp/internal/session"
+	"humancomp/internal/trace"
+)
+
+// Session routes, registered only when Options.Sessions is set:
+//
+//	POST /v1/sessions/join        enter matchmaking; blocks until a live
+//	                              partner arrives or the match timeout
+//	                              falls back to a replayed one
+//	GET  /v1/sessions/{id}/events long-poll the session's event stream
+//	POST /v1/sessions/{id}/guess  submit a guess
+//	POST /v1/sessions/{id}/pass   give up on the round
+//	POST /v1/sessions/{id}/leave  disconnect from the session
+//	GET  /v1/sessions/stats       session-plane gauges and counters
+//
+// The join and events routes block by design (matchmaking deadline,
+// long-poll wait), so they are registered without the shedder and
+// request-timeout middleware the request/response routes use: a parked
+// long-poll is idle, not stuck, and must not eat the in-flight budget or
+// be cut off mid-wait. Client disconnects still cancel the handler via
+// the request context.
+
+// maxEventWait caps how long one events long-poll may park server-side;
+// clients simply re-poll. Kept under common LB/proxy idle timeouts.
+const maxEventWait = 55 * time.Second
+
+// defaultEventWait is the long-poll wait when the client sends no
+// wait_ms.
+const defaultEventWait = 25 * time.Second
+
+// SessionJoinRequest is the body of POST /v1/sessions/join.
+type SessionJoinRequest struct {
+	Player string `json:"player"`
+}
+
+// SessionGuessRequest is the body of POST /v1/sessions/{id}/guess.
+type SessionGuessRequest struct {
+	Player string `json:"player"`
+	Word   int    `json:"word"`
+}
+
+// SessionPlayerRequest is the body of pass and leave calls.
+type SessionPlayerRequest struct {
+	Player string `json:"player"`
+}
+
+// SessionEventsResponse is the body returned by the events long-poll. An
+// empty Events with Done=false means the wait expired; re-poll with the
+// same cursor. Done=true means the round is over and the stream is
+// complete up to the returned events.
+type SessionEventsResponse struct {
+	Events []session.Event `json:"events"`
+	Done   bool            `json:"done"`
+}
+
+// SessionPassResponse is the body returned by POST /v1/sessions/{id}/pass.
+type SessionPassResponse struct {
+	Done bool `json:"done"`
+}
+
+// sessionID parses the {id} path component.
+func sessionID(w http.ResponseWriter, r *http.Request) (session.ID, bool) {
+	raw := r.PathValue("id")
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil || n == 0 {
+		badRequest(w, r, "dispatch: invalid session id %q", raw)
+		return 0, false
+	}
+	return session.ID(n), true
+}
+
+func (s *Server) handleSessionJoin(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[SessionJoinRequest](w, r, trace.FromContext(r.Context()), maxSingleBody)
+	if !ok {
+		return
+	}
+	if req.Player == "" {
+		badRequest(w, r, "dispatch: player required")
+		return
+	}
+	info, err := s.sessions.Join(r.Context(), req.Player)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	id, ok := sessionID(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	player := q.Get("player")
+	if player == "" {
+		badRequest(w, r, "dispatch: player required")
+		return
+	}
+	after := 0
+	if raw := q.Get("after"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			badRequest(w, r, "dispatch: invalid after %q", raw)
+			return
+		}
+		after = n
+	}
+	wait := defaultEventWait
+	if raw := q.Get("wait_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms < 0 {
+			badRequest(w, r, "dispatch: invalid wait_ms %q", raw)
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxEventWait {
+			wait = maxEventWait
+		}
+	}
+	evs, done, err := s.sessions.Events(r.Context(), id, player, after, wait)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	if evs == nil {
+		evs = []session.Event{}
+	}
+	writeJSON(w, http.StatusOK, SessionEventsResponse{Events: evs, Done: done})
+}
+
+func (s *Server) handleSessionGuess(w http.ResponseWriter, r *http.Request) {
+	id, ok := sessionID(w, r)
+	if !ok {
+		return
+	}
+	req, ok := decode[SessionGuessRequest](w, r, trace.FromContext(r.Context()), maxSingleBody)
+	if !ok {
+		return
+	}
+	if req.Player == "" {
+		badRequest(w, r, "dispatch: player required")
+		return
+	}
+	res, err := s.sessions.Guess(id, req.Player, req.Word)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSessionPass(w http.ResponseWriter, r *http.Request) {
+	id, ok := sessionID(w, r)
+	if !ok {
+		return
+	}
+	req, ok := decode[SessionPlayerRequest](w, r, trace.FromContext(r.Context()), maxSingleBody)
+	if !ok {
+		return
+	}
+	if req.Player == "" {
+		badRequest(w, r, "dispatch: player required")
+		return
+	}
+	done, err := s.sessions.Pass(id, req.Player)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionPassResponse{Done: done})
+}
+
+func (s *Server) handleSessionLeave(w http.ResponseWriter, r *http.Request) {
+	id, ok := sessionID(w, r)
+	if !ok {
+		return
+	}
+	req, ok := decode[SessionPlayerRequest](w, r, trace.FromContext(r.Context()), maxSingleBody)
+	if !ok {
+		return
+	}
+	if req.Player == "" {
+		badRequest(w, r, "dispatch: player required")
+		return
+	}
+	if err := s.sessions.Leave(id, req.Player); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sessions.Stats())
+}

@@ -32,6 +32,7 @@ import (
 	"humancomp/internal/metrics"
 	"humancomp/internal/queue"
 	"humancomp/internal/rng"
+	"humancomp/internal/session"
 	"humancomp/internal/task"
 )
 
@@ -43,10 +44,20 @@ const (
 	OpSubmitBatch = "submit_batch"
 	OpLeaseBatch  = "lease_batch"
 	OpAnswerBatch = "answer_batch"
+	// OpSession drives the live session plane: each arrival sends two
+	// fresh players into matchmaking, who play a convergent ESP round.
+	// Unlike the other ops, its latency histogram records partner-message
+	// delivery — the time from one player's guess to the partner
+	// observing it over the event long-poll — because that is the
+	// user-facing number for a paired GWAP. Replay fallbacks and
+	// no-partner joins count as Empty; arrivals that produced no delivery
+	// sample (both players observed by partners from other arrivals)
+	// count as Skipped. Requires a server started with -sessions.
+	OpSession = "session"
 )
 
 // Ops lists every operation the engine knows, in canonical order.
-var Ops = []string{OpSubmit, OpLease, OpAnswer, OpSubmitBatch, OpLeaseBatch, OpAnswerBatch}
+var Ops = []string{OpSubmit, OpLease, OpAnswer, OpSubmitBatch, OpLeaseBatch, OpAnswerBatch, OpSession}
 
 // Config parameterizes one load run.
 type Config struct {
@@ -161,6 +172,13 @@ type engine struct {
 	leases    chan queue.LeaseID
 	slow      *slowTracker
 	measuring atomic.Bool
+
+	// Session-op state. sessionSeq names fresh players; sessT carries
+	// guess send-timestamps from seat 0 to the observing seat 1, keyed by
+	// session ID. The map is engine-wide because the matchmaker pairs
+	// players across arrivals.
+	sessionSeq atomic.Int64
+	sessT      sync.Map // session.ID -> time.Time
 }
 
 // slowTracker keeps the K slowest traced calls per operation. The client
@@ -470,6 +488,11 @@ func (e *engine) execute(ctx context.Context, j job) {
 			return
 		}
 		_, err = e.client.AnswerBatchContext(ctx, items)
+	case OpSession:
+		// Does its own accounting: the histogram holds partner-message
+		// latencies, not open-loop latency from the intended start.
+		e.sessionJob(ctx, stats)
+		return
 	}
 	stats.hist.Observe(time.Since(j.intended))
 	switch {
@@ -485,8 +508,171 @@ func (e *engine) execute(ctx context.Context, j job) {
 }
 
 func isShed(err error) bool {
+	return isStatus(err, http.StatusTooManyRequests)
+}
+
+func isStatus(err error, code int) bool {
 	var api *dispatch.APIError
-	return errors.As(err, &api) && api.Status == http.StatusTooManyRequests
+	return errors.As(err, &api) && api.Status == code
+}
+
+// sessionWordSpan bounds the word IDs session players guess; any server
+// lexicon at least this large accepts them (hcservd's default has 2000
+// words).
+const sessionWordSpan = 256
+
+// sessionBudget caps one player's whole session script: join (including
+// the server-side matchmaking wait), play, drain.
+const sessionBudget = 30 * time.Second
+
+// sessionOutcome is one player's result within a session arrival.
+type sessionOutcome struct {
+	lat      time.Duration // partner-message delivery, when measured
+	measured bool
+	replay   bool // replay fallback or no-partner refusal: nothing live to measure
+	err      error
+}
+
+// sessionJob runs one scheduled session arrival: two fresh players join
+// matchmaking concurrently. The matchmaker pairs across arrivals, so each
+// player scripts by seat, not by arrival — seat 0 stamps a send time just
+// before its first guess, seat 1 measures delivery on the first
+// partner_guess event it long-polls, then both converge on a word
+// sequence derived from the session so strangers still agree.
+func (e *engine) sessionJob(ctx context.Context, stats *opStats) {
+	n := e.sessionSeq.Add(1)
+	res := make(chan sessionOutcome, 2)
+	for _, name := range []string{fmt.Sprintf("lg-s%d-a", n), fmt.Sprintf("lg-s%d-b", n)} {
+		go func(name string) { res <- e.playSession(ctx, name) }(name)
+	}
+	sampled := false
+	for i := 0; i < 2; i++ {
+		o := <-res
+		switch {
+		case o.err != nil:
+			stats.errors.Add(1)
+		case o.replay:
+			stats.empty.Add(1)
+		case o.measured:
+			stats.hist.Observe(o.lat)
+			stats.success.Add(1)
+			sampled = true
+		}
+	}
+	if !sampled {
+		stats.skipped.Add(1)
+	}
+}
+
+// playSession runs one player's session from join to round end.
+func (e *engine) playSession(ctx context.Context, name string) sessionOutcome {
+	ctx, cancel := context.WithTimeout(ctx, sessionBudget)
+	defer cancel()
+	info, err := e.client.JoinSessionContext(ctx, name)
+	if err != nil {
+		if isStatus(err, http.StatusServiceUnavailable) {
+			return sessionOutcome{replay: true} // no partner, no transcript yet
+		}
+		return sessionOutcome{err: err}
+	}
+	id := info.Session
+	// Both seats derive the same word sequence from what they share — the
+	// session and its item — so partners converge without coordination.
+	base := (info.Item*31 + int(uint64(id)%97)) % sessionWordSpan
+	if info.Mode != "live" {
+		// A recorded partner: play one guess against the transcript (it
+		// may well agree, keeping the plane's books realistic), then pass
+		// out of the round.
+		if r, err := e.client.SessionGuessContext(ctx, id, name, base); err == nil && !r.Done {
+			_, _ = e.client.SessionPassContext(ctx, id, name)
+		}
+		return sessionOutcome{replay: true}
+	}
+	if info.Seat == 0 {
+		defer e.sessT.Delete(id) // no-op when seat 1 consumed it
+		e.sessT.Store(id, time.Now())
+		if !e.playGuesses(ctx, id, name, base, true) {
+			e.drainSession(ctx, id, name)
+		}
+		return sessionOutcome{}
+	}
+	// Seat 1: watch for the partner's first guess and stamp its delivery.
+	out := sessionOutcome{}
+	after := 1 // cursor past the start event
+	for {
+		evs, done, err := e.client.SessionEventsContext(ctx, id, name, after, 10*time.Second)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		seen := false
+		for _, ev := range evs {
+			after = ev.Seq
+			if ev.Type == session.EvPartnerGuess && ev.Seat != info.Seat {
+				seen = true
+			}
+		}
+		if seen {
+			if t0, ok := e.sessT.LoadAndDelete(id); ok {
+				out.lat = time.Since(t0.(time.Time))
+				out.measured = true
+			}
+			break
+		}
+		if done {
+			return out // partner left or the round timed out before guessing
+		}
+		if ctx.Err() != nil {
+			out.err = ctx.Err()
+			return out
+		}
+	}
+	e.playGuesses(ctx, id, name, base, false)
+	return out
+}
+
+// playGuesses walks the session's shared word sequence. Seat 0 (first)
+// parks after its first accepted guess and lets the partner converge on
+// it; seat 1 keeps guessing until the words match. Taboo and repeat
+// rejections skip to the next word — both seats see the same taboo set,
+// so their accepted words stay aligned. Returns whether the round is
+// known to be over.
+func (e *engine) playGuesses(ctx context.Context, id session.ID, name string, base int, first bool) bool {
+	for k := 0; k < 2*sessionWordSpan; k++ {
+		res, err := e.client.SessionGuessContext(ctx, id, name, (base+k)%sessionWordSpan)
+		if err != nil {
+			return true // round over (409) or transport failure: stop either way
+		}
+		if res.Matched || res.Done {
+			return true
+		}
+		if res.Reason == "limit" {
+			done, _ := e.client.SessionPassContext(ctx, id, name)
+			return done
+		}
+		if res.Accepted && first {
+			return false
+		}
+	}
+	return false
+}
+
+// drainSession long-polls until the round ends; if the player's budget
+// runs out first it leaves, so no session outlives its arrival.
+func (e *engine) drainSession(ctx context.Context, id session.ID, name string) {
+	after := 0
+	for ctx.Err() == nil {
+		evs, done, err := e.client.SessionEventsContext(ctx, id, name, after, 10*time.Second)
+		if err != nil || done {
+			return
+		}
+		for _, ev := range evs {
+			after = ev.Seq
+		}
+	}
+	lctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = e.client.SessionLeaveContext(lctx, id, name)
 }
 
 func (e *engine) payload(key int) task.Payload {

@@ -9,8 +9,11 @@ import (
 	"testing"
 	"time"
 
+	"humancomp/internal/agree"
 	"humancomp/internal/core"
 	"humancomp/internal/dispatch"
+	"humancomp/internal/session"
+	"humancomp/internal/vocab"
 )
 
 // stubAPI is a minimal dispatch-shaped endpoint whose handler the test
@@ -179,6 +182,64 @@ func TestRunAgainstRealServer(t *testing.T) {
 		if got := op.Success + op.Errors + op.Shed + op.Empty; got != op.Count {
 			t.Errorf("%s: classification leak: %d classified, %d counted", op.Op, got, op.Count)
 		}
+	}
+}
+
+// TestSessionOp drives the session op against a real server with a live
+// session plane: arrivals pair up, rounds reach agreement, and the
+// histogram fills with partner-message delivery latencies.
+func TestSessionOp(t *testing.T) {
+	sys := core.New(core.DefaultConfig())
+	bridge := dispatch.NewSessionBridge(sys, 8, 2, 1)
+	plane, err := session.New(session.Config{
+		MatchTimeout: 250 * time.Millisecond,
+		RoundTimeout: 10 * time.Second,
+		SweepEvery:   5 * time.Millisecond,
+		Match:        agree.Exact,
+		Lexicon:      vocab.NewLexicon(vocab.LexiconConfig{Size: 500, ZipfS: 1, SynonymRate: 0, Seed: 1}),
+		NextItem:     bridge.NextItem,
+		OnResult:     bridge.OnResult,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(plane.Close)
+	srv := httptest.NewServer(dispatch.NewServerWith(sys, dispatch.Options{Sessions: plane}))
+	t.Cleanup(srv.Close)
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Rate:        40,
+		Duration:    time.Second,
+		Concurrency: 64,
+		Mix:         map[string]float64{OpSession: 1},
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess OpReport
+	for _, op := range rep.Ops {
+		if op.Op == OpSession {
+			sess = op
+		}
+	}
+	if sess.Errors > 0 {
+		t.Fatalf("session op errors: %+v", sess)
+	}
+	if sess.Success == 0 || sess.Count == 0 {
+		t.Fatalf("no partner-message latencies measured: %+v", sess)
+	}
+	if sess.Latency.P50Ms <= 0 || sess.Latency.P50Ms > 1000 {
+		t.Fatalf("implausible partner-message p50: %+v", sess.Latency)
+	}
+	st := plane.Stats()
+	if st.Agreements == 0 {
+		t.Fatalf("no rounds agreed: %+v", st)
+	}
+	if placed, _ := bridge.Stats(); placed == 0 {
+		t.Fatal("no session answers reached the task plane")
 	}
 }
 

@@ -7,10 +7,15 @@
 // waiting. Replayed partners keep the game playable at low traffic and are
 // also an anti-cheat tool: a player who "agrees" with a replayed stranger
 // was verifiably not colluding.
+//
+// Both Matchmaker and ReplayStore are safe for concurrent use: the session
+// plane drives them from concurrent HTTP handlers.
 package match
 
 import (
 	"errors"
+	"sync"
+	"time"
 
 	"humancomp/internal/rng"
 )
@@ -20,13 +25,17 @@ var ErrAlreadyWaiting = errors.New("match: player already in the waiting pool")
 
 // Matchmaker pairs players uniformly at random from its waiting pool.
 type Matchmaker struct {
+	mu      sync.Mutex
 	src     *rng.Source
 	waiting []string
-	index   map[string]int // player -> position in waiting
+	index   map[string]int       // player -> position in waiting
+	since   map[string]time.Time // player -> when they entered the pool
 	played  map[[2]string]int
+	now     func() time.Time
 	// MaxRepeats bounds how many times the same two players may be paired;
 	// 0 means unlimited. Bounding repeats frustrates colluders who try to
-	// meet by enqueueing simultaneously from two browsers.
+	// meet by enqueueing simultaneously from two browsers. Set it before
+	// the matchmaker sees traffic.
 	MaxRepeats int
 }
 
@@ -35,8 +44,21 @@ func NewMatchmaker(src *rng.Source) *Matchmaker {
 	return &Matchmaker{
 		src:    src.Split(),
 		index:  make(map[string]int),
+		since:  make(map[string]time.Time),
 		played: make(map[[2]string]int),
+		now:    time.Now,
 	}
+}
+
+// SetNow overrides the wall clock used for requeue-age accounting.
+// Simulations and tests call it before traffic; nil restores time.Now.
+func (m *Matchmaker) SetNow(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	m.mu.Lock()
+	m.now = now
+	m.mu.Unlock()
 }
 
 func pairKey(a, b string) [2]string {
@@ -48,7 +70,15 @@ func pairKey(a, b string) [2]string {
 
 // Enqueue adds id to the pool. If a compatible partner is waiting, both are
 // removed and the partner is returned with ok == true; otherwise id waits.
+//
+// Note that "otherwise id waits" can mean waiting indefinitely: when every
+// current candidate is excluded by MaxRepeats, id stays pooled even as new
+// arrivals keep pairing around it. Callers that must not strand players
+// (the session plane's replay fallback) watch WaitingSince and pull
+// over-age players out with Leave.
 func (m *Matchmaker) Enqueue(id string) (partner string, ok bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, waiting := m.index[id]; waiting {
 		return "", false, ErrAlreadyWaiting
 	}
@@ -66,6 +96,7 @@ func (m *Matchmaker) Enqueue(id string) (partner string, ok bool, err error) {
 	if len(candidates) == 0 {
 		m.index[id] = len(m.waiting)
 		m.waiting = append(m.waiting, id)
+		m.since[id] = m.now()
 		return "", false, nil
 	}
 	i := candidates[m.src.Intn(len(candidates))]
@@ -78,6 +109,8 @@ func (m *Matchmaker) Enqueue(id string) (partner string, ok bool, err error) {
 // Leave removes id from the waiting pool (the player closed the tab).
 // It reports whether the player was waiting.
 func (m *Matchmaker) Leave(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	i, ok := m.index[id]
 	if !ok {
 		return false
@@ -86,6 +119,8 @@ func (m *Matchmaker) Leave(id string) bool {
 	return true
 }
 
+// removeAt deletes the waiting entry at position i, moving the last entry
+// into its slot. Caller holds m.mu.
 func (m *Matchmaker) removeAt(i int) {
 	id := m.waiting[i]
 	last := len(m.waiting) - 1
@@ -93,13 +128,47 @@ func (m *Matchmaker) removeAt(i int) {
 	m.index[m.waiting[i]] = i
 	m.waiting = m.waiting[:last]
 	delete(m.index, id)
-	if i == last {
-		return
+	delete(m.since, id)
+}
+
+// WaitingSince returns how long id has been in the pool, and false when id
+// is not waiting. The session plane uses it to route starved players —
+// those every candidate avoids under MaxRepeats — into replay mode.
+func (m *Matchmaker) WaitingSince(id string) (time.Duration, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	at, ok := m.since[id]
+	if !ok {
+		return 0, false
 	}
+	return m.now().Sub(at), true
+}
+
+// OldestWait returns the longest current requeue age across the pool, or
+// zero when nobody is waiting — the starvation gauge on /metrics.
+func (m *Matchmaker) OldestWait() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldest time.Duration
+	now := m.now()
+	for _, at := range m.since {
+		if d := now.Sub(at); d > oldest {
+			oldest = d
+		}
+	}
+	return oldest
 }
 
 // Waiting returns the number of players in the pool.
-func (m *Matchmaker) Waiting() int { return len(m.waiting) }
+func (m *Matchmaker) Waiting() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiting)
+}
 
 // TimesPlayed returns how many times a and b have been paired.
-func (m *Matchmaker) TimesPlayed(a, b string) int { return m.played[pairKey(a, b)] }
+func (m *Matchmaker) TimesPlayed(a, b string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.played[pairKey(a, b)]
+}

@@ -3,7 +3,9 @@ package match
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"humancomp/internal/rng"
 )
@@ -188,6 +190,120 @@ func TestReplayStorePanics(t *testing.T) {
 		}
 	}()
 	NewReplayStore(rng.New(1), 0)
+}
+
+func TestWaitingSince(t *testing.T) {
+	m := NewMatchmaker(rng.New(9))
+	now := time.Unix(1000, 0)
+	m.SetNow(func() time.Time { return now })
+	if _, ok := m.WaitingSince("a"); ok {
+		t.Fatal("WaitingSince reported a player who never enqueued")
+	}
+	_, _, _ = m.Enqueue("a")
+	now = now.Add(3 * time.Second)
+	if d, ok := m.WaitingSince("a"); !ok || d != 3*time.Second {
+		t.Fatalf("WaitingSince(a) = %v, %v", d, ok)
+	}
+	if d := m.OldestWait(); d != 3*time.Second {
+		t.Fatalf("OldestWait = %v", d)
+	}
+	// Pairing clears the age.
+	_, _, _ = m.Enqueue("b")
+	if _, ok := m.WaitingSince("a"); ok {
+		t.Fatal("WaitingSince survived pairing")
+	}
+	if d := m.OldestWait(); d != 0 {
+		t.Fatalf("OldestWait = %v with empty pool", d)
+	}
+	// Leaving clears it too.
+	_, _, _ = m.Enqueue("c")
+	m.Leave("c")
+	if _, ok := m.WaitingSince("c"); ok {
+		t.Fatal("WaitingSince survived Leave")
+	}
+}
+
+// TestStarvedPlayerAgeKeepsGrowing pins the starvation mode the session
+// plane must route around: a player whose only candidates are excluded by
+// MaxRepeats stays pooled while fresh pairs form around them, and
+// WaitingSince is the signal that they need a replay partner.
+func TestStarvedPlayerAgeKeepsGrowing(t *testing.T) {
+	m := NewMatchmaker(rng.New(10))
+	m.MaxRepeats = 1
+	now := time.Unix(0, 0)
+	m.SetNow(func() time.Time { return now })
+	// x and y exhaust their repeat budget, then both requeue.
+	_, _, _ = m.Enqueue("x")
+	if _, ok, _ := m.Enqueue("y"); !ok {
+		t.Fatal("first pairing failed")
+	}
+	_, _, _ = m.Enqueue("x")
+	if _, ok, _ := m.Enqueue("y"); ok {
+		t.Fatal("repeat pairing exceeded MaxRepeats")
+	}
+	// Fresh players keep pairing with each other around the starved pair:
+	// exhaust the fresh players' budgets against x and y up front so the
+	// only possible pairing is fresh-fresh.
+	for _, fresh := range []string{"f1", "f2"} {
+		m.played[pairKey(fresh, "x")] = 1
+		m.played[pairKey(fresh, "y")] = 1
+	}
+	now = now.Add(time.Minute)
+	_, _, _ = m.Enqueue("f1")
+	if p, ok, _ := m.Enqueue("f2"); !ok || p != "f1" {
+		t.Fatalf("fresh pair: partner=%q ok=%v", p, ok)
+	}
+	if d, ok := m.WaitingSince("x"); !ok || d < time.Minute {
+		t.Fatalf("starved player age = %v, %v; want >= 1m", d, ok)
+	}
+}
+
+// TestMatchmakerChurnRace hammers Enqueue/Leave/accessors from many
+// goroutines under -race and then checks the index/waiting bookkeeping is
+// still exactly consistent.
+func TestMatchmakerChurnRace(t *testing.T) {
+	m := NewMatchmaker(rng.New(11))
+	m.MaxRepeats = 2
+	const workers = 8
+	const rounds = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Two goroutines share each identity, so concurrent
+				// enqueue/leave of the same player really happens.
+				id := fmt.Sprintf("p%d-%d", w/2, i%13)
+				if _, ok, err := m.Enqueue(id); err == nil && !ok {
+					_, _ = m.WaitingSince(id)
+					if i%3 == 0 {
+						m.Leave(id)
+					}
+				}
+				_ = m.Waiting()
+				_ = m.OldestWait()
+				_ = m.TimesPlayed("p0-0", "p1-0")
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.index) != len(m.waiting) {
+		t.Fatalf("index has %d entries, waiting has %d", len(m.index), len(m.waiting))
+	}
+	if len(m.since) != len(m.waiting) {
+		t.Fatalf("since has %d entries, waiting has %d", len(m.since), len(m.waiting))
+	}
+	for i, id := range m.waiting {
+		if m.index[id] != i {
+			t.Fatalf("index[%q] = %d, want %d", id, m.index[id], i)
+		}
+		if _, ok := m.since[id]; !ok {
+			t.Fatalf("waiting player %q has no since entry", id)
+		}
+	}
 }
 
 func BenchmarkEnqueuePair(b *testing.B) {

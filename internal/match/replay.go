@@ -1,6 +1,10 @@
 package match
 
-import "humancomp/internal/rng"
+import (
+	"sync"
+
+	"humancomp/internal/rng"
+)
 
 // ReplaySession is one recorded single-sided game transcript: the ordered
 // guesses a real player made on an item in a past two-player game.
@@ -10,15 +14,20 @@ type ReplaySession struct {
 	Words  []int
 }
 
-// ReplayStore keeps a bounded number of recorded sessions per item.
-// When full, a new recording evicts a uniformly random old one, keeping the
-// store an unbiased sample of past play.
+// ReplayStore keeps a bounded number of recorded sessions per item. Each
+// item's list is a true reservoir sample over every recording ever offered
+// for it: once full, the t-th recording replaces a stored one with
+// probability perItem/t, so the store stays an unbiased sample of all past
+// play rather than drifting toward recent sessions. Safe for concurrent
+// use.
 type ReplayStore struct {
+	mu       sync.Mutex
 	src      *rng.Source
 	perItem  int
 	sessions map[int][]ReplaySession
-	items    []int // keys of sessions, for O(1) random item choice
-	total    int
+	seen     map[int]int // recordings ever offered per item, drives the reservoir
+	items    []int       // keys of sessions, for O(1) random item choice
+	total    int         // recordings currently stored, kept exact for Size
 }
 
 // NewReplayStore returns a store keeping at most perItem recordings per item.
@@ -30,30 +39,45 @@ func NewReplayStore(src *rng.Source, perItem int) *ReplayStore {
 		src:      src.Split(),
 		perItem:  perItem,
 		sessions: make(map[int][]ReplaySession),
+		seen:     make(map[int]int),
 	}
 }
 
 // Record stores a session transcript. Empty transcripts are ignored: a
-// partner that never guesses is useless for replayed play.
+// partner that never guesses is useless for replayed play. Once an item's
+// list is full, Algorithm R keeps it a uniform sample: the t-th offered
+// recording is admitted with probability perItem/t, evicting a uniformly
+// random resident.
 func (s *ReplayStore) Record(sess ReplaySession) {
 	if len(sess.Words) == 0 {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	list := s.sessions[sess.Item]
 	if len(list) == 0 {
 		s.items = append(s.items, sess.Item)
 	}
+	s.seen[sess.Item]++
 	if len(list) < s.perItem {
 		s.sessions[sess.Item] = append(list, sess)
 		s.total++
 		return
 	}
-	list[s.src.Intn(len(list))] = sess
+	if j := s.src.Intn(s.seen[sess.Item]); j < s.perItem {
+		list[j] = sess
+	}
 }
 
 // Get returns a uniformly random recorded session for item, or ok == false
 // when none exist.
 func (s *ReplayStore) Get(item int) (ReplaySession, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(item)
+}
+
+func (s *ReplayStore) getLocked(item int) (ReplaySession, bool) {
 	list := s.sessions[item]
 	if len(list) == 0 {
 		return ReplaySession{}, false
@@ -65,23 +89,35 @@ func (s *ReplayStore) Get(item int) (ReplaySession, bool) {
 // ok == false when the store is empty. Single-player mode serves whatever
 // items have transcripts, not a random corpus item.
 func (s *ReplayStore) Any() (ReplaySession, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.items) == 0 {
 		return ReplaySession{}, false
 	}
 	item := s.items[s.src.Intn(len(s.items))]
-	return s.Get(item)
+	return s.getLocked(item)
 }
 
 // Items returns the number of items with at least one recording.
-func (s *ReplayStore) Items() int { return len(s.sessions) }
+func (s *ReplayStore) Items() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
 
 // Size returns the total number of stored recordings.
 func (s *ReplayStore) Size() int {
-	n := 0
-	for _, l := range s.sessions {
-		n += len(l)
-	}
-	return n
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Seen returns how many recordings have ever been offered for item,
+// including those the reservoir later evicted.
+func (s *ReplayStore) Seen(item int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen[item]
 }
 
 // Replayer steps through a recorded session as the "pre-recorded partner"
@@ -107,3 +143,6 @@ func (r *Replayer) Next() (word int, ok bool) {
 
 // Remaining returns how many recorded guesses are left.
 func (r *Replayer) Remaining() int { return len(r.sess.Words) - r.next }
+
+// Session returns the transcript being replayed.
+func (r *Replayer) Session() ReplaySession { return r.sess }

@@ -483,6 +483,31 @@ func (q *Queue) leaseBestLocked(sh *qshard, workerID string, now time.Time, tr t
 	return task.View{}, 0, false
 }
 
+// LeaseTask leases the specific task id to workerID, bypassing priority
+// selection — the targeted-lease path the live session plane uses to turn
+// a completed agreement into answers on the task backing that item. The
+// task must be eligible under exactly the Lease rules (Open, unanswered by
+// this worker, redundancy slot free); an ineligible-but-known task returns
+// ErrEmpty, an unknown one ErrUnknownTask.
+func (q *Queue) LeaseTask(id task.ID, workerID string, now time.Time) (task.View, LeaseID, error) {
+	if workerID == "" {
+		return task.View{}, 0, ErrEmpty
+	}
+	sh := q.shardFor(id)
+	sh.lock()
+	defer sh.mu.Unlock()
+	q.expireShardLocked(sh, now)
+	e, ok := sh.entries[id]
+	if !ok {
+		return task.View{}, 0, ErrUnknownTask
+	}
+	if !q.eligibleLocked(e, workerID) {
+		return task.View{}, 0, ErrEmpty
+	}
+	v, lid := q.leaseEntryLocked(sh, e, workerID, now, trace.TraceID{})
+	return v, lid, nil
+}
+
 // LeaseGrant is one lease handed out by LeaseBatch: the task snapshot and
 // the lease that must be answered or released.
 type LeaseGrant struct {

@@ -434,3 +434,69 @@ func TestFinishEarly(t *testing.T) {
 		t.Fatal("finished task still leasable")
 	}
 }
+
+// TestLeaseTaskTargeted covers the targeted-lease path the session plane
+// uses: lease a specific task regardless of priority order, honor the
+// same eligibility rules as Lease, and feed the normal Complete path.
+func TestLeaseTaskTargeted(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 9, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Add(newTask(t, 2, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Target the low-priority task directly; Lease would have picked 1.
+	v, lease, err := q.LeaseTask(2, "alice", t0)
+	if err != nil || v.ID != 2 {
+		t.Fatalf("LeaseTask(2) = %v, %v", v.ID, err)
+	}
+	// Same worker cannot double-hold the task.
+	if _, _, err := q.LeaseTask(2, "alice", t0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("double targeted lease: %v", err)
+	}
+	// A second worker takes the remaining redundancy slot; a third is
+	// refused.
+	if _, _, err := q.LeaseTask(2, "bob", t0); err != nil {
+		t.Fatalf("second worker: %v", err)
+	}
+	if _, _, err := q.LeaseTask(2, "carol", t0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("over-redundancy targeted lease: %v", err)
+	}
+	// Unknown task and empty worker are rejected.
+	if _, _, err := q.LeaseTask(99, "alice", t0); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("unknown task: %v", err)
+	}
+	if _, _, err := q.LeaseTask(1, "", t0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty worker: %v", err)
+	}
+	// The targeted lease completes like any other.
+	res, err := q.Complete(lease, answer(7), t0.Add(time.Second))
+	if err != nil || res.TaskID != 2 || res.Answer.WorkerID != "alice" {
+		t.Fatalf("Complete = %+v, %v", res, err)
+	}
+	// A worker who already answered is no longer eligible.
+	if _, _, err := q.LeaseTask(2, "alice", t0.Add(2*time.Second)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("answered worker re-leased: %v", err)
+	}
+}
+
+// TestLeaseTaskExpiresStaleLeases checks a targeted lease reclaims expired
+// leases on its shard first, so a crashed holder does not block the slot.
+func TestLeaseTaskExpiresStaleLeases(t *testing.T) {
+	q := New(time.Minute)
+	if err := q.Add(newTask(t, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.LeaseTask(1, "ghost", t0); err != nil {
+		t.Fatal(err)
+	}
+	// Before expiry the slot is taken.
+	if _, _, err := q.LeaseTask(1, "alice", t0.Add(time.Second)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty while leased, got %v", err)
+	}
+	// After the ghost's lease expires the targeted lease succeeds.
+	if _, _, err := q.LeaseTask(1, "alice", t0.Add(2*time.Minute)); err != nil {
+		t.Fatalf("post-expiry targeted lease: %v", err)
+	}
+}

@@ -1,0 +1,966 @@
+// Package session is the live session plane for paired GWAPs: it turns
+// the in-process two-player machinery (match.Matchmaker, match.ReplayStore,
+// agree.OutputRound, agree.TabooTracker) into a server-side real-time
+// service the dispatch layer exposes over HTTP.
+//
+// The life of a session:
+//
+//	join ──► matchmaker ──paired──► live session (two strangers)
+//	            │
+//	            └─no partner within MatchTimeout──► replay session
+//	               (pre-recorded partner from the replay store, per the
+//	                paper; ErrNoPartner when no transcript exists yet)
+//
+// A session is one timed ESP output-agreement round: players submit
+// guesses, the round matches them server-side, taboo promotions from
+// concurrent games on the same item land mid-round, and the round ends on
+// agreement, double pass, guess exhaustion, a player leaving, or the
+// monotonic round deadline. Completed live games are recorded into the
+// replay store (feeding future lone players) and reported through
+// Config.OnResult, which the dispatch bridge turns into answers on the
+// quality plane.
+//
+// Partner events are delivered by long-polling Events with a cursor. In
+// the ESP tradition a partner's guess content is hidden — the event says
+// a guess happened, not what it was — so the event stream cannot be used
+// to copy the partner; only the agreed word is revealed.
+//
+// Per-session state lives in power-of-two lock shards keyed by session ID
+// (the core's shard discipline): every mutation takes exactly one shard
+// lock, and cross-session work (taboo propagation, sweeping) never holds
+// two shard locks at once.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"humancomp/internal/agree"
+	"humancomp/internal/match"
+	"humancomp/internal/metrics"
+	"humancomp/internal/rng"
+	"humancomp/internal/vocab"
+)
+
+// Errors returned by plane operations.
+var (
+	ErrClosed    = errors.New("session: plane closed")
+	ErrUnknown   = errors.New("session: unknown session")
+	ErrNotPlayer = errors.New("session: player not part of this session")
+	ErrEnded     = errors.New("session: round already ended")
+	ErrNoPartner = errors.New("session: no partner arrived and no replay transcript is available")
+	ErrNoPlayer  = errors.New("session: player id required")
+	ErrBadWord   = errors.New("session: word outside the lexicon")
+)
+
+// ID identifies one session.
+type ID uint64
+
+// Mode distinguishes live two-player sessions from replayed ones.
+type Mode int
+
+const (
+	// Live pairs two concurrent strangers.
+	Live Mode = iota
+	// Replay pairs a lone player with a pre-recorded transcript.
+	Replay
+)
+
+// String returns "live" or "replay".
+func (m Mode) String() string {
+	if m == Replay {
+		return "replay"
+	}
+	return "live"
+}
+
+// Event types delivered on the per-session stream.
+const (
+	// EvStart opens every stream: the session exists and the round runs.
+	EvStart = "start"
+	// EvPartnerGuess says the seat entered an accepted guess. The word is
+	// deliberately omitted: ESP partners cannot see each other's guesses.
+	EvPartnerGuess = "partner_guess"
+	// EvAgreed reveals the agreed word; the round is over.
+	EvAgreed = "agreed"
+	// EvTaboo carries words promoted to taboo mid-round by concurrent
+	// agreements on the same item.
+	EvTaboo = "taboo"
+	// EvPass says the seat gave up on the round.
+	EvPass = "pass"
+	// EvPartnerDone says a replayed partner's transcript is exhausted.
+	EvPartnerDone = "partner_done"
+	// EvEnd closes every stream, with the reason the round ended.
+	EvEnd = "end"
+)
+
+// Round-end reasons carried by EvEnd and Result.Reason.
+const (
+	EndAgreed    = "agreed"
+	EndPassed    = "passed"
+	EndTimeout   = "timeout"
+	EndLeft      = "partner_left"
+	EndExhausted = "exhausted"
+)
+
+// Event is one entry on a session's ordered stream. Seq starts at 1 and
+// is dense; a client resumes with the last Seq it saw as the cursor.
+type Event struct {
+	Seq    int    `json:"seq"`
+	Type   string `json:"type"`
+	Seat   int    `json:"seat"` // acting seat; -1 for system events
+	Word   int    `json:"word,omitempty"`
+	Words  []int  `json:"words,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	AtMs   int64  `json:"at_ms"` // milliseconds since session start
+}
+
+// Result is one finished session, delivered to Config.OnResult outside
+// all plane locks.
+type Result struct {
+	Session  ID
+	Item     int
+	Mode     Mode
+	Players  [2]string // seat 1 is "replay:<name>" in replay mode
+	Agreed   bool
+	Word     int // the agreed word; -1 when !Agreed
+	Reason   string
+	Duration time.Duration
+}
+
+// JoinInfo is what a player learns when their session starts.
+type JoinInfo struct {
+	Session  ID            `json:"session"`
+	Seat     int           `json:"seat"`
+	Mode     string        `json:"mode"`
+	Item     int           `json:"item"`
+	Taboo    []int         `json:"taboo,omitempty"`
+	Deadline time.Duration `json:"deadline"` // time left on the round clock
+	Wait     time.Duration `json:"wait"`     // time spent matchmaking
+}
+
+// GuessResult is the outcome of one guess submission.
+type GuessResult struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"` // "taboo" | "repeat" | "limit"
+	Matched  bool   `json:"matched"`
+	Word     int    `json:"word,omitempty"` // agreed word when Matched
+	Guesses  int    `json:"guesses"`        // caller's accepted guesses so far
+	Done     bool   `json:"done"`
+}
+
+// Config parameterizes a Plane. The zero value of every field except
+// Lexicon and NextItem is usable.
+type Config struct {
+	// Shards is the number of session shards, rounded up to a power of
+	// two; <= 0 selects GOMAXPROCS rounded up, capped at 64.
+	Shards int
+	// MatchTimeout is how long Join waits for a live partner before
+	// falling back to replay mode. Default 2s.
+	MatchTimeout time.Duration
+	// RoundTimeout is the round clock; deadlines are monotonic (Go's
+	// time.Time carries a monotonic reading). Default 60s.
+	RoundTimeout time.Duration
+	// EndLinger keeps finished sessions queryable so both players can
+	// collect the final events before the sweeper frees the state.
+	// Default 10s.
+	EndLinger time.Duration
+	// SweepEvery is the sweeper cadence for round timeouts and linger
+	// expiry. Default 250ms.
+	SweepEvery time.Duration
+	// MaxGuesses bounds accepted guesses per seat per round. Default 12.
+	MaxGuesses int
+	// Match selects exact or canonical word matching.
+	Match agree.MatchMode
+	// PromoteAfter is the agreement count that promotes a word to taboo
+	// for its item (default 2); RetireAt retires an item once it has that
+	// many taboo words (default 6, 0 disables).
+	PromoteAfter int
+	RetireAt     int
+	// ReplayPerItem bounds stored transcripts per item (reservoir
+	// sampled). Default 8.
+	ReplayPerItem int
+	// MaxRepeats bounds how often the same two players may be paired; 0
+	// means unlimited.
+	MaxRepeats int
+	// Seed fixes the matchmaker and replay-store randomness.
+	Seed uint64
+	// Lexicon canonicalizes words for matching and taboo. Required.
+	Lexicon *vocab.Lexicon
+	// NextItem supplies the item a fresh live pairing plays on. Required.
+	NextItem func() int
+	// OnResult receives every finished session, outside all plane locks.
+	// Optional.
+	OnResult func(Result)
+	// Now overrides the clock; tests use it. Default time.Now.
+	Now func() time.Time
+}
+
+// session is one open or lingering round. All fields are guarded by the
+// owning shard's lock; the notify channel is replaced (old one closed)
+// each time events grows, which is the long-poll broadcast.
+type session struct {
+	id       ID
+	mode     Mode
+	item     int
+	players  [2]string
+	round    *agree.OutputRound
+	replayer *match.Replayer
+	start    time.Time
+	deadline time.Time
+	endedAt  time.Time
+	events   []Event
+	notify   chan struct{}
+	guesses  [2]int
+	passed   [2]bool
+	replayed bool // EvPartnerDone already emitted
+	done     bool
+	reason   string
+}
+
+func (s *session) seatOf(player string) int {
+	switch player {
+	case s.players[0]:
+		return 0
+	case s.players[1]:
+		return 1
+	}
+	return -1
+}
+
+// shard is one independently locked slice of the session table.
+type shard struct {
+	mu   sync.Mutex
+	sess map[ID]*session
+}
+
+// waiter is a player blocked in Join waiting for a partner.
+type waiter struct {
+	ch    chan JoinInfo
+	since time.Time
+}
+
+// Plane is the live session manager. Safe for concurrent use.
+type Plane struct {
+	cfg    Config
+	shards []*shard
+	mask   uint64
+	nextID atomic.Uint64
+
+	mm      *match.Matchmaker
+	replays *match.ReplayStore
+
+	tabooMu sync.Mutex
+	taboo   *agree.TabooTracker
+
+	itemMu sync.Mutex
+	byItem map[int]map[ID]struct{} // open sessions per item, for taboo propagation
+
+	joinMu  sync.Mutex
+	waiters map[string]*waiter
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	closed  atomic.Bool
+
+	// Counters behind Stats and the admin /metrics families.
+	open       atomic.Int64
+	liveTotal  atomic.Int64
+	replTotal  atomic.Int64
+	agreements atomic.Int64
+	timeouts   atomic.Int64
+	passes     atomic.Int64
+	abandons   atomic.Int64
+	exhausted  atomic.Int64
+	noPartner  atomic.Int64
+	promotions atomic.Int64
+	matchWait  metrics.LatencyHist
+}
+
+// New returns a running Plane; callers must Close it to stop the sweeper.
+func New(cfg Config) (*Plane, error) {
+	if cfg.Lexicon == nil {
+		return nil, errors.New("session: Config.Lexicon is required")
+	}
+	if cfg.NextItem == nil {
+		return nil, errors.New("session: Config.NextItem is required")
+	}
+	if cfg.MatchTimeout <= 0 {
+		cfg.MatchTimeout = 2 * time.Second
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 60 * time.Second
+	}
+	if cfg.EndLinger <= 0 {
+		cfg.EndLinger = 10 * time.Second
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = 250 * time.Millisecond
+	}
+	if cfg.MaxGuesses <= 0 {
+		cfg.MaxGuesses = 12
+	}
+	if cfg.PromoteAfter <= 0 {
+		cfg.PromoteAfter = 2
+	}
+	if cfg.RetireAt < 0 {
+		cfg.RetireAt = 0
+	} else if cfg.RetireAt == 0 {
+		cfg.RetireAt = 6
+	}
+	if cfg.ReplayPerItem <= 0 {
+		cfg.ReplayPerItem = 8
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 64 {
+			n = 64
+		}
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	src := rng.New(cfg.Seed + 1)
+	pl := &Plane{
+		cfg:     cfg,
+		shards:  make([]*shard, p),
+		mask:    uint64(p - 1),
+		mm:      match.NewMatchmaker(src),
+		replays: match.NewReplayStore(src, cfg.ReplayPerItem),
+		taboo:   agree.NewTabooTracker(cfg.Lexicon, cfg.PromoteAfter, cfg.RetireAt),
+		byItem:  make(map[int]map[ID]struct{}),
+		waiters: make(map[string]*waiter),
+		stop:    make(chan struct{}),
+	}
+	pl.mm.MaxRepeats = cfg.MaxRepeats
+	pl.mm.SetNow(cfg.Now)
+	for i := range pl.shards {
+		pl.shards[i] = &shard{sess: make(map[ID]*session)}
+	}
+	pl.stopped.Add(1)
+	go pl.sweep()
+	return pl, nil
+}
+
+// Close stops the sweeper. Open sessions stay readable but no longer time
+// out; the dispatch server closes its listener first, so nothing arrives
+// after Close in practice.
+func (p *Plane) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.stop)
+		p.stopped.Wait()
+	}
+}
+
+// Replays exposes the replay store, so servers can pre-seed transcripts
+// (e.g. from a previous process's recordings) before traffic arrives.
+func (p *Plane) Replays() *match.ReplayStore { return p.replays }
+
+func (p *Plane) now() time.Time        { return p.cfg.Now() }
+func (p *Plane) shardFor(id ID) *shard { return p.shards[uint64(id)&p.mask] }
+
+func (p *Plane) tabooFor(item int) []int {
+	p.tabooMu.Lock()
+	defer p.tabooMu.Unlock()
+	return p.taboo.TabooFor(item)
+}
+
+// Join enters player into the matchmaker and blocks until a session
+// starts: paired with a live stranger, or — when no partner arrives
+// within MatchTimeout — against a replayed transcript. ErrNoPartner means
+// the deadline passed and the replay store is empty; the caller should
+// retry later. Cancelling ctx withdraws the player cleanly.
+func (p *Plane) Join(ctx context.Context, player string) (JoinInfo, error) {
+	if player == "" {
+		return JoinInfo{}, ErrNoPlayer
+	}
+	if p.closed.Load() {
+		return JoinInfo{}, ErrClosed
+	}
+	joinStart := p.now()
+	p.joinMu.Lock()
+	partner, ok, err := p.mm.Enqueue(player)
+	if err != nil {
+		p.joinMu.Unlock()
+		return JoinInfo{}, err
+	}
+	if ok {
+		// This player is the later arrival: start the live session and
+		// hand the blocked partner their seat. The send happens before
+		// the waiter entry is deleted and the channel is buffered, so
+		// the timeout path below can always drain it after losing the
+		// race.
+		infoA, infoB := p.startLive(partner, player)
+		if w := p.waiters[partner]; w != nil {
+			infoA.Wait = p.now().Sub(w.since)
+			p.matchWait.Observe(infoA.Wait)
+			w.ch <- infoA
+			delete(p.waiters, partner)
+		}
+		p.joinMu.Unlock()
+		p.matchWait.Observe(p.now().Sub(joinStart))
+		return infoB, nil
+	}
+	w := &waiter{ch: make(chan JoinInfo, 1), since: joinStart}
+	p.waiters[player] = w
+	p.joinMu.Unlock()
+
+	timer := time.NewTimer(p.cfg.MatchTimeout)
+	defer timer.Stop()
+	select {
+	case info := <-w.ch:
+		return info, nil
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	// Timed out (or cancelled): withdraw, racing a concurrent pairing.
+	p.joinMu.Lock()
+	if _, stillWaiting := p.waiters[player]; !stillWaiting {
+		// A pairing won the race; the JoinInfo is already buffered.
+		p.joinMu.Unlock()
+		return <-w.ch, nil
+	}
+	delete(p.waiters, player)
+	p.mm.Leave(player)
+	p.joinMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return JoinInfo{}, err
+	}
+	// Replay fallback: the paper's pre-recorded partner.
+	rs, found := p.replays.Any()
+	if !found {
+		p.noPartner.Add(1)
+		return JoinInfo{}, ErrNoPartner
+	}
+	p.matchWait.Observe(p.now().Sub(joinStart))
+	info := p.startReplay(player, rs)
+	info.Wait = p.now().Sub(joinStart)
+	return info, nil
+}
+
+// startLive creates a live session for seats (a, b) and returns their
+// JoinInfos. Called with joinMu held (session creation itself takes only
+// the owning shard lock).
+func (p *Plane) startLive(a, b string) (JoinInfo, JoinInfo) {
+	item := p.cfg.NextItem()
+	s := p.startSession(Live, item, [2]string{a, b}, nil)
+	p.liveTotal.Add(1)
+	return p.joinInfo(s, 0), p.joinInfo(s, 1)
+}
+
+// startReplay creates a replay session for player against transcript rs.
+func (p *Plane) startReplay(player string, rs match.ReplaySession) JoinInfo {
+	s := p.startSession(Replay, rs.Item, [2]string{player, "replay:" + rs.Player}, match.NewReplayer(rs))
+	p.replTotal.Add(1)
+	return p.joinInfo(s, 0)
+}
+
+func (p *Plane) startSession(mode Mode, item int, players [2]string, rep *match.Replayer) *session {
+	now := p.now()
+	s := &session{
+		id:       ID(p.nextID.Add(1)),
+		mode:     mode,
+		item:     item,
+		players:  players,
+		round:    agree.NewOutputRound(p.cfg.Lexicon, p.cfg.Match, p.tabooFor(item)),
+		replayer: rep,
+		start:    now,
+		deadline: now.Add(p.cfg.RoundTimeout),
+		notify:   make(chan struct{}),
+	}
+	sh := p.shardFor(s.id)
+	sh.mu.Lock()
+	sh.sess[s.id] = s
+	p.appendEventLocked(s, Event{Type: EvStart, Seat: -1})
+	sh.mu.Unlock()
+	p.itemMu.Lock()
+	set := p.byItem[item]
+	if set == nil {
+		set = make(map[ID]struct{})
+		p.byItem[item] = set
+	}
+	set[s.id] = struct{}{}
+	p.itemMu.Unlock()
+	p.open.Add(1)
+	return s
+}
+
+func (p *Plane) joinInfo(s *session, seat int) JoinInfo {
+	return JoinInfo{
+		Session:  s.id,
+		Seat:     seat,
+		Mode:     s.mode.String(),
+		Item:     s.item,
+		Taboo:    s.round.Taboo(),
+		Deadline: s.deadline.Sub(p.now()),
+	}
+}
+
+// appendEventLocked stamps and appends ev, waking every long-poller.
+// Caller holds the owning shard's lock.
+func (p *Plane) appendEventLocked(s *session, ev Event) {
+	ev.Seq = len(s.events) + 1
+	ev.AtMs = p.now().Sub(s.start).Milliseconds()
+	s.events = append(s.events, ev)
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// finish holds the cross-session work a round end defers until after the
+// shard lock is released: the OnResult callback, transcript recording,
+// and taboo promotion/propagation.
+type finish struct {
+	res         Result
+	transcripts []match.ReplaySession
+}
+
+// endLocked closes the round. Caller holds the shard lock and runs the
+// returned finish via p.finalize after releasing it.
+func (p *Plane) endLocked(s *session, reason string) finish {
+	s.done = true
+	s.reason = reason
+	s.endedAt = p.now()
+	word, agreed := s.round.Agreed()
+	if agreed {
+		p.appendEventLocked(s, Event{Type: EvAgreed, Seat: -1, Word: word})
+		p.agreements.Add(1)
+	} else {
+		word = -1
+	}
+	p.appendEventLocked(s, Event{Type: EvEnd, Seat: -1, Reason: reason})
+	p.open.Add(-1)
+	switch reason {
+	case EndTimeout:
+		p.timeouts.Add(1)
+	case EndPassed:
+		p.passes.Add(1)
+	case EndLeft:
+		p.abandons.Add(1)
+	case EndExhausted:
+		p.exhausted.Add(1)
+	}
+	f := finish{res: Result{
+		Session:  s.id,
+		Item:     s.item,
+		Mode:     s.mode,
+		Players:  s.players,
+		Agreed:   agreed,
+		Word:     word,
+		Reason:   reason,
+		Duration: s.endedAt.Sub(s.start),
+	}}
+	// Record live transcripts (both seats) so future lone players have
+	// partners; in replay mode only the live seat adds fresh material.
+	seats := 2
+	if s.mode == Replay {
+		seats = 1
+	}
+	for seat := 0; seat < seats; seat++ {
+		if g := s.round.Guesses(seat); len(g) > 0 {
+			words := make([]int, len(g))
+			copy(words, g)
+			f.transcripts = append(f.transcripts, match.ReplaySession{
+				Item: s.item, Player: s.players[seat], Words: words,
+			})
+		}
+	}
+	return f
+}
+
+// finalize runs a round's deferred work outside all shard locks.
+func (p *Plane) finalize(f finish) {
+	for _, tr := range f.transcripts {
+		p.replays.Record(tr)
+	}
+	if f.res.Agreed {
+		p.tabooMu.Lock()
+		promoted := p.taboo.Record(f.res.Item, f.res.Word)
+		p.tabooMu.Unlock()
+		if promoted {
+			p.promotions.Add(1)
+			p.propagateTaboo(f.res.Item, f.res.Word, f.res.Session)
+		}
+	}
+	if p.cfg.OnResult != nil {
+		p.cfg.OnResult(f.res)
+	}
+}
+
+// propagateTaboo pushes a freshly promoted taboo word into every other
+// open session on the same item, mid-game. Session IDs are snapshotted
+// under itemMu, then each session is updated under its own shard lock —
+// never two locks at once.
+func (p *Plane) propagateTaboo(item, word int, from ID) {
+	p.itemMu.Lock()
+	ids := make([]ID, 0, len(p.byItem[item]))
+	for id := range p.byItem[item] {
+		if id != from {
+			ids = append(ids, id)
+		}
+	}
+	p.itemMu.Unlock()
+	for _, id := range ids {
+		sh := p.shardFor(id)
+		sh.mu.Lock()
+		if s := sh.sess[id]; s != nil && !s.done {
+			s.round.AddTaboo(word)
+			p.appendEventLocked(s, Event{Type: EvTaboo, Seat: -1, Words: []int{word}})
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Guess submits one guess for player. Taboo words, repeats, and guesses
+// past MaxGuesses are rejected in-band (Accepted=false with a reason), as
+// the real game's UI would; unknown sessions, non-players, and finished
+// rounds are errors.
+func (p *Plane) Guess(id ID, player string, word int) (GuessResult, error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	s := sh.sess[id]
+	if s == nil {
+		sh.mu.Unlock()
+		return GuessResult{}, ErrUnknown
+	}
+	seat := s.seatOf(player)
+	if seat < 0 {
+		sh.mu.Unlock()
+		return GuessResult{}, ErrNotPlayer
+	}
+	if s.done {
+		sh.mu.Unlock()
+		return GuessResult{Done: true}, ErrEnded
+	}
+	if word < 0 || word >= p.cfg.Lexicon.Size() {
+		// Guard the lexicon lookup: word IDs come straight off the wire,
+		// and Canonical indexes by ID without a bounds check.
+		sh.mu.Unlock()
+		return GuessResult{}, ErrBadWord
+	}
+	if s.guesses[seat] >= p.cfg.MaxGuesses {
+		res := GuessResult{Reason: "limit", Guesses: s.guesses[seat]}
+		sh.mu.Unlock()
+		return res, nil
+	}
+	matched, err := s.round.Submit(seat, word)
+	switch {
+	case errors.Is(err, agree.ErrTabooWord):
+		res := GuessResult{Reason: "taboo", Guesses: s.guesses[seat]}
+		sh.mu.Unlock()
+		return res, nil
+	case errors.Is(err, agree.ErrRepeatWord):
+		res := GuessResult{Reason: "repeat", Guesses: s.guesses[seat]}
+		sh.mu.Unlock()
+		return res, nil
+	case errors.Is(err, agree.ErrRoundOver):
+		sh.mu.Unlock()
+		return GuessResult{Done: true}, ErrEnded
+	case err != nil:
+		sh.mu.Unlock()
+		return GuessResult{}, err
+	}
+	s.guesses[seat]++
+	res := GuessResult{Accepted: true, Guesses: s.guesses[seat]}
+	p.appendEventLocked(s, Event{Type: EvPartnerGuess, Seat: seat})
+	if !matched && s.mode == Replay {
+		matched = p.advanceReplayLocked(s)
+	}
+	var fin *finish
+	switch {
+	case matched:
+		res.Matched = true
+		res.Word, _ = s.round.Agreed()
+		f := p.endLocked(s, EndAgreed)
+		fin = &f
+	case p.exhaustedLocked(s):
+		f := p.endLocked(s, EndExhausted)
+		fin = &f
+	}
+	res.Done = s.done
+	sh.mu.Unlock()
+	if fin != nil {
+		p.finalize(*fin)
+	}
+	return res, nil
+}
+
+// advanceReplayLocked plays the pre-recorded partner's next usable guess
+// after each accepted live guess, skipping recorded words the current
+// round refuses (taboo promoted since recording, repeats). Returns true
+// when the replayed guess matches. Caller holds the shard lock.
+func (p *Plane) advanceReplayLocked(s *session) bool {
+	for {
+		w, ok := s.replayer.Next()
+		if !ok {
+			if !s.replayed {
+				s.replayed = true
+				p.appendEventLocked(s, Event{Type: EvPartnerDone, Seat: 1})
+			}
+			return false
+		}
+		matched, err := s.round.Submit(1, w)
+		if err != nil {
+			continue
+		}
+		s.guesses[1]++
+		p.appendEventLocked(s, Event{Type: EvPartnerGuess, Seat: 1})
+		return matched
+	}
+}
+
+// exhaustedLocked reports whether nobody can guess anymore: every live
+// seat is at MaxGuesses (and a replayed partner's transcript is spent).
+func (p *Plane) exhaustedLocked(s *session) bool {
+	if s.guesses[0] < p.cfg.MaxGuesses {
+		return false
+	}
+	if s.mode == Replay {
+		return s.replayer.Remaining() == 0
+	}
+	return s.guesses[1] >= p.cfg.MaxGuesses
+}
+
+// Pass records player giving up on the round. A live round ends when both
+// seats pass; a replay round ends on the lone player's pass.
+func (p *Plane) Pass(id ID, player string) (bool, error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	s := sh.sess[id]
+	if s == nil {
+		sh.mu.Unlock()
+		return false, ErrUnknown
+	}
+	seat := s.seatOf(player)
+	if seat < 0 {
+		sh.mu.Unlock()
+		return false, ErrNotPlayer
+	}
+	if s.done {
+		sh.mu.Unlock()
+		return true, nil
+	}
+	if !s.passed[seat] {
+		s.passed[seat] = true
+		p.appendEventLocked(s, Event{Type: EvPass, Seat: seat})
+	}
+	var fin *finish
+	if s.passed[0] && (s.mode == Replay || s.passed[1]) {
+		f := p.endLocked(s, EndPassed)
+		fin = &f
+	}
+	done := s.done
+	sh.mu.Unlock()
+	if fin != nil {
+		p.finalize(*fin)
+	}
+	return done, nil
+}
+
+// Leave ends the session because player disconnected; the partner gets
+// EvEnd with reason "partner_left". Leaving an already finished session
+// is a no-op.
+func (p *Plane) Leave(id ID, player string) error {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	s := sh.sess[id]
+	if s == nil {
+		sh.mu.Unlock()
+		return ErrUnknown
+	}
+	if s.seatOf(player) < 0 {
+		sh.mu.Unlock()
+		return ErrNotPlayer
+	}
+	var fin *finish
+	if !s.done {
+		f := p.endLocked(s, EndLeft)
+		fin = &f
+	}
+	sh.mu.Unlock()
+	if fin != nil {
+		p.finalize(*fin)
+	}
+	return nil
+}
+
+// Events long-polls the session's stream: it returns every event with
+// Seq > after as soon as any exists, waiting up to wait otherwise. done
+// reports whether the round has ended — once the caller has drained the
+// stream past EvEnd, done with no events means there is nothing left.
+func (p *Plane) Events(ctx context.Context, id ID, player string, after int, wait time.Duration) ([]Event, bool, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		sh := p.shardFor(id)
+		sh.mu.Lock()
+		s := sh.sess[id]
+		if s == nil {
+			sh.mu.Unlock()
+			return nil, false, ErrUnknown
+		}
+		if s.seatOf(player) < 0 {
+			sh.mu.Unlock()
+			return nil, false, ErrNotPlayer
+		}
+		if after < 0 {
+			after = 0
+		}
+		if len(s.events) > after {
+			evs := make([]Event, len(s.events)-after)
+			copy(evs, s.events[after:])
+			done := s.done
+			sh.mu.Unlock()
+			return evs, done, nil
+		}
+		if s.done {
+			sh.mu.Unlock()
+			return nil, true, nil
+		}
+		ch := s.notify
+		sh.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, false, nil
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return nil, false, nil
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, false, ctx.Err()
+		case <-p.stop:
+			// Close() must not strand parked long-polls: HTTP shutdown
+			// waits for in-flight handlers, and event waits run up to
+			// tens of seconds.
+			timer.Stop()
+			return nil, false, ErrClosed
+		}
+	}
+}
+
+// sweep is the background timer loop: it expires round deadlines and
+// frees finished sessions once their linger has passed. One shard lock at
+// a time; finalize work runs outside all locks.
+func (p *Plane) sweep() {
+	defer p.stopped.Done()
+	ticker := time.NewTicker(p.cfg.SweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+		}
+		now := p.now()
+		var fins []finish
+		type removal struct {
+			id   ID
+			item int
+		}
+		var removals []removal
+		for _, sh := range p.shards {
+			sh.mu.Lock()
+			for id, s := range sh.sess {
+				switch {
+				case !s.done && now.After(s.deadline):
+					fins = append(fins, p.endLocked(s, EndTimeout))
+				case s.done && now.Sub(s.endedAt) > p.cfg.EndLinger:
+					delete(sh.sess, id)
+					removals = append(removals, removal{id: id, item: s.item})
+				}
+			}
+			sh.mu.Unlock()
+		}
+		for _, f := range fins {
+			p.finalize(f)
+		}
+		if len(removals) > 0 {
+			p.itemMu.Lock()
+			for _, rm := range removals {
+				if set := p.byItem[rm.item]; set != nil {
+					delete(set, rm.id)
+					if len(set) == 0 {
+						delete(p.byItem, rm.item)
+					}
+				}
+			}
+			p.itemMu.Unlock()
+		}
+	}
+}
+
+// Stats is a snapshot of the plane's gauges and counters.
+type Stats struct {
+	Open            int64                  `json:"open"`     // running rounds (the open-session gauge)
+	Resident        int64                  `json:"resident"` // sessions in memory incl. lingering finished ones
+	Waiting         int                    `json:"waiting"`  // players pooled in the matchmaker
+	OldestWaitMs    int64                  `json:"oldest_wait_ms"`
+	Live            int64                  `json:"live_total"`
+	Replay          int64                  `json:"replay_total"`
+	ReplayRatio     float64                `json:"replay_ratio"`
+	Agreements      int64                  `json:"agreements"`
+	Timeouts        int64                  `json:"timeouts"`
+	Passes          int64                  `json:"passes"`
+	Abandons        int64                  `json:"abandons"`
+	Exhausted       int64                  `json:"exhausted"`
+	NoPartner       int64                  `json:"no_partner"`
+	TabooPromotions int64                  `json:"taboo_promotions"`
+	ReplayStored    int                    `json:"replay_stored"`
+	MatchWait       metrics.LatencySummary `json:"match_wait"`
+}
+
+// Stats returns a point-in-time snapshot. Resident visits every shard
+// once; counters are atomics.
+func (p *Plane) Stats() Stats {
+	var resident int64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		resident += int64(len(sh.sess))
+		sh.mu.Unlock()
+	}
+	live, repl := p.liveTotal.Load(), p.replTotal.Load()
+	var ratio float64
+	if live+repl > 0 {
+		ratio = float64(repl) / float64(live+repl)
+	}
+	return Stats{
+		Open:            p.open.Load(),
+		Resident:        resident,
+		Waiting:         p.mm.Waiting(),
+		OldestWaitMs:    p.mm.OldestWait().Milliseconds(),
+		Live:            live,
+		Replay:          repl,
+		ReplayRatio:     ratio,
+		Agreements:      p.agreements.Load(),
+		Timeouts:        p.timeouts.Load(),
+		Passes:          p.passes.Load(),
+		Abandons:        p.abandons.Load(),
+		Exhausted:       p.exhausted.Load(),
+		NoPartner:       p.noPartner.Load(),
+		TabooPromotions: p.promotions.Load(),
+		ReplayStored:    p.replays.Size(),
+		MatchWait:       p.matchWait.Summary(),
+	}
+}
+
+// MatchWaitHist exposes the matchmaking-latency histogram for the admin
+// metrics exposition.
+func (p *Plane) MatchWaitHist() *metrics.LatencyHist { return &p.matchWait }
+
+// Shards returns the shard count the plane was built with.
+func (p *Plane) Shards() int { return len(p.shards) }
+
+// String renders an ID in the decimal form used in URLs.
+func (id ID) String() string { return fmt.Sprintf("%d", uint64(id)) }

@@ -1,0 +1,479 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"humancomp/internal/agree"
+	"humancomp/internal/match"
+	"humancomp/internal/vocab"
+)
+
+func testLexicon(t testing.TB) *vocab.Lexicon {
+	t.Helper()
+	// SynonymRate 0 keeps Exact matching fully deterministic.
+	return vocab.NewLexicon(vocab.LexiconConfig{Size: 500, ZipfS: 1, SynonymRate: 0, Seed: 1})
+}
+
+// newPlane builds a plane with fast test timings; mutate defaults via fn.
+func newPlane(t testing.TB, fn func(*Config)) *Plane {
+	t.Helper()
+	cfg := Config{
+		MatchTimeout: 200 * time.Millisecond,
+		RoundTimeout: time.Minute,
+		EndLinger:    time.Minute,
+		SweepEvery:   5 * time.Millisecond,
+		Match:        agree.Exact,
+		Lexicon:      testLexicon(t),
+		NextItem:     func() int { return 7 },
+		Seed:         1,
+	}
+	if fn != nil {
+		fn(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// joinPair runs two concurrent Joins and returns both JoinInfos.
+func joinPair(t *testing.T, p *Plane, a, b string) (JoinInfo, JoinInfo) {
+	t.Helper()
+	var infoA JoinInfo
+	var errA error
+	done := make(chan struct{})
+	go func() {
+		infoA, errA = p.Join(context.Background(), a)
+		close(done)
+	}()
+	// Let a reach the waiter pool first so seats are deterministic.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.mm.Waiting() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	infoB, errB := p.Join(context.Background(), b)
+	<-done
+	if errA != nil || errB != nil {
+		t.Fatalf("join errors: %v / %v", errA, errB)
+	}
+	return infoA, infoB
+}
+
+func TestLivePairingAndAgreement(t *testing.T) {
+	var results []Result
+	var mu sync.Mutex
+	p := newPlane(t, func(c *Config) {
+		c.OnResult = func(r Result) { mu.Lock(); results = append(results, r); mu.Unlock() }
+	})
+	infoA, infoB := joinPair(t, p, "alice", "bob")
+	if infoA.Session != infoB.Session {
+		t.Fatalf("players landed in different sessions: %d vs %d", infoA.Session, infoB.Session)
+	}
+	if infoA.Seat == infoB.Seat {
+		t.Fatalf("both players got seat %d", infoA.Seat)
+	}
+	if infoA.Mode != "live" || infoB.Mode != "live" {
+		t.Fatalf("modes = %q / %q", infoA.Mode, infoB.Mode)
+	}
+	if infoA.Item != 7 || infoB.Item != 7 {
+		t.Fatalf("items = %d / %d", infoA.Item, infoB.Item)
+	}
+	id := infoA.Session
+
+	// Alice guesses 10 and 11; Bob answers 11: agreement.
+	for _, w := range []int{10, 11} {
+		res, err := p.Guess(id, "alice", w)
+		if err != nil || !res.Accepted {
+			t.Fatalf("alice guess %d: %+v err=%v", w, res, err)
+		}
+	}
+	res, err := p.Guess(id, "bob", 11)
+	if err != nil || !res.Matched || res.Word != 11 || !res.Done {
+		t.Fatalf("bob's matching guess: %+v err=%v", res, err)
+	}
+
+	evs, done, err := p.Events(context.Background(), id, "alice", 0, 0)
+	if err != nil || !done {
+		t.Fatalf("Events: done=%v err=%v", done, err)
+	}
+	var types []string
+	for _, ev := range evs {
+		types = append(types, ev.Type)
+		if ev.Type == EvPartnerGuess && ev.Word != 0 {
+			t.Fatalf("partner_guess leaked the word: %+v", ev)
+		}
+		if ev.Type == EvAgreed && ev.Word != 11 {
+			t.Fatalf("agreed event word = %d", ev.Word)
+		}
+	}
+	want := []string{EvStart, EvPartnerGuess, EvPartnerGuess, EvPartnerGuess, EvAgreed, EvEnd}
+	if len(types) != len(want) {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event[%d] = %q, want %q (%v)", i, types[i], want[i], types)
+		}
+	}
+	for i, ev := range evs {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != 1 {
+		t.Fatalf("OnResult fired %d times", len(results))
+	}
+	r := results[0]
+	if !r.Agreed || r.Word != 11 || r.Mode != Live || r.Reason != EndAgreed {
+		t.Fatalf("result = %+v", r)
+	}
+	st := p.Stats()
+	if st.Open != 0 || st.Agreements != 1 || st.Live != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Both transcripts were recorded for future replay partners.
+	if st.ReplayStored != 2 {
+		t.Fatalf("replay store holds %d transcripts, want 2", st.ReplayStored)
+	}
+}
+
+func TestReplayFallback(t *testing.T) {
+	p := newPlane(t, func(c *Config) { c.MatchTimeout = 20 * time.Millisecond })
+	// Empty store: a lone player has nobody at all.
+	if _, err := p.Join(context.Background(), "carol"); !errors.Is(err, ErrNoPartner) {
+		t.Fatalf("join with empty replay store: %v", err)
+	}
+	if p.Stats().NoPartner != 1 {
+		t.Fatalf("NoPartner = %d", p.Stats().NoPartner)
+	}
+	p.Replays().Record(match.ReplaySession{Item: 3, Player: "ghost", Words: []int{40, 41}})
+	info, err := p.Join(context.Background(), "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != "replay" || info.Item != 3 || info.Seat != 0 {
+		t.Fatalf("replay join info = %+v", info)
+	}
+	// Each accepted live guess advances the recording one word; carol's
+	// second guess matches the recording's first word.
+	if res, err := p.Guess(info.Session, "carol", 99); err != nil || !res.Accepted || res.Matched {
+		t.Fatalf("first guess: %+v err=%v", res, err)
+	}
+	res, err := p.Guess(info.Session, "carol", 41)
+	if err != nil || !res.Matched || res.Word != 41 {
+		t.Fatalf("matching guess: %+v err=%v", res, err)
+	}
+	st := p.Stats()
+	if st.Replay != 1 || st.Agreements != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ReplayRatio != 1.0 {
+		t.Fatalf("ReplayRatio = %v", st.ReplayRatio)
+	}
+}
+
+func TestReplayPartnerSkipsUnusableWords(t *testing.T) {
+	p := newPlane(t, func(c *Config) { c.MatchTimeout = 20 * time.Millisecond })
+	// The recording opens with a word that has since become taboo; the
+	// replayed partner must skip it and play the next one.
+	p.Replays().Record(match.ReplaySession{Item: 3, Player: "ghost", Words: []int{50, 51}})
+	info, err := p.Join(context.Background(), "dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := p.shardFor(info.Session)
+	sh.mu.Lock()
+	sh.sess[info.Session].round.AddTaboo(50)
+	sh.mu.Unlock()
+	if res, err := p.Guess(info.Session, "dave", 51); err != nil || !res.Matched || res.Word != 51 {
+		t.Fatalf("guess = %+v err=%v", res, err)
+	}
+}
+
+func TestReplayPartnerExhaustion(t *testing.T) {
+	p := newPlane(t, func(c *Config) { c.MatchTimeout = 20 * time.Millisecond })
+	p.Replays().Record(match.ReplaySession{Item: 3, Player: "ghost", Words: []int{60}})
+	info, err := p.Join(context.Background(), "erin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Guess(info.Session, "erin", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Guess(info.Session, "erin", 2); err != nil {
+		t.Fatal(err)
+	}
+	evs, _, err := p.Events(context.Background(), info.Session, "erin", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDone := false
+	for _, ev := range evs {
+		if ev.Type == EvPartnerDone {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatalf("no partner_done after exhausting the transcript: %v", evs)
+	}
+	// The lone player's pass ends a replay round.
+	done, err := p.Pass(info.Session, "erin")
+	if err != nil || !done {
+		t.Fatalf("pass: done=%v err=%v", done, err)
+	}
+	if st := p.Stats(); st.Passes != 1 || st.Open != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTabooPropagatesAcrossSessions(t *testing.T) {
+	p := newPlane(t, func(c *Config) { c.PromoteAfter = 1 })
+	infoA, _ := joinPair(t, p, "a1", "a2")
+	infoB, _ := joinPair(t, p, "b1", "b2")
+	if infoA.Session == infoB.Session {
+		t.Fatal("pairs shared a session")
+	}
+	// Session A agrees on 20; PromoteAfter=1 promotes it immediately.
+	if _, err := p.Guess(infoA.Session, "a1", 20); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := p.Guess(infoA.Session, "a2", 20); !res.Matched {
+		t.Fatal("session A did not agree")
+	}
+	// Session B, same item, mid-round: 20 is now taboo there.
+	res, err := p.Guess(infoB.Session, "b1", 20)
+	if err != nil || res.Accepted || res.Reason != "taboo" {
+		t.Fatalf("promoted word accepted in concurrent session: %+v err=%v", res, err)
+	}
+	evs, _, err := p.Events(context.Background(), infoB.Session, "b1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTaboo := false
+	for _, ev := range evs {
+		if ev.Type == EvTaboo && len(ev.Words) == 1 && ev.Words[0] == 20 {
+			sawTaboo = true
+		}
+	}
+	if !sawTaboo {
+		t.Fatalf("no taboo event reached the concurrent session: %v", evs)
+	}
+	if p.Stats().TabooPromotions != 1 {
+		t.Fatalf("TabooPromotions = %d", p.Stats().TabooPromotions)
+	}
+	// A fresh session on the item starts with the word already taboo.
+	infoC, _ := joinPair(t, p, "c1", "c2")
+	if len(infoC.Taboo) != 1 || infoC.Taboo[0] != 20 {
+		t.Fatalf("new session taboo list = %v", infoC.Taboo)
+	}
+}
+
+func TestRoundTimeoutAndLingerExpiry(t *testing.T) {
+	p := newPlane(t, func(c *Config) {
+		c.RoundTimeout = 30 * time.Millisecond
+		c.EndLinger = 30 * time.Millisecond
+	})
+	info, _ := joinPair(t, p, "t1", "t2")
+	// Long-poll across the deadline: the sweeper must end the round.
+	evs, done, err := p.Events(context.Background(), info.Session, "t1", 1, time.Second)
+	if err != nil || !done {
+		t.Fatalf("Events: done=%v err=%v", done, err)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != EvEnd || last.Reason != EndTimeout {
+		t.Fatalf("last event = %+v", last)
+	}
+	if st := p.Stats(); st.Open != 0 || st.Timeouts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// After the linger, the session is swept out entirely.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, _, err = p.Events(context.Background(), info.Session, "t1", 0, 0)
+		if errors.Is(err, ErrUnknown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished session never swept out")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := p.Stats(); st.Resident != 0 {
+		t.Fatalf("Resident = %d after linger", st.Resident)
+	}
+}
+
+func TestPassAndLeave(t *testing.T) {
+	p := newPlane(t, nil)
+	info, _ := joinPair(t, p, "p1", "p2")
+	if done, err := p.Pass(info.Session, "p1"); err != nil || done {
+		t.Fatalf("single pass ended the round: done=%v err=%v", done, err)
+	}
+	if done, err := p.Pass(info.Session, "p2"); err != nil || !done {
+		t.Fatalf("double pass: done=%v err=%v", done, err)
+	}
+	// Leave path on a second pair.
+	info2, _ := joinPair(t, p, "q1", "q2")
+	if err := p.Leave(info2.Session, "q1"); err != nil {
+		t.Fatal(err)
+	}
+	evs, done, err := p.Events(context.Background(), info2.Session, "q2", 0, 0)
+	if err != nil || !done {
+		t.Fatalf("partner events: done=%v err=%v", done, err)
+	}
+	if last := evs[len(evs)-1]; last.Reason != EndLeft {
+		t.Fatalf("end reason = %q", last.Reason)
+	}
+	if st := p.Stats(); st.Passes != 1 || st.Abandons != 1 || st.Open != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGuessValidation(t *testing.T) {
+	p := newPlane(t, func(c *Config) { c.MaxGuesses = 2 })
+	info, _ := joinPair(t, p, "v1", "v2")
+	id := info.Session
+	if _, err := p.Guess(ID(999), "v1", 1); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown session: %v", err)
+	}
+	if _, err := p.Guess(id, "stranger", 1); !errors.Is(err, ErrNotPlayer) {
+		t.Fatalf("stranger guess: %v", err)
+	}
+	// Out-of-lexicon words are rejected before they can index the
+	// lexicon (they arrive unchecked off the wire).
+	if _, err := p.Guess(id, "v1", -1); !errors.Is(err, ErrBadWord) {
+		t.Fatalf("negative word: %v", err)
+	}
+	if _, err := p.Guess(id, "v1", 1<<30); !errors.Is(err, ErrBadWord) {
+		t.Fatalf("huge word: %v", err)
+	}
+	if res, err := p.Guess(id, "v1", 1); err != nil || !res.Accepted {
+		t.Fatalf("guess 1: %+v err=%v", res, err)
+	}
+	if res, err := p.Guess(id, "v1", 1); err != nil || res.Accepted || res.Reason != "repeat" {
+		t.Fatalf("repeat guess: %+v err=%v", res, err)
+	}
+	if res, err := p.Guess(id, "v1", 2); err != nil || !res.Accepted {
+		t.Fatalf("guess 2: %+v err=%v", res, err)
+	}
+	if res, err := p.Guess(id, "v1", 3); err != nil || res.Accepted || res.Reason != "limit" {
+		t.Fatalf("guess past MaxGuesses: %+v err=%v", res, err)
+	}
+	// Partner exhausts too without matching: round ends "exhausted".
+	if _, err := p.Guess(id, "v2", 4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Guess(id, "v2", 5)
+	if err != nil || !res.Done {
+		t.Fatalf("exhausting guess: %+v err=%v", res, err)
+	}
+	if _, err := p.Guess(id, "v2", 6); !errors.Is(err, ErrEnded) {
+		t.Fatalf("guess after end: %v", err)
+	}
+	if st := p.Stats(); st.Exhausted != 1 || st.Open != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEventsLongPollWakesOnGuess(t *testing.T) {
+	p := newPlane(t, nil)
+	info, _ := joinPair(t, p, "l1", "l2")
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		_, _ = p.Guess(info.Session, "l2", 12)
+	}()
+	start := time.Now()
+	// Cursor 1 skips the start event, so this must block until the guess.
+	evs, _, err := p.Events(context.Background(), info.Session, "l1", 1, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Type != EvPartnerGuess || evs[0].Seat != info.Seat^1 {
+		t.Fatalf("long-poll events = %+v", evs)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("long-poll returned before the guess was made")
+	}
+	// An expired wait with no events returns promptly and empty.
+	evs, done, err := p.Events(context.Background(), info.Session, "l1", evs[0].Seq+1, 20*time.Millisecond)
+	if err != nil || done || len(evs) != 0 {
+		t.Fatalf("empty poll: evs=%v done=%v err=%v", evs, done, err)
+	}
+}
+
+// TestEventsUnblockOnClose pins that Close wakes parked long-polls: HTTP
+// shutdown waits for in-flight handlers, so a stranded poll would stall
+// the drain for its full wait.
+func TestEventsUnblockOnClose(t *testing.T) {
+	p := newPlane(t, nil)
+	info, _ := joinPair(t, p, "u1", "u2")
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := p.Events(context.Background(), info.Session, "u1", 1, time.Minute)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("poll after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("long-poll did not unblock on Close")
+	}
+}
+
+func TestJoinContextCancel(t *testing.T) {
+	p := newPlane(t, func(c *Config) { c.MatchTimeout = 10 * time.Second })
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := p.Join(ctx, "zoe"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled join: %v", err)
+	}
+	if p.mm.Waiting() != 0 {
+		t.Fatalf("cancelled player still pooled: Waiting = %d", p.mm.Waiting())
+	}
+	// Double enqueue while waiting is refused.
+	go func() { _, _ = p.Join(context.Background(), "dup") }()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.mm.Waiting() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.Join(context.Background(), "dup"); !errors.Is(err, match.ErrAlreadyWaiting) {
+		t.Fatalf("double join: %v", err)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	p := newPlane(t, nil)
+	if _, err := p.Join(context.Background(), ""); !errors.Is(err, ErrNoPlayer) {
+		t.Fatalf("empty player: %v", err)
+	}
+	p.Close()
+	if _, err := p.Join(context.Background(), "late"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("join after close: %v", err)
+	}
+}
+
+func TestShardsRoundUpToPowerOfTwo(t *testing.T) {
+	p := newPlane(t, func(c *Config) { c.Shards = 5 })
+	if got := p.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d, want 8", got)
+	}
+	if p.mask != 7 {
+		t.Fatalf("mask = %d", p.mask)
+	}
+}
